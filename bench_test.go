@@ -1,0 +1,265 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6) at a reduced scale, plus the micro-benchmarks behind
+// the §3.3 eigenvalue-cost claims. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/fixbench for full-scale, human-readable reproductions.
+package fix_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/datagen"
+	"github.com/fix-index/fix/internal/eigen"
+	"github.com/fix-index/fix/internal/experiments"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// benchScale keeps one benchmark iteration in the tens of milliseconds;
+// fixbench runs the same code at scale 1.0.
+const benchScale = 0.04
+
+var (
+	envMu    sync.Mutex
+	envCache = map[datagen.Dataset]*experiments.Env{}
+)
+
+func benchEnv(b *testing.B, ds datagen.Dataset) *experiments.Env {
+	b.Helper()
+	envMu.Lock()
+	defer envMu.Unlock()
+	if env, ok := envCache[ds]; ok {
+		return env
+	}
+	env, err := experiments.Setup(ds, datagen.Config{Seed: 42, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	envCache[ds] = env
+	return env
+}
+
+// BenchmarkTable1Construction measures index construction (Table 1 ICT):
+// one full unclustered build per iteration.
+func BenchmarkTable1Construction(b *testing.B) {
+	for _, ds := range datagen.AllDatasets {
+		b.Run(string(ds), func(b *testing.B) {
+			env := benchEnv(b, ds)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix, err := core.Build(env.Store, core.Options{
+					DepthLimit:   env.DepthLimit(),
+					PaperPruning: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Entries() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Metrics evaluates the representative selectivity queries
+// (Table 2) against a prebuilt index.
+func BenchmarkTable2Metrics(b *testing.B) {
+	for _, ds := range datagen.AllDatasets {
+		b.Run(string(ds), func(b *testing.B) {
+			env := benchEnv(b, ds)
+			if _, err := env.Unclustered(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table2(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5RandomQueries measures the random-workload metric sweep
+// (Figure 5) with a reduced query count.
+func BenchmarkFig5RandomQueries(b *testing.B) {
+	env := benchEnv(b, datagen.XMarkDataset)
+	if _, err := env.Unclustered(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.SoundIndex(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(env, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The Figure 6 benchmarks run the four-system runtime comparison on each
+// dataset of §6.3.
+func benchFig6(b *testing.B, ds datagen.Dataset) {
+	env := benchEnv(b, ds)
+	// Build everything outside the timer.
+	if _, err := env.Unclustered(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.Clustered(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.FB(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.NoK.Count != r.FIXClus.Count {
+				b.Fatalf("%s: result mismatch", r.Query)
+			}
+		}
+	}
+}
+
+func BenchmarkFig6XMark(b *testing.B)    { benchFig6(b, datagen.XMarkDataset) }
+func BenchmarkFig6Treebank(b *testing.B) { benchFig6(b, datagen.TreebankDataset) }
+func BenchmarkFig6DBLP(b *testing.B)     { benchFig6(b, datagen.DBLPDataset) }
+
+// BenchmarkFig7Values runs the §6.4 value-predicate workload (Figures 7a
+// and 7b).
+func BenchmarkFig7Values(b *testing.B) {
+	env := benchEnv(b, datagen.DBLPDataset)
+	if _, err := env.ValueIndex(experiments.DefaultBeta); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.FB(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBetaSweep measures the §6.4 construction-cost tradeoff.
+func BenchmarkBetaSweep(b *testing.B) {
+	env := benchEnv(b, datagen.DBLPDataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BetaSweep(env, []uint32{10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations measures the design-choice ablations from DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	env := benchEnv(b, datagen.XMarkDataset)
+	if _, err := env.Unclustered(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.SoundIndex(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("root-label", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.AblationRootLabel(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pruning-mode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.AblationPruningMode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Eigenvalue computation cost (paper §3.3: "sub-millisecond for a dense
+// 10×10 and sub-second for a dense 300×300 on a Pentium 4").
+func randomSkew(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(1 + rng.Intn(40))
+			m[i][j] = w
+			m[j][i] = -w
+		}
+	}
+	return m
+}
+
+func benchEigenDense(b *testing.B, n int) {
+	m := randomSkew(n, int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eigen.SkewExtremes(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenDense10(b *testing.B)  { benchEigenDense(b, 10) }
+func BenchmarkEigenDense100(b *testing.B) { benchEigenDense(b, 100) }
+func BenchmarkEigenDense300(b *testing.B) { benchEigenDense(b, 300) }
+
+// BenchmarkEigenSparsePower measures the sparse σmax path used for
+// near-budget subpatterns (up to the paper's 3000-edge cap).
+func BenchmarkEigenSparsePower(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n, nEdges = 1500, 3000
+	edges := make([]eigen.Edge, 0, nEdges)
+	for len(edges) < nEdges {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-i-1)
+		edges = append(edges, eigen.Edge{From: int32(i), To: int32(j), W: float64(1 + rng.Intn(40))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eigen.SkewMaxSparse(n, edges) <= 0 {
+			b.Fatal("degenerate result")
+		}
+	}
+}
+
+// BenchmarkQueryPipeline isolates the pruning+refinement pipeline of
+// Algorithm 2 for one representative query per dataset.
+func BenchmarkQueryPipeline(b *testing.B) {
+	for _, ds := range datagen.AllDatasets {
+		b.Run(string(ds), func(b *testing.B) {
+			env := benchEnv(b, ds)
+			ix, err := env.Unclustered()
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, err := xpath.Parse(experiments.RepresentativeQueries[ds][1].XPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+// Command fixindex builds and queries FIX indexes over a database
+// directory (created by fixgen or the fix package).
+//
+// Usage:
+//
+//	fixindex -db /tmp/xmarkdb build -depth 6 -clustered
+//	fixindex -db /tmp/xmarkdb query '//item[name]/mailbox'
+//	fixindex -db /tmp/xmarkdb metrics '//item[name]/mailbox'
+//	fixindex -db /tmp/xmarkdb add doc.xml
+//	fixindex -db /tmp/xmarkdb stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fix-index/fix/fix"
+)
+
+func main() {
+	dbdir := flag.String("db", "", "database directory")
+	flag.Parse()
+	args := flag.Args()
+	if *dbdir == "" || len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*dbdir, args); err != nil {
+		fmt.Fprintln(os.Stderr, "fixindex:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fixindex -db DIR COMMAND [args]
+
+commands:
+  build [-depth N] [-clustered] [-values] [-beta N]   build the FIX index
+  query XPATH                                          run a query
+  metrics XPATH                                        report sel/pp/fpr
+  add FILE...                                          add XML documents
+  stats                                                database statistics`)
+}
+
+func run(dbdir string, args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "add":
+		db, err := openOrCreate(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		for _, path := range rest {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			id, err := db.AddDocument(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("adding %s: %w", path, err)
+			}
+			fmt.Printf("added %s as document %d\n", path, id)
+		}
+		return db.Save()
+
+	case "build":
+		fs := flag.NewFlagSet("build", flag.ExitOnError)
+		depth := fs.Int("depth", 0, "subpattern depth limit (0 = whole documents)")
+		clustered := fs.Bool("clustered", false, "build a clustered index")
+		values := fs.Bool("values", false, "integrate text values (§4.6)")
+		beta := fs.Uint("beta", 0, "value hash range β (0 = default 10)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if err := db.BuildIndex(fix.IndexOptions{
+			DepthLimit: *depth,
+			Clustered:  *clustered,
+			Values:     *values,
+			Beta:       uint32(*beta),
+		}); err != nil {
+			return err
+		}
+		if err := db.Save(); err != nil {
+			return err
+		}
+		fmt.Printf("built index: %d entries, %s, %v\n",
+			db.IndexEntries(), sizeStr(db.IndexSizeBytes()), db.IndexBuildTime().Round(1e6))
+		return nil
+
+	case "query":
+		if len(rest) != 1 {
+			return fmt.Errorf("query takes exactly one XPath expression")
+		}
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		res, err := db.Query(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("results: %d\n", res.Count)
+		if res.Entries > 0 {
+			fmt.Printf("pruning: %d entries -> %d candidates -> %d matched\n",
+				res.Entries, res.Candidates, res.MatchedEntries)
+		} else {
+			fmt.Println("(full scan: no index or query not covered)")
+		}
+		return nil
+
+	case "metrics":
+		if len(rest) != 1 {
+			return fmt.Errorf("metrics takes exactly one XPath expression")
+		}
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		m, err := db.Metrics(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sel=%.2f%% pp=%.2f%% fpr=%.2f%%\n",
+			m.Selectivity*100, m.PruningPower*100, m.FalsePosRatio*100)
+		return nil
+
+	case "stats":
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		fmt.Printf("documents: %d\n", db.NumDocuments())
+		if db.HasIndex() {
+			fmt.Printf("index: %d entries, %s\n", db.IndexEntries(), sizeStr(db.IndexSizeBytes()))
+		} else {
+			fmt.Println("index: none")
+		}
+		return nil
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func openOrCreate(dbdir string) (*fix.DB, error) {
+	if _, err := os.Stat(dbdir); os.IsNotExist(err) {
+		return fix.Create(dbdir)
+	}
+	return fix.Open(dbdir)
+}
+
+func sizeStr(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a FIX index over a handful of documents and query it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fix-index/fix/fix"
+)
+
+func main() {
+	db, err := fix.CreateMem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := []string{
+		`<article><title>Spectral twigs</title><author><email>a@x</email></author></article>`,
+		`<article><title>Holistic joins</title><author><phone>555</phone><email>b@x</email></author></article>`,
+		`<book><title>Data on the Web</title><author><affiliation>inria</affiliation></author></book>`,
+		`<article><title>No authors here</title></article>`,
+	}
+	for _, d := range docs {
+		if _, err := db.AddDocumentString(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The collection scenario: each document is one indexable unit.
+	if err := db.BuildIndex(fix.IndexOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents (%d index entries, %d bytes)\n",
+		db.NumDocuments(), db.IndexEntries(), db.IndexSizeBytes())
+
+	for _, q := range []string{
+		"//article[author]/title",
+		"//author[phone][email]",
+		"//book/author/affiliation",
+		"//article/author/affiliation", // no results
+	} {
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s -> %d results (pruned %d/%d entries before refinement)\n",
+			q, res.Count, res.Entries-res.Candidates, res.Entries)
+	}
+
+	// Which documents contain a match?
+	ids, err := db.QueryDocuments("//author[email]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents with //author[email]: %v\n", ids)
+}

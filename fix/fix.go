@@ -1,0 +1,409 @@
+// Package fix is the public API of the FIX feature-based XML index
+// (Zhang, Özsu, Ilyas, Aboulnaga: "FIX: Feature-based Indexing Technique
+// for XML Documents", University of Waterloo TR CS-2006-07 / VLDB 2006).
+//
+// A DB holds a collection of XML documents in a primary storage heap.
+// BuildIndex constructs a FIX index over them: every indexable unit (a
+// whole document, or a depth-limited subpattern rooted at each element of
+// large documents) is reduced to its bisimulation graph, translated into
+// an anti-symmetric matrix, and keyed in a B-tree by the extreme
+// eigenvalues of that matrix together with its root label. Queries in the
+// supported XPath fragment (child and descendant axes, branching
+// predicates, value-equality predicates) are answered by an eigenvalue
+// range scan that prunes the search space without false negatives,
+// followed by navigational refinement of the candidates.
+//
+// Basic use:
+//
+//	db, _ := fix.CreateMem()
+//	db.AddDocumentString(`<article><author><email>x</email></author></article>`)
+//	db.BuildIndex(fix.IndexOptions{})
+//	res, _ := db.Query(`//article[author]`)
+package fix
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// DB is a document database with an optional FIX index. It is not safe
+// for concurrent mutation; concurrent queries are safe once the index is
+// built.
+type DB struct {
+	dir   string
+	dict  *xmltree.Dict
+	store *storage.Store
+	index *core.Index
+}
+
+// IndexOptions configures BuildIndex. The zero value indexes whole
+// documents (the collection scenario) with the paper's defaults.
+type IndexOptions struct {
+	// DepthLimit is Algorithm 1's subpattern depth limit L. Zero indexes
+	// each document as one entry; a positive limit enumerates one
+	// depth-L subpattern per element, which is the right choice for
+	// large documents (the paper uses 6).
+	DepthLimit int
+	// Clustered copies candidate subtrees into a key-ordered heap so
+	// refinement I/O is sequential, trading space for query time.
+	Clustered bool
+	// Values integrates text nodes into the structural index via hashing
+	// (paper §4.6), enabling index support for value-equality
+	// predicates.
+	Values bool
+	// Beta is the value-hash range; 0 means the paper's default of 10.
+	Beta uint32
+	// EdgeBudget caps the bisimulation graph size for eigenvalue
+	// computation; 0 means the paper's default of 3000 edges.
+	EdgeBudget int
+	// SpectrumK stores K extra eigenvalue magnitudes per entry and
+	// filters candidates component-wise — the paper's §3.3 "whole set of
+	// eigenvalues" refinement. 0 disables it.
+	SpectrumK int
+	// PaperPruning selects the paper's literal pruning bound instead of
+	// the provably complete default; see DESIGN.md before enabling.
+	PaperPruning bool
+}
+
+// Result reports the outcome and the pruning statistics of one query.
+type Result struct {
+	// Count is the number of output-node matches.
+	Count int
+	// Entries, Candidates and MatchedEntries expose the pruning
+	// pipeline: total index entries, entries surviving the feature
+	// filter, and candidates that produced at least one result.
+	Entries, Candidates, MatchedEntries int
+}
+
+// Metrics are the implementation-independent effectiveness measures of
+// the paper's §6.2.
+type Metrics struct {
+	Selectivity   float64 // 1 - rst/ent
+	PruningPower  float64 // 1 - cdt/ent
+	FalsePosRatio float64 // 1 - rst/cdt
+}
+
+// CreateMem creates an empty in-memory database.
+func CreateMem() (*DB, error) {
+	dict := xmltree.NewDict()
+	st, err := storage.NewStore(storage.NewMemFile(), dict)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dict: dict, store: st}, nil
+}
+
+// Create creates an empty database persisted under dir.
+func Create(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := storage.Create(filepath.Join(dir, "data.heap"))
+	if err != nil {
+		return nil, err
+	}
+	dict := xmltree.NewDict()
+	st, err := storage.NewStore(f, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, dict: dict, store: st}, nil
+}
+
+// Open opens a database previously persisted with Save, including its
+// index if one was built.
+func Open(dir string) (*DB, error) {
+	df, err := os.Open(filepath.Join(dir, "labels.dict"))
+	if err != nil {
+		return nil, err
+	}
+	dict, err := xmltree.ReadDict(df)
+	df.Close()
+	if err != nil {
+		return nil, err
+	}
+	f, err := storage.Open(filepath.Join(dir, "data.heap"))
+	if err != nil {
+		return nil, err
+	}
+	st, err := storage.OpenStore(f, dict)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, dict: dict, store: st}
+	if _, err := os.Stat(filepath.Join(dir, "fix.meta")); err == nil {
+		db.index, err = core.Open(st, dir)
+		if err != nil {
+			return nil, fmt.Errorf("fix: opening index: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// Save flushes the database (and index, if built) to disk. It is an
+// error on in-memory databases.
+func (db *DB) Save() error {
+	if db.dir == "" {
+		return fmt.Errorf("fix: Save on an in-memory database")
+	}
+	if err := db.store.Sync(); err != nil {
+		return err
+	}
+	df, err := os.Create(filepath.Join(db.dir, "labels.dict"))
+	if err != nil {
+		return err
+	}
+	if _, err := db.dict.WriteTo(df); err != nil {
+		df.Close()
+		return err
+	}
+	if err := df.Close(); err != nil {
+		return err
+	}
+	if db.index != nil {
+		return db.index.Save()
+	}
+	return nil
+}
+
+// Close releases the underlying files.
+func (db *DB) Close() error {
+	return db.store.Close()
+}
+
+// AddDocument parses one XML document and appends it, returning its
+// document ID. If an index exists, the document is indexed incrementally.
+func (db *DB) AddDocument(r io.Reader) (uint32, error) {
+	n, err := xmltree.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := db.store.AppendTree(n)
+	if err != nil {
+		return 0, err
+	}
+	if db.index != nil {
+		if err := db.index.InsertDocument(rec); err != nil {
+			return rec, fmt.Errorf("fix: document stored but not indexed: %w", err)
+		}
+	}
+	return rec, nil
+}
+
+// AddDocumentString is AddDocument for a string.
+func (db *DB) AddDocumentString(s string) (uint32, error) {
+	return db.AddDocument(strings.NewReader(s))
+}
+
+// NumDocuments returns the number of stored documents.
+func (db *DB) NumDocuments() int { return db.store.NumRecords() }
+
+// Document re-serializes the stored document as XML.
+func (db *DB) Document(id uint32) (string, error) {
+	cur, err := db.store.Cursor(id)
+	if err != nil {
+		return "", err
+	}
+	n, err := cur.Decode(0)
+	if err != nil {
+		return "", err
+	}
+	return xmltree.MarshalString(n), nil
+}
+
+// BuildIndex constructs the FIX index over all stored documents,
+// replacing any previous index.
+func (db *DB) BuildIndex(opts IndexOptions) error {
+	ix, err := core.Build(db.store, core.Options{
+		DepthLimit:   opts.DepthLimit,
+		Clustered:    opts.Clustered,
+		Values:       opts.Values,
+		Beta:         opts.Beta,
+		EdgeBudget:   opts.EdgeBudget,
+		SpectrumK:    opts.SpectrumK,
+		PaperPruning: opts.PaperPruning,
+		Dir:          db.dir,
+	})
+	if err != nil {
+		return err
+	}
+	db.index = ix
+	return nil
+}
+
+// HasIndex reports whether an index is available.
+func (db *DB) HasIndex() bool { return db.index != nil }
+
+// IndexEntries returns the number of index entries, or 0 without an
+// index.
+func (db *DB) IndexEntries() int {
+	if db.index == nil {
+		return 0
+	}
+	return db.index.Entries()
+}
+
+// IndexSizeBytes returns the on-disk footprint of the index.
+func (db *DB) IndexSizeBytes() int64 {
+	if db.index == nil {
+		return 0
+	}
+	return db.index.SizeBytes()
+}
+
+// IndexBuildTime returns the wall-clock time of the last BuildIndex.
+func (db *DB) IndexBuildTime() time.Duration {
+	if db.index == nil {
+		return 0
+	}
+	return db.index.BuildTime()
+}
+
+// Query evaluates the XPath expression. With an index it runs the
+// pruning + refinement pipeline; without one it falls back to a full
+// navigational scan (Candidates and Entries are then zero).
+func (db *DB) Query(expr string) (Result, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return Result{}, err
+	}
+	if db.index != nil && db.index.Covered(q) {
+		res, err := db.index.Query(q)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Count:          res.Count,
+			Entries:        res.Entries,
+			Candidates:     res.Candidates,
+			MatchedEntries: res.Matched,
+		}, nil
+	}
+	count, err := db.scanCount(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Count: count}, nil
+}
+
+// Exists reports whether the query has at least one match.
+func (db *DB) Exists(expr string) (bool, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return false, err
+	}
+	if db.index != nil && db.index.Covered(q) {
+		return db.index.Exists(q)
+	}
+	nq, err := nok.Compile(q.Tree(), db.dict)
+	if err != nil {
+		return false, err
+	}
+	for rec := 0; rec < db.store.NumRecords(); rec++ {
+		cur, err := db.store.Cursor(uint32(rec))
+		if err != nil {
+			return false, err
+		}
+		if nq.Exists(cur, 0) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// QueryDocuments returns the IDs of documents containing at least one
+// match, in document order.
+func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	nq, err := nok.Compile(q.Tree(), db.dict)
+	if err != nil {
+		return nil, err
+	}
+	var scan func(rec uint32) (bool, error)
+	if db.index != nil && db.index.Covered(q) {
+		cands, _, err := db.index.Candidates(q)
+		if err != nil {
+			return nil, err
+		}
+		candDocs := make(map[uint32]bool, len(cands))
+		for _, c := range cands {
+			candDocs[c.Primary.Rec()] = true
+		}
+		scan = func(rec uint32) (bool, error) {
+			if !candDocs[rec] {
+				return false, nil
+			}
+			cur, err := db.store.Cursor(rec)
+			if err != nil {
+				return false, err
+			}
+			return nq.Exists(cur, 0), nil
+		}
+	} else {
+		scan = func(rec uint32) (bool, error) {
+			cur, err := db.store.Cursor(rec)
+			if err != nil {
+				return false, err
+			}
+			return nq.Exists(cur, 0), nil
+		}
+	}
+	var out []uint32
+	for rec := 0; rec < db.store.NumRecords(); rec++ {
+		ok, err := scan(uint32(rec))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, uint32(rec))
+		}
+	}
+	return out, nil
+}
+
+// Metrics evaluates the query and reports the paper's §6.2
+// implementation-independent effectiveness measures. It requires an
+// index.
+func (db *DB) Metrics(expr string) (Metrics, error) {
+	if db.index == nil {
+		return Metrics{}, fmt.Errorf("fix: Metrics requires an index")
+	}
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m, err := db.index.Evaluate(q)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Selectivity: m.Sel, PruningPower: m.PP, FalsePosRatio: m.FPR}, nil
+}
+
+func (db *DB) scanCount(q *xpath.Path) (int, error) {
+	nq, err := nok.Compile(q.Tree(), db.dict)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for rec := 0; rec < db.store.NumRecords(); rec++ {
+		cur, err := db.store.Cursor(uint32(rec))
+		if err != nil {
+			return 0, err
+		}
+		total += nq.Count(cur, 0)
+	}
+	return total, nil
+}

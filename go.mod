@@ -1,0 +1,3 @@
+module github.com/fix-index/fix
+
+go 1.22

@@ -1,0 +1,156 @@
+package bisim
+
+import (
+	"testing"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// figure1 is the paper's Figure 1 bibliography document (structure only).
+const figure1 = `<bib>
+<article><title/><author><address/><email/></author></article>
+<article><title/><author><email/><affiliation/></author></article>
+<book><title/><author><affiliation/><address/></author></book>
+<www><title/><author><email/></author></www>
+<inproceedings><title/><author><email/><affiliation/></author></inproceedings>
+</bib>`
+
+func buildFromXML(t *testing.T, doc string, vh ValueHash) (*Graph, *xmltree.Dict, []uint64) {
+	t.Helper()
+	n, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := xmltree.NewDict()
+	var ptrs []uint64
+	g, err := Build(FromXML(xmltree.NewTreeStream(n, 0), dict, vh), func(v *Vertex, ptr uint64) {
+		ptrs = append(ptrs, ptr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, dict, ptrs
+}
+
+func TestFigure1Bisimulation(t *testing.T) {
+	g, dict, ptrs := buildFromXML(t, figure1, nil)
+	root, err := xmltree.ParseString(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 4's precondition: one onClose per element.
+	if len(ptrs) != root.CountElements() {
+		t.Errorf("onClose fired %d times, want %d", len(ptrs), root.CountElements())
+	}
+	// The paper's key observation (Figure 2): downward bisimulation
+	// merges the author of book and the author of inproceedings (same
+	// children sets {affiliation, address} vs ... ). Expected classes:
+	// bib, title, address, email, affiliation,
+	// author{address,email}, author{email,affiliation} (article2 and
+	// inproceedings share this), author{affiliation,address},
+	// author{email},
+	// article{title,author_ae}, article{title,author_ea},
+	// book, www, inproceedings.
+	// article2 and inproceedings have different labels so stay apart,
+	// but their author children merge.
+	wantVertices := 14
+	if len(g.Vertices) != wantVertices {
+		for _, v := range g.Vertices {
+			t.Logf("vertex %d: label=%s children=%d depth=%d", v.ID, dict.Label(v.Label), len(v.Children), v.Depth)
+		}
+		t.Errorf("graph has %d vertices, want %d", len(g.Vertices), wantVertices)
+	}
+	if g.MaxDepth() != 4 {
+		t.Errorf("MaxDepth = %d, want 4", g.MaxDepth())
+	}
+	if g.Root == nil || dict.Label(g.Root.Label) != "bib" {
+		t.Error("root is not bib")
+	}
+	// The author under article2 and the author under inproceedings must
+	// be the same vertex.
+	authorID, _ := dict.Lookup("author")
+	seen := make(map[int32]int)
+	for _, v := range g.Vertices {
+		if v.Label == authorID {
+			seen[v.ID]++
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct author classes = %d, want 4", len(seen))
+	}
+}
+
+func TestChildrenAreSetsAndOrdered(t *testing.T) {
+	// Two identical children collapse into one vertex and appear once in
+	// the parent's child set.
+	g, _, _ := buildFromXML(t, `<a><b/><b/><b/></a>`, nil)
+	if len(g.Vertices) != 2 {
+		t.Fatalf("vertices = %d, want 2", len(g.Vertices))
+	}
+	if len(g.Root.Children) != 1 {
+		t.Errorf("root children = %d, want 1", len(g.Root.Children))
+	}
+}
+
+func TestStructurallyEqualSubtreesShareVertices(t *testing.T) {
+	g, _, _ := buildFromXML(t, `<r><x><y/></x><x><y/></x><x><z/></x></r>`, nil)
+	// Classes: y, z, x{y}, x{z}, r = 5.
+	if len(g.Vertices) != 5 {
+		t.Errorf("vertices = %d, want 5", len(g.Vertices))
+	}
+	if len(g.Root.Children) != 2 {
+		t.Errorf("root child classes = %d, want 2", len(g.Root.Children))
+	}
+}
+
+func TestDepths(t *testing.T) {
+	g, _, _ := buildFromXML(t, `<a><b><c><d/></c></b><e/></a>`, nil)
+	if g.Root.Depth != 4 {
+		t.Errorf("root depth = %d, want 4", g.Root.Depth)
+	}
+	if g.MaxDepth() != 4 {
+		t.Errorf("MaxDepth = %d", g.MaxDepth())
+	}
+}
+
+func TestValueNodes(t *testing.T) {
+	vh := func(v string) uint32 {
+		if v == "hello" {
+			return 100
+		}
+		return 101
+	}
+	g, _, ptrs := buildFromXML(t, `<a><b>hello</b><c>world</c></a>`, vh)
+	// Classes: value100, value101, b{v100}, c{v101}, a = 5.
+	if len(g.Vertices) != 5 {
+		t.Errorf("vertices = %d, want 5", len(g.Vertices))
+	}
+	// onClose fires for elements only (a, b, c), not value nodes.
+	if len(ptrs) != 3 {
+		t.Errorf("element closes = %d, want 3", len(ptrs))
+	}
+	// Without a hash, text vanishes.
+	g2, _, _ := buildFromXML(t, `<a><b>hello</b><c>world</c></a>`, nil)
+	if len(g2.Vertices) != 3 {
+		t.Errorf("structural-only vertices = %d, want 3", len(g2.Vertices))
+	}
+}
+
+func TestMatrixGraphConversion(t *testing.T) {
+	g, _, _ := buildFromXML(t, `<r><x><y/></x><x><z/></x></r>`, nil)
+	mg := g.MatrixGraph()
+	if mg.NumVertices() != len(g.Vertices) {
+		t.Fatalf("vertices = %d, want %d", mg.NumVertices(), len(g.Vertices))
+	}
+	if mg.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", mg.NumEdges(), g.NumEdges())
+	}
+	for i, v := range g.Vertices {
+		if mg.Labels[i] != v.Label {
+			t.Errorf("label mismatch at %d", i)
+		}
+		if len(mg.Adj[i]) != len(v.Children) {
+			t.Errorf("adjacency mismatch at %d", i)
+		}
+	}
+}

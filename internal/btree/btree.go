@@ -1,0 +1,367 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/fix-index/fix/internal/storage"
+)
+
+const (
+	magic = "FIXBT001"
+	// DefaultPageSize is the page size used unless overridden.
+	DefaultPageSize = 4096
+	// DefaultCacheSize is the default number of cached pages.
+	DefaultCacheSize = 256
+)
+
+// Tree is a disk-based B+tree with byte-string keys and values. Keys are
+// unique; Put overwrites. Keys and values must individually fit in a
+// quarter page so that splits always succeed.
+//
+// Tree is not safe for concurrent use; the FIX index serializes access.
+type Tree struct {
+	p      *pager
+	root   uint32
+	height uint32
+	count  uint64
+}
+
+// Create initializes an empty tree on f.
+func Create(f storage.File, pageSize, cacheSize int) (*Tree, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 256 {
+		return nil, fmt.Errorf("btree: page size %d too small", pageSize)
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	t := &Tree{p: newPager(f, pageSize, cacheSize)}
+	// Page 0 is the meta page.
+	if _, err := t.p.alloc(); err != nil {
+		return nil, err
+	}
+	rootPg, err := t.p.alloc()
+	if err != nil {
+		return nil, err
+	}
+	rootNode := &node{id: rootPg.id, leaf: true}
+	rootNode.encode(rootPg.buf)
+	t.p.markDirty(rootPg)
+	t.root = rootPg.id
+	t.height = 1
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree from f.
+func Open(f storage.File, cacheSize int) (*Tree, error) {
+	var hdr [40]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("btree: reading meta: %w", err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, fmt.Errorf("btree: bad magic %q", hdr[:8])
+	}
+	pageSize := int(binary.BigEndian.Uint32(hdr[8:12]))
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	t := &Tree{p: newPager(f, pageSize, cacheSize)}
+	t.root = binary.BigEndian.Uint32(hdr[12:16])
+	t.p.npages = binary.BigEndian.Uint32(hdr[16:20])
+	t.count = binary.BigEndian.Uint64(hdr[20:28])
+	t.height = binary.BigEndian.Uint32(hdr[28:32])
+	return t, nil
+}
+
+func (t *Tree) writeMeta() error {
+	pg, err := t.p.read(0)
+	if err != nil {
+		return err
+	}
+	copy(pg.buf[:8], magic)
+	binary.BigEndian.PutUint32(pg.buf[8:12], uint32(t.p.pageSize))
+	binary.BigEndian.PutUint32(pg.buf[12:16], t.root)
+	binary.BigEndian.PutUint32(pg.buf[16:20], t.p.npages)
+	binary.BigEndian.PutUint64(pg.buf[20:28], t.count)
+	binary.BigEndian.PutUint32(pg.buf[28:32], t.height)
+	t.p.markDirty(pg)
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return int(t.count) }
+
+// Height returns the height of the tree (1 = a single leaf).
+func (t *Tree) Height() int { return int(t.height) }
+
+// Size returns the file size in bytes (pages allocated × page size).
+func (t *Tree) Size() int64 { return int64(t.p.npages) * int64(t.p.pageSize) }
+
+// Stats returns a snapshot of pager I/O counters.
+func (t *Tree) Stats() Stats { return t.p.stats }
+
+// ResetStats zeroes the pager counters.
+func (t *Tree) ResetStats() { t.p.stats = Stats{} }
+
+// Flush writes all dirty pages and the meta page.
+func (t *Tree) Flush() error {
+	if err := t.writeMeta(); err != nil {
+		return err
+	}
+	return t.p.flush()
+}
+
+func (t *Tree) maxEntry() int { return t.p.pageSize / 4 }
+
+func (t *Tree) loadNode(id uint32) (*node, error) {
+	pg, err := t.p.read(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(id, pg.buf)
+}
+
+func (t *Tree) storeNode(n *node) error {
+	pg, err := t.p.read(n.id)
+	if err != nil {
+		return err
+	}
+	n.encode(pg.buf)
+	t.p.markDirty(pg)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	n, err := t.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	i, ok := n.searchLeaf(key)
+	if !ok {
+		return nil, false, nil
+	}
+	return n.vals[i], true, nil
+}
+
+func (t *Tree) findLeaf(key []byte) (*node, error) {
+	id := t.root
+	for {
+		n, err := t.loadNode(id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			return n, nil
+		}
+		id = n.childFor(key)
+	}
+}
+
+// Put inserts or overwrites the entry for key.
+func (t *Tree) Put(key, val []byte) error {
+	if len(key)+len(val)+8 > t.maxEntry() {
+		return fmt.Errorf("btree: entry of %d bytes exceeds max %d", len(key)+len(val), t.maxEntry())
+	}
+	sepKey, newChild, grew, added, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if added {
+		t.count++
+	}
+	if grew {
+		// Root split: create a new internal root.
+		pg, err := t.p.alloc()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			id:       pg.id,
+			next:     t.root, // leftmost child
+			keys:     [][]byte{sepKey},
+			children: []uint32{newChild},
+		}
+		newRoot.encode(pg.buf)
+		t.p.markDirty(pg)
+		t.root = pg.id
+		t.height++
+	}
+	return nil
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward.
+// It returns (separator, right sibling id, split?, newEntry?).
+func (t *Tree) insert(id uint32, key, val []byte) ([]byte, uint32, bool, bool, error) {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	if n.leaf {
+		i, exact := n.searchLeaf(key)
+		if exact {
+			// Overwrites may grow the entry past the page capacity, in
+			// which case the leaf splits like a fresh insert would.
+			n.vals[i] = append([]byte(nil), val...)
+			if n.encodedSize() <= t.p.pageSize {
+				return nil, 0, false, false, t.storeNode(n)
+			}
+			sep, rightID, err := t.splitLeaf(n)
+			return sep, rightID, true, false, err
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = append([]byte(nil), key...)
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = append([]byte(nil), val...)
+		if n.encodedSize() <= t.p.pageSize {
+			return nil, 0, false, true, t.storeNode(n)
+		}
+		sep, rightID, err := t.splitLeaf(n)
+		return sep, rightID, true, true, err
+	}
+	child := n.childFor(key)
+	sep, newChild, grew, added, err := t.insert(child, key, val)
+	if err != nil || !grew {
+		return nil, 0, false, added, err
+	}
+	// Insert separator and right child into this internal node.
+	i := 0
+	for i < len(n.keys) && bytes.Compare(n.keys[i], sep) < 0 {
+		i++
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, 0)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = newChild
+	if n.encodedSize() <= t.p.pageSize {
+		return nil, 0, false, added, t.storeNode(n)
+	}
+	upSep, rightID, err := t.splitInternal(n)
+	return upSep, rightID, true, added, err
+}
+
+// splitLeaf moves the upper half of n into a new right sibling and returns
+// the separator (the right sibling's first key).
+func (t *Tree) splitLeaf(n *node) ([]byte, uint32, error) {
+	mid := len(n.keys) / 2
+	pg, err := t.p.alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	right := &node{
+		id:   pg.id,
+		leaf: true,
+		next: n.next,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right.id
+	right.encode(pg.buf)
+	t.p.markDirty(pg)
+	if err := t.storeNode(n); err != nil {
+		return nil, 0, err
+	}
+	return right.keys[0], right.id, nil
+}
+
+// splitInternal splits an over-full internal node, promoting the median
+// key.
+func (t *Tree) splitInternal(n *node) ([]byte, uint32, error) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	pg, err := t.p.alloc()
+	if err != nil {
+		return nil, 0, err
+	}
+	right := &node{
+		id:       pg.id,
+		next:     n.children[mid], // leftmost child of the right node
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]uint32(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid]
+	right.encode(pg.buf)
+	t.p.markDirty(pg)
+	if err := t.storeNode(n); err != nil {
+		return nil, 0, err
+	}
+	return sep, right.id, nil
+}
+
+// Delete removes the entry for key, reporting whether it existed. Leaves
+// are allowed to underflow (no rebalancing); space is reclaimed only by
+// rebuilding, which matches the build-once workload of the FIX index.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	n, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	i, ok := n.searchLeaf(key)
+	if !ok {
+		return false, nil
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	if err := t.storeNode(n); err != nil {
+		return false, err
+	}
+	t.count--
+	return true, nil
+}
+
+// Scan calls fn for every entry with from <= key < to in key order. A nil
+// to scans to the end; a nil from starts at the beginning. fn returning
+// false stops the scan.
+func (t *Tree) Scan(from, to []byte, fn func(key, val []byte) bool) error {
+	if from == nil {
+		from = []byte{}
+	}
+	n, err := t.findLeaf(from)
+	if err != nil {
+		return err
+	}
+	i, _ := n.searchLeaf(from)
+	for {
+		for ; i < len(n.keys); i++ {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				return nil
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return nil
+			}
+		}
+		if n.next == 0 {
+			return nil
+		}
+		n, err = t.loadNode(n.next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// ClearCache flushes dirty pages and drops the page cache, so a following
+// operation measures cold I/O.
+func (t *Tree) ClearCache() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	t.p.cache = make(map[uint32]*page, t.p.cap)
+	t.p.lru.Init()
+	return nil
+}

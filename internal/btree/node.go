@@ -1,0 +1,165 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// On-page node layout. All integers big-endian.
+//
+//	offset 0     type: 1 = leaf, 2 = internal
+//	offset 1..2  number of keys
+//	offset 3..6  leaf: next-leaf page id (0 = none)
+//	             internal: leftmost child page id
+//	offset 7..15 reserved
+//	offset 16..  cells
+//
+// Leaf cell:     keyLen u16, valLen u16, key bytes, value bytes
+// Internal cell: keyLen u16, key bytes, child page id u32
+//
+// An internal node with k keys has k+1 children: the leftmost child in the
+// header plus one per cell; cell i's child holds keys >= cell i's key.
+
+const (
+	nodeHeaderSize = 16
+	typeLeaf       = 1
+	typeInternal   = 2
+)
+
+// node is the decoded in-memory form of a page.
+type node struct {
+	id       uint32
+	leaf     bool
+	next     uint32 // leaf: next-leaf page; internal: leftmost child
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []uint32 // internal only, parallel to keys (child right of keys[i])
+}
+
+func decodeNode(id uint32, buf []byte) (*node, error) {
+	if len(buf) < nodeHeaderSize {
+		return nil, fmt.Errorf("btree: page %d too small", id)
+	}
+	n := &node{id: id}
+	switch buf[0] {
+	case typeLeaf:
+		n.leaf = true
+	case typeInternal:
+	default:
+		return nil, fmt.Errorf("btree: page %d has unknown type %d", id, buf[0])
+	}
+	nkeys := int(binary.BigEndian.Uint16(buf[1:3]))
+	n.next = binary.BigEndian.Uint32(buf[3:7])
+	pos := nodeHeaderSize
+	for i := 0; i < nkeys; i++ {
+		if pos+2 > len(buf) {
+			return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[pos : pos+2]))
+		pos += 2
+		if n.leaf {
+			if pos+2 > len(buf) {
+				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+			}
+			vl := int(binary.BigEndian.Uint16(buf[pos : pos+2]))
+			pos += 2
+			if pos+kl+vl > len(buf) {
+				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[pos:pos+kl]...))
+			pos += kl
+			n.vals = append(n.vals, append([]byte(nil), buf[pos:pos+vl]...))
+			pos += vl
+		} else {
+			if pos+kl+4 > len(buf) {
+				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[pos:pos+kl]...))
+			pos += kl
+			n.children = append(n.children, binary.BigEndian.Uint32(buf[pos:pos+4]))
+			pos += 4
+		}
+	}
+	return n, nil
+}
+
+// encodedSize returns the number of bytes the node occupies on a page.
+func (n *node) encodedSize() int {
+	size := nodeHeaderSize
+	for i, k := range n.keys {
+		if n.leaf {
+			size += 4 + len(k) + len(n.vals[i])
+		} else {
+			size += 2 + len(k) + 4
+		}
+	}
+	return size
+}
+
+// encode serializes the node into buf (a full page). It panics if the node
+// does not fit; callers must split before encoding.
+func (n *node) encode(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = typeLeaf
+	} else {
+		buf[0] = typeInternal
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	binary.BigEndian.PutUint32(buf[3:7], n.next)
+	pos := nodeHeaderSize
+	for i, k := range n.keys {
+		binary.BigEndian.PutUint16(buf[pos:pos+2], uint16(len(k)))
+		pos += 2
+		if n.leaf {
+			v := n.vals[i]
+			binary.BigEndian.PutUint16(buf[pos:pos+2], uint16(len(v)))
+			pos += 2
+			copy(buf[pos:], k)
+			pos += len(k)
+			copy(buf[pos:], v)
+			pos += len(v)
+		} else {
+			copy(buf[pos:], k)
+			pos += len(k)
+			binary.BigEndian.PutUint32(buf[pos:pos+4], n.children[i])
+			pos += 4
+		}
+	}
+}
+
+// searchLeaf returns the index of the first key >= target and whether an
+// exact match exists.
+func (n *node) searchLeaf(target []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && bytes.Equal(n.keys[lo], target)
+}
+
+// childFor returns the child page to descend into for target: the child
+// right of the last key <= target, or the leftmost child.
+func (n *node) childFor(target []byte) uint32 {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], target) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return n.next // leftmost child
+	}
+	return n.children[lo-1]
+}

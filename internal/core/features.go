@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"github.com/fix-index/fix/internal/bisim"
+	"github.com/fix-index/fix/internal/eigen"
+	"github.com/fix-index/fix/internal/matrix"
+)
+
+// Features is the eigenvalue pair used as the index key together with the
+// root label (paper §3.4). Oversize patterns carry the artificial
+// [-Inf, +Inf] range so they are always candidates (paper §6.1).
+type Features struct {
+	Min, Max float64
+	Oversize bool
+}
+
+// Contains reports whether f's range contains g's (the pruning test of
+// Theorem 3: a subpattern's eigenvalue range is contained in the
+// pattern's).
+func (f Features) Contains(g Features) bool {
+	return f.Min <= g.Min && g.Max <= f.Max
+}
+
+// oversizeFeatures is the artificial always-candidate range.
+func oversizeFeatures() Features {
+	return Features{Min: math.Inf(-1), Max: math.Inf(1), Oversize: true}
+}
+
+// denseEigenLimit is the vertex count up to which the dense O(n³) solver
+// is used; larger graphs switch to sparse power iteration with a small
+// upward safety margin (queries are always tiny and therefore always take
+// the exact dense path, so the margin cannot introduce false negatives).
+const denseEigenLimit = 300
+
+// graphFeatures computes the feature pair of a bisimulation graph. With
+// assign=true unseen edge label pairs are added to the encoder (index
+// construction); with assign=false an unseen pair reports ok=false,
+// meaning the pattern cannot occur in the indexed data.
+func graphFeatures(g *bisim.Graph, enc *matrix.EdgeEncoder, assign bool) (Features, bool, error) {
+	mg := g.MatrixGraph()
+	if n := mg.NumVertices(); n > denseEigenLimit {
+		edges, ok := matrix.BuildEdges(mg, enc, assign)
+		if !ok {
+			return Features{}, false, nil
+		}
+		sigma := eigen.SafetyMargin(eigen.SkewMaxSparse(n, edges))
+		return Features{Min: -sigma, Max: sigma}, true, nil
+	}
+	m, ok := matrix.BuildSkew(mg, enc, assign)
+	if !ok {
+		return Features{}, false, nil
+	}
+	min, max, err := eigen.SkewExtremes(m)
+	if err != nil {
+		return Features{}, false, fmt.Errorf("core: eigenvalues: %w", err)
+	}
+	return Features{Min: min, Max: max}, true, nil
+}
+
+// graphSpectrumTail returns σ₂..σ₍k+1₎ of the graph's skew matrix (the
+// key already carries σ₁), or nil when k is zero or the graph is too
+// large for the dense solver — a missing spectrum only disables the extra
+// filter, never correctness.
+func graphSpectrumTail(g *bisim.Graph, enc *matrix.EdgeEncoder, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	mg := g.MatrixGraph()
+	if mg.NumVertices() > denseEigenLimit {
+		return nil
+	}
+	m, ok := matrix.BuildSkew(mg, enc, false)
+	if !ok {
+		return nil
+	}
+	sigma, err := eigen.SkewSpectrum(m)
+	if err != nil {
+		return nil
+	}
+	if len(sigma) <= 1 {
+		return nil
+	}
+	tail := sigma[1:]
+	if len(tail) > k {
+		tail = tail[:k]
+	}
+	return append([]float64(nil), tail...)
+}
+
+// spectrumContains reports whether an entry's stored spectrum tail
+// dominates every twig's query spectrum component-wise (σ_j(entry) ≥
+// σ_j(query) for every stored j). Missing components on either side are
+// treated as unknown and never prune.
+func spectrumContains(entry []float64, queries [][]float64) bool {
+	if len(entry) == 0 {
+		return true
+	}
+	const slack = 1e-9
+	for _, q := range queries {
+		n := len(q)
+		if len(entry) < n {
+			n = len(entry)
+		}
+		for j := 0; j < n; j++ {
+			if entry[j] < q[j]-slack*(1+q[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// subpatternFeatures returns the (memoized) features of the depth-limited
+// subpattern rooted at vertex v, falling back to the artificial range when
+// the unfolding exceeds the edge budget. When spectrumK > 0 it also
+// returns (and caches) the entry's spectrum tail.
+func subpatternFeatures(v *bisim.Vertex, depthLimit, budget int, enc *matrix.EdgeEncoder, spectrumK int) (Features, []float64, error) {
+	if v.Feats.Set {
+		if v.Feats.Oversize {
+			return oversizeFeatures(), nil, nil
+		}
+		return Features{Min: v.Feats.Min, Max: v.Feats.Max}, v.Feats.Spectrum, nil
+	}
+	g, ok, err := bisim.Subpattern(v, depthLimit, budget)
+	if err != nil {
+		return Features{}, nil, err
+	}
+	var f Features
+	var spec []float64
+	if !ok {
+		f = oversizeFeatures()
+	} else {
+		f, _, err = graphFeatures(g, enc, true)
+		if err != nil {
+			return Features{}, nil, err
+		}
+		spec = graphSpectrumTail(g, enc, spectrumK)
+	}
+	v.Feats = bisim.Features{Set: true, Oversize: f.Oversize, Min: f.Min, Max: f.Max, Spectrum: spec}
+	return f, spec, nil
+}
+
+// valueHasher implements the paper's §4.6 mapping of PCDATA into the small
+// label range (α, α+β], where α is the largest element label ID.
+type valueHasher struct {
+	alpha uint32
+	beta  uint32
+}
+
+func (h valueHasher) hash(value string) uint32 {
+	f := fnv.New32a()
+	// Writes to an fnv hash never fail.
+	_, _ = f.Write([]byte(value))
+	return h.alpha + 1 + f.Sum32()%h.beta
+}

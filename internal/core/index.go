@@ -1,0 +1,618 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/fix-index/fix/internal/bisim"
+	"github.com/fix-index/fix/internal/btree"
+	"github.com/fix-index/fix/internal/matrix"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// ErrNotCovered reports that a query is deeper than the index's depth
+// limit, so the index cannot be used for it (paper §4.4).
+var ErrNotCovered = errors.New("core: query deeper than index depth limit")
+
+// Options configures index construction.
+type Options struct {
+	// DepthLimit is the subpattern depth limit L of Algorithm 1. Zero
+	// indexes each document as a single entry (the collection scenario);
+	// positive L enumerates one depth-L subpattern per element
+	// (Theorem 4), the large-document scenario.
+	DepthLimit int
+	// Clustered selects the clustered layout: candidate subtrees are
+	// copied into a key-ordered heap so refinement I/O is sequential
+	// (paper §4.1, Figure 4).
+	Clustered bool
+	// Values enables the integrated value index (§4.6): text nodes are
+	// hashed into (α, α+β] and indexed as leaf labels.
+	Values bool
+	// Beta is the value-hash range β; default 10 (the paper's DBLP
+	// setting).
+	Beta uint32
+	// EdgeBudget caps the bisimulation graph size for eigenvalue
+	// computation; larger subpatterns fall back to the artificial
+	// [-Inf,+Inf] range. Default 3000 edges, as in the paper (§6.1).
+	EdgeBudget int
+	// PageSize and CacheSize configure the B-tree; zero values pick the
+	// defaults.
+	PageSize, CacheSize int
+	// NoRootLabel disables the root-label component of the pruning test
+	// (query planning falls back to a feature-only full scan). It exists
+	// for the ablation study of the label feature (paper §3.4).
+	NoRootLabel bool
+	// SpectrumK stores, per entry, the next K eigenvalue magnitudes
+	// beyond λmax (σ₂..σ₍K+1₎) and filters candidates by component-wise
+	// dominance — the paper's §3.3 "whole set of eigenvalues" idea made
+	// practical (fixed K, stored in the B-tree value, no equality tests).
+	// With the default sound bound the query side uses the verified-exact
+	// pattern's spectrum, so Cauchy interlacing makes the filter
+	// complete. 0 disables it; values are capped at 8.
+	SpectrumK int
+	// PaperPruning selects the paper's literal pruning bound: the σmax
+	// of the (canonicalized) query pattern. That bound can produce rare
+	// false negatives — a match is a homomorphism, and even injective
+	// images may gain edges that LOWER σmax, violating the induced-
+	// subgraph premise of Theorem 3 — so it is off by default. The
+	// default bound is provably complete: the maximum of the ≤3-vertex
+	// induced bound and the σmax of the largest subpattern whose label
+	// pairs certify that no extra image edges can exist. The experiments
+	// run both; see DESIGN.md and EXPERIMENTS.md.
+	PaperPruning bool
+	// Dir, when non-empty, stores the B-tree and the clustered heap in
+	// files under this directory; otherwise everything index-side lives
+	// in memory files.
+	Dir string
+}
+
+func (o *Options) setDefaults() {
+	if o.Beta == 0 {
+		o.Beta = 10
+	}
+	if o.EdgeBudget == 0 {
+		o.EdgeBudget = 3000
+	}
+	if o.SpectrumK > 8 {
+		o.SpectrumK = 8
+	}
+	if o.SpectrumK < 0 {
+		o.SpectrumK = 0
+	}
+}
+
+// Index is a FIX index over one primary store.
+type Index struct {
+	opts      Options
+	store     *storage.Store
+	dict      *xmltree.Dict
+	bt        *btree.Tree
+	enc       *matrix.EdgeEncoder
+	clustered *storage.Store
+	vh        valueHasher
+
+	seq         uint64
+	oversize    int
+	maxDocDepth int
+	buildTime   time.Duration
+}
+
+// Candidate is one index hit: the pruning phase returns these and the
+// refinement phase validates them.
+type Candidate struct {
+	Key       entryKey
+	Primary   storage.Pointer
+	Clustered storage.Pointer
+	HasCopy   bool
+}
+
+// Result summarizes one query execution.
+type Result struct {
+	Entries    int // total index entries (ent)
+	Scanned    int // entries touched by the range scan
+	Candidates int // entries surviving the feature filter (cdt)
+	Matched    int // candidates producing at least one result (rst)
+	Count      int // total output-node matches
+}
+
+// Build constructs a FIX index over every document in st.
+func Build(st *storage.Store, opts Options) (*Index, error) {
+	opts.setDefaults()
+	start := time.Now()
+	btFile, err := indexFile(opts.Dir, "fix.btree")
+	if err != nil {
+		return nil, err
+	}
+	bt, err := btree.Create(btFile, opts.PageSize, opts.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:  opts,
+		store: st,
+		dict:  st.Dict(),
+		bt:    bt,
+		enc:   matrix.NewEdgeEncoder(),
+	}
+	ix.vh = valueHasher{alpha: ix.dict.MaxID(), beta: opts.Beta}
+	var vh bisim.ValueHash
+	if opts.Values {
+		vh = ix.vh.hash
+	}
+
+	type elem struct {
+		v   *bisim.Vertex
+		ptr uint64
+	}
+	for rec := 0; rec < st.NumRecords(); rec++ {
+		cur, err := st.Cursor(uint32(rec))
+		if err != nil {
+			return nil, err
+		}
+		base := uint64(storage.MakePointer(uint32(rec), 0))
+		stream := bisim.FromXML(xmltree.NewCursorStream(cur, 0, base), ix.dict, vh)
+		var elems []elem
+		g, err := bisim.Build(stream, func(v *bisim.Vertex, ptr uint64) {
+			elems = append(elems, elem{v, ptr})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: building bisimulation graph of record %d: %w", rec, err)
+		}
+		if g.Root == nil {
+			continue
+		}
+		if d := g.MaxDepth(); d > ix.maxDocDepth {
+			ix.maxDocDepth = d
+		}
+		if opts.DepthLimit == 0 {
+			// The whole document is one indexable unit.
+			f, ok, err := graphFeatures(g, ix.enc, true)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || (opts.EdgeBudget > 0 && g.NumEdges() > opts.EdgeBudget) {
+				f = oversizeFeatures()
+			}
+			var spec []float64
+			if !f.Oversize {
+				spec = graphSpectrumTail(g, ix.enc, opts.SpectrumK)
+			}
+			if err := ix.insert(g.Root.Label, f, spec, storage.Pointer(base)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Enumerate one depth-limited subpattern per element (Theorem 4:
+		// with a positive depth limit the number of entries equals the
+		// number of elements).
+		for _, e := range elems {
+			f, spec, err := subpatternFeatures(e.v, opts.DepthLimit, opts.EdgeBudget, ix.enc, opts.SpectrumK)
+			if err != nil {
+				return nil, err
+			}
+			if err := ix.insert(e.v.Label, f, spec, storage.Pointer(e.ptr)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opts.Clustered {
+		if err := ix.buildClustered(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ix.bt.Flush(); err != nil {
+		return nil, err
+	}
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+func indexFile(dir, name string) (storage.File, error) {
+	if dir == "" {
+		return storage.NewMemFile(), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return storage.Create(filepath.Join(dir, name))
+}
+
+func (ix *Index) insert(label uint32, f Features, spectrum []float64, ptr storage.Pointer) error {
+	if f.Oversize {
+		ix.oversize++
+	}
+	k := entryKey{label: label, max: f.Max, min: f.Min, seq: ix.seq}
+	ix.seq++
+	v := entryValue{primary: uint64(ptr), spectrum: spectrum}
+	return ix.bt.Put(k.encode(), v.encode())
+}
+
+// buildClustered copies every entry's subtree into a fresh heap in key
+// order and rewrites the B-tree values to carry both pointers.
+func (ix *Index) buildClustered() error {
+	type kv struct {
+		key []byte
+		val entryValue
+	}
+	var entries []kv
+	err := ix.bt.Scan(nil, nil, func(k, v []byte) bool {
+		entries = append(entries, kv{append([]byte(nil), k...), decodeValue(v)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	cf, err := indexFile(ix.opts.Dir, "fix.clustered")
+	if err != nil {
+		return err
+	}
+	ix.clustered, err = storage.NewStore(cf, ix.dict)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		cur, ref, err := ix.store.ReadSubtree(storage.Pointer(e.val.primary))
+		if err != nil {
+			return err
+		}
+		rec, err := ix.clustered.AppendBytes(cur.SubtreeBytes(ref))
+		if err != nil {
+			return err
+		}
+		e.val.hasCopy = true
+		e.val.clustered = uint64(storage.MakePointer(rec, 0))
+		if err := ix.bt.Put(e.key, e.val.encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entries returns the number of index entries (ent in the paper's
+// metrics).
+func (ix *Index) Entries() int { return ix.bt.Len() }
+
+// OversizeEntries returns how many entries use the artificial range.
+func (ix *Index) OversizeEntries() int { return ix.oversize }
+
+// MaxDocDepth returns the deepest indexed document.
+func (ix *Index) MaxDocDepth() int { return ix.maxDocDepth }
+
+// BuildTime returns the wall-clock construction time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Options returns the options the index was built with.
+func (ix *Index) Options() Options { return ix.opts }
+
+// BTree exposes the underlying B-tree (for stats and experiments).
+func (ix *Index) BTree() *btree.Tree { return ix.bt }
+
+// Store returns the primary store the index was built over.
+func (ix *Index) Store() *storage.Store { return ix.store }
+
+// ClusteredStore returns the clustered heap, or nil for unclustered
+// indexes.
+func (ix *Index) ClusteredStore() *storage.Store { return ix.clustered }
+
+// SizeBytes returns the index size: B-tree pages plus the clustered heap.
+func (ix *Index) SizeBytes() int64 {
+	size := ix.bt.Size()
+	if ix.clustered != nil {
+		size += ix.clustered.Size()
+	}
+	return size
+}
+
+// EdgePairs returns the number of distinct edge-label pairs assigned.
+func (ix *Index) EdgePairs() int { return ix.enc.Len() }
+
+// queryPlan carries the analyzed form of one query.
+type queryPlan struct {
+	tree     *xpath.QNode
+	twigs    []*xpath.Twig
+	feats    []Features  // per twig
+	specs    [][]float64 // per twig: σ₂.. of the (exact) pattern, for SpectrumK
+	topLabel uint32
+	labelOK  bool // top twig root label restricts the scan
+	empty    bool // provably no results
+}
+
+// plan computes twig features and the scan strategy for a query.
+func (ix *Index) plan(path *xpath.Path) (*queryPlan, error) {
+	qt := path.Tree()
+	if qt == nil {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	p := &queryPlan{tree: qt, twigs: xpath.Decompose(qt)}
+	top := p.twigs[0]
+	if ix.opts.DepthLimit > 0 {
+		if top.Root.Depth() > ix.opts.DepthLimit {
+			return nil, fmt.Errorf("%w: top twig depth %d > limit %d", ErrNotCovered, top.Root.Depth(), ix.opts.DepthLimit)
+		}
+		// Descendant sub-twigs carry no pruning power for depth-limited
+		// indexes (paper §5); only the top twig is used.
+		p.twigs = p.twigs[:1]
+	}
+	for _, tw := range p.twigs {
+		pn, ok := ix.resolve(tw.Root, nil)
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		canonicalize(pn)
+		g, err := patternGraph(pn)
+		if err != nil {
+			return nil, err
+		}
+		var f Features
+		specGraph := g
+		if ix.opts.PaperPruning {
+			f, ok, err = graphFeatures(g, ix.enc, false)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			f, specGraph, ok, err = ix.soundFeatures(pn, g)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		p.feats = append(p.feats, f)
+		if ix.opts.SpectrumK > 0 {
+			p.specs = append(p.specs, graphSpectrumTail(specGraph, ix.enc, ix.opts.SpectrumK))
+		}
+	}
+	// Root-label pruning applies to every depth-limited index (entries
+	// are rooted at each element) and to collection indexes only for
+	// root-anchored queries.
+	if !ix.opts.NoRootLabel && (ix.opts.DepthLimit > 0 || qt.Axis == xpath.Child) {
+		id, ok := ix.dict.Lookup(top.Root.Name)
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		p.topLabel, p.labelOK = id, true
+	}
+	return p, nil
+}
+
+// soundBound computes the provably sound pruning bound: the maximum σ
+// over the pattern's guaranteed-induced substructures of at most three
+// vertices (single edges and adjacent edge pairs). A 3×3 skew-symmetric
+// matrix has σ = √(Σw²), which only grows when the data adds edges among
+// the image vertices, so unlike the full-pattern σ this bound can never
+// prune a true match. ok is false when a pattern edge never occurs in the
+// data.
+func (ix *Index) soundBound(g *bisim.Graph) (Features, bool) {
+	best := 0.0
+	for _, v := range g.Vertices {
+		ws := make([]float64, 0, len(v.Children))
+		for _, c := range v.Children {
+			w, ok := ix.enc.Lookup(v.Label, c.Label)
+			if !ok {
+				return Features{}, false
+			}
+			fw := float64(w)
+			ws = append(ws, fw)
+			if fw > best {
+				best = fw
+			}
+			// Chains v -> c -> gc.
+			for _, gc := range c.Children {
+				w2, ok := ix.enc.Lookup(c.Label, gc.Label)
+				if !ok {
+					return Features{}, false
+				}
+				if s := hyp(fw, float64(w2)); s > best {
+					best = s
+				}
+			}
+		}
+		// Sibling stars v -> {ci, cj}.
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if s := hyp(ws[i], ws[j]); s > best {
+					best = s
+				}
+			}
+		}
+	}
+	return Features{Min: -best, Max: best}, true
+}
+
+func hyp(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+type eventSlice struct {
+	events []bisim.Event
+	pos    int
+}
+
+func (s *eventSlice) Next() (bisim.Event, error) {
+	if s.pos >= len(s.events) {
+		return bisim.Event{}, io.EOF
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, nil
+}
+
+// Candidates runs the pruning phase: a B-tree range scan over the feature
+// keys, keeping entries whose eigenvalue range contains every twig's range
+// (and whose root label matches, when applicable). scanned reports how
+// many entries the scan touched.
+func (ix *Index) Candidates(path *xpath.Path) (cands []Candidate, scanned int, err error) {
+	p, err := ix.plan(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix.candidatesForPlan(p)
+}
+
+func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
+	if p.empty {
+		return nil, 0, nil
+	}
+	var from, to []byte
+	if p.labelOK {
+		from, to = scanBounds(p.topLabel, p.feats[0].Max)
+	} else {
+		// No label restriction: scan everything; the feature filter
+		// still applies.
+		from, to = nil, nil
+	}
+	var cands []Candidate
+	scanned := 0
+	err := ix.bt.Scan(from, to, func(k, v []byte) bool {
+		scanned++
+		ek := decodeKey(k)
+		entry := Features{Min: ek.min, Max: ek.max}
+		for _, f := range p.feats {
+			if !entry.Contains(f) {
+				return true
+			}
+		}
+		ev := decodeValue(v)
+		if !spectrumContains(ev.spectrum, p.specs) {
+			return true
+		}
+		c := Candidate{Key: ek, Primary: storage.Pointer(ev.primary)}
+		if ev.hasCopy {
+			c.Clustered = storage.Pointer(ev.clustered)
+			c.HasCopy = true
+		}
+		cands = append(cands, c)
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return cands, scanned, nil
+}
+
+// Query runs the full pruning + refinement pipeline and returns result
+// statistics. Refinement reads the clustered heap when present, otherwise
+// it follows primary pointers.
+func (ix *Index) Query(path *xpath.Path) (Result, error) {
+	p, err := ix.plan(path)
+	if err != nil {
+		return Result{}, err
+	}
+	cands, scanned, err := ix.candidatesForPlan(p)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Entries: ix.bt.Len(), Scanned: scanned, Candidates: len(cands)}
+	rq, rootAnchored := ix.refinementQuery(p.tree)
+	nq, err := nok.Compile(rq, ix.dict)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range cands {
+		if rootAnchored && c.Primary.Off() != 0 {
+			continue // a /-anchored query only matches document roots
+		}
+		cur, ref, err := ix.candidateCursor(c)
+		if err != nil {
+			return Result{}, err
+		}
+		n := nq.Count(cur, ref)
+		if n > 0 {
+			res.Matched++
+			res.Count += n
+		}
+	}
+	return res, nil
+}
+
+// Exists reports whether the query has at least one result, refining
+// candidates lazily and stopping at the first hit.
+func (ix *Index) Exists(path *xpath.Path) (bool, error) {
+	p, err := ix.plan(path)
+	if err != nil {
+		return false, err
+	}
+	cands, _, err := ix.candidatesForPlan(p)
+	if err != nil {
+		return false, err
+	}
+	rq, rootAnchored := ix.refinementQuery(p.tree)
+	nq, err := nok.Compile(rq, ix.dict)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range cands {
+		if rootAnchored && c.Primary.Off() != 0 {
+			continue
+		}
+		cur, ref, err := ix.candidateCursor(c)
+		if err != nil {
+			return false, err
+		}
+		if nq.Exists(cur, ref) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// refinementQuery adapts the original query for per-candidate refinement:
+// for depth-limited indexes the leading // becomes / because every
+// descendant of an indexed pattern instance is itself indexed (Algorithm
+// 2, lines 7-8). It also reports whether candidates must be document
+// roots (a /-anchored query on a depth-limited index).
+func (ix *Index) refinementQuery(qt *xpath.QNode) (*xpath.QNode, bool) {
+	if ix.opts.DepthLimit == 0 {
+		return qt, false
+	}
+	rq := qt.Clone()
+	rootAnchored := rq.Axis == xpath.Child
+	rq.Axis = xpath.Child
+	return rq, rootAnchored
+}
+
+func (ix *Index) candidateCursor(c Candidate) (xmltree.Cursor, xmltree.Ref, error) {
+	if c.HasCopy && ix.clustered != nil {
+		cur, err := ix.clustered.Cursor(c.Clustered.Rec())
+		return cur, 0, err
+	}
+	return ix.store.ReadSubtree(c.Primary)
+}
+
+// Covered reports whether the index can answer the query (depth check).
+func (ix *Index) Covered(path *xpath.Path) bool {
+	if ix.opts.DepthLimit == 0 {
+		return true
+	}
+	qt := path.Tree()
+	if qt == nil {
+		return false
+	}
+	return xpath.Decompose(qt)[0].Root.Depth() <= ix.opts.DepthLimit
+}
+
+// QueryFeatures exposes the feature pair FIX computes for the query's top
+// twig; diagnostics and experiments use it.
+func (ix *Index) QueryFeatures(path *xpath.Path) (Features, bool, error) {
+	p, err := ix.plan(path)
+	if err != nil {
+		return Features{}, false, err
+	}
+	if p.empty || len(p.feats) == 0 {
+		return Features{}, false, nil
+	}
+	return p.feats[0], true, nil
+}

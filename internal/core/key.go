@@ -1,0 +1,131 @@
+// Package core implements the FIX index itself: construction of feature
+// keys from bisimulation graphs (paper §4), clustered and unclustered
+// index layouts, query processing with eigenvalue-range pruning and NoK
+// refinement (paper §5), the value-node extension (§4.6), and the
+// implementation-independent metrics of the evaluation (§6.2).
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Feature keys sort by (root label, λmax, λmin, sequence number). The
+// containment search "entries with λmax_e >= λmax_q within a label
+// partition" becomes a single range scan; λmin is filtered during the
+// scan; the sequence number makes keys unique so equal features coexist.
+const keySize = 4 + 8 + 8 + 8
+
+// encodeFloat maps a float64 to 8 bytes whose lexicographic order matches
+// numeric order (including negatives, ±Inf).
+func encodeFloat(v float64) uint64 {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// decodeFloat inverts encodeFloat.
+func decodeFloat(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// entryKey is the decoded form of a B-tree key.
+type entryKey struct {
+	label    uint32
+	max, min float64
+	seq      uint64
+}
+
+func (k entryKey) encode() []byte {
+	buf := make([]byte, keySize)
+	binary.BigEndian.PutUint32(buf[0:4], k.label)
+	binary.BigEndian.PutUint64(buf[4:12], encodeFloat(k.max))
+	binary.BigEndian.PutUint64(buf[12:20], encodeFloat(k.min))
+	binary.BigEndian.PutUint64(buf[20:28], k.seq)
+	return buf
+}
+
+func decodeKey(buf []byte) entryKey {
+	return entryKey{
+		label: binary.BigEndian.Uint32(buf[0:4]),
+		max:   decodeFloat(binary.BigEndian.Uint64(buf[4:12])),
+		min:   decodeFloat(binary.BigEndian.Uint64(buf[12:20])),
+		seq:   binary.BigEndian.Uint64(buf[20:28]),
+	}
+}
+
+// scanBounds returns the [from, to) key range of the containment search
+// for a query with the given root label and λmax: all entries of the
+// label partition whose λmax is at least the query's.
+func scanBounds(label uint32, queryMax float64) (from, to []byte) {
+	from = make([]byte, 12)
+	binary.BigEndian.PutUint32(from[0:4], label)
+	binary.BigEndian.PutUint64(from[4:12], encodeFloat(queryMax))
+	to = make([]byte, 4)
+	binary.BigEndian.PutUint32(to[0:4], label+1)
+	return from, to
+}
+
+// entryValue is the decoded form of a B-tree value:
+//
+//	byte 0          flags: bit 0 = clustered pointer present,
+//	                bits 4-7 = number of stored spectrum components
+//	bytes 1-8       primary pointer
+//	[bytes 9-16]    clustered pointer
+//	[k × 8 bytes]   σ₂..σ₍k+1₎ of the entry's pattern (σ₁ is the key's
+//	                λmax), for the optional spectrum filter (§3.3)
+type entryValue struct {
+	primary   uint64
+	clustered uint64
+	hasCopy   bool
+	spectrum  []float64
+}
+
+func (v entryValue) encode() []byte {
+	size := 9
+	flags := byte(len(v.spectrum)) << 4
+	if v.hasCopy {
+		flags |= 1
+		size += 8
+	}
+	size += 8 * len(v.spectrum)
+	buf := make([]byte, size)
+	buf[0] = flags
+	binary.BigEndian.PutUint64(buf[1:9], v.primary)
+	pos := 9
+	if v.hasCopy {
+		binary.BigEndian.PutUint64(buf[pos:pos+8], v.clustered)
+		pos += 8
+	}
+	for _, s := range v.spectrum {
+		binary.BigEndian.PutUint64(buf[pos:pos+8], encodeFloat(s))
+		pos += 8
+	}
+	return buf
+}
+
+func decodeValue(buf []byte) entryValue {
+	var v entryValue
+	if len(buf) < 9 {
+		return v
+	}
+	flags := buf[0]
+	v.hasCopy = flags&1 != 0
+	k := int(flags >> 4)
+	v.primary = binary.BigEndian.Uint64(buf[1:9])
+	pos := 9
+	if v.hasCopy {
+		v.clustered = binary.BigEndian.Uint64(buf[pos : pos+8])
+		pos += 8
+	}
+	for i := 0; i < k && pos+8 <= len(buf); i++ {
+		v.spectrum = append(v.spectrum, decodeFloat(binary.BigEndian.Uint64(buf[pos:pos+8])))
+		pos += 8
+	}
+	return v
+}

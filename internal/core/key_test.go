@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloatEncodingOrder(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea, eb := encodeFloat(a), encodeFloat(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default:
+			return ea == eb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Including the infinities used by the oversize fallback.
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if encodeFloat(vals[i-1]) >= encodeFloat(vals[i]) {
+			t.Errorf("order violated between %v and %v", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestFloatEncodingRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return decodeFloat(encodeFloat(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	f := func(label uint32, max, min float64, seq uint64) bool {
+		if math.IsNaN(max) || math.IsNaN(min) {
+			return true
+		}
+		k := entryKey{label: label, max: max, min: min, seq: seq}
+		return decodeKey(k.encode()) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySortOrder(t *testing.T) {
+	// Encoded keys must sort by (label, max, min, seq).
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]entryKey, 300)
+	for i := range keys {
+		keys[i] = entryKey{
+			label: uint32(rng.Intn(4)),
+			max:   float64(rng.Intn(8)) - 2.5,
+			min:   float64(rng.Intn(8)) - 4.5,
+			seq:   uint64(rng.Intn(5)),
+		}
+	}
+	enc := make([][]byte, len(keys))
+	for i, k := range keys {
+		enc[i] = k.encode()
+	}
+	sort.Slice(enc, func(i, j int) bool { return bytes.Compare(enc[i], enc[j]) < 0 })
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		if a.max != b.max {
+			return a.max < b.max
+		}
+		if a.min != b.min {
+			return a.min < b.min
+		}
+		return a.seq < b.seq
+	})
+	for i := range keys {
+		if decodeKey(enc[i]) != keys[i] {
+			t.Fatalf("position %d: byte order %v != semantic order %v", i, decodeKey(enc[i]), keys[i])
+		}
+	}
+}
+
+func TestScanBoundsContainment(t *testing.T) {
+	// Every entry with the same label and max >= queryMax must fall in
+	// [from, to); entries below or in other labels must not.
+	from, to := scanBounds(7, 2.5)
+	in := entryKey{label: 7, max: 2.5, min: -2.5, seq: 0}.encode()
+	inHigher := entryKey{label: 7, max: 100, min: -100, seq: 9}.encode()
+	inInf := entryKey{label: 7, max: math.Inf(1), min: math.Inf(-1), seq: 1}.encode()
+	below := entryKey{label: 7, max: 2.4, min: -2.4, seq: 0}.encode()
+	otherLabel := entryKey{label: 8, max: 50, min: -50, seq: 0}.encode()
+	for _, c := range []struct {
+		key  []byte
+		want bool
+		name string
+	}{
+		{in, true, "equal max"},
+		{inHigher, true, "higher max"},
+		{inInf, true, "oversize"},
+		{below, false, "below"},
+		{otherLabel, false, "other label"},
+	} {
+		got := bytes.Compare(c.key, from) >= 0 && bytes.Compare(c.key, to) < 0
+		if got != c.want {
+			t.Errorf("%s: in-range = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFeaturesContains(t *testing.T) {
+	big := Features{Min: -5, Max: 5}
+	small := Features{Min: -3, Max: 3}
+	if !big.Contains(small) || small.Contains(big) {
+		t.Error("containment wrong")
+	}
+	if !big.Contains(big) {
+		t.Error("self containment wrong")
+	}
+	inf := oversizeFeatures()
+	if !inf.Contains(big) || !inf.Oversize {
+		t.Error("oversize should contain everything")
+	}
+}

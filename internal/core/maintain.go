@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fix-index/fix/internal/bisim"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Index maintenance. The paper builds once and queries (its update story
+// is future work); these operations keep the index usable as a live
+// structure: InsertDocument indexes a newly appended record without a
+// rebuild, DeleteDocument removes a record's entries.
+
+// InsertDocument indexes the record rec, which must have been appended to
+// the primary store after the index was built. For clustered indexes the
+// new subtree copies are appended at the end of the heap, so their
+// refinement reads lose the perfect key ordering until the next rebuild
+// (query results are unaffected).
+func (ix *Index) InsertDocument(rec uint32) error {
+	if ix.opts.Values && ix.dict.MaxID() > ix.vh.alpha {
+		// New element labels would collide with the value-hash range
+		// (α, α+β] fixed at build time.
+		return fmt.Errorf("core: new element labels appeared after a value index was built; rebuild the index")
+	}
+	cur, err := ix.store.Cursor(rec)
+	if err != nil {
+		return err
+	}
+	var vh bisim.ValueHash
+	if ix.opts.Values {
+		vh = ix.vh.hash
+	}
+	base := uint64(storage.MakePointer(rec, 0))
+	stream := bisim.FromXML(xmltree.NewCursorStream(cur, 0, base), ix.dict, vh)
+	type elem struct {
+		v   *bisim.Vertex
+		ptr uint64
+	}
+	var elems []elem
+	g, err := bisim.Build(stream, func(v *bisim.Vertex, ptr uint64) {
+		elems = append(elems, elem{v, ptr})
+	})
+	if err != nil {
+		return err
+	}
+	if g.Root == nil {
+		return nil
+	}
+	if d := g.MaxDepth(); d > ix.maxDocDepth {
+		ix.maxDocDepth = d
+	}
+	insert := func(label uint32, f Features, spec []float64, ptr storage.Pointer) error {
+		if !ix.opts.Clustered {
+			return ix.insert(label, f, spec, ptr)
+		}
+		scur, ref, err := ix.store.ReadSubtree(ptr)
+		if err != nil {
+			return err
+		}
+		crec, err := ix.clustered.AppendBytes(scur.SubtreeBytes(ref))
+		if err != nil {
+			return err
+		}
+		k := entryKey{label: label, max: f.Max, min: f.Min, seq: ix.seq}
+		ix.seq++
+		if f.Oversize {
+			ix.oversize++
+		}
+		v := entryValue{
+			primary:   uint64(ptr),
+			clustered: uint64(storage.MakePointer(crec, 0)),
+			hasCopy:   true,
+			spectrum:  spec,
+		}
+		return ix.bt.Put(k.encode(), v.encode())
+	}
+	if ix.opts.DepthLimit == 0 {
+		f, ok, err := graphFeatures(g, ix.enc, true)
+		if err != nil {
+			return err
+		}
+		if !ok || (ix.opts.EdgeBudget > 0 && g.NumEdges() > ix.opts.EdgeBudget) {
+			f = oversizeFeatures()
+		}
+		var spec []float64
+		if !f.Oversize {
+			spec = graphSpectrumTail(g, ix.enc, ix.opts.SpectrumK)
+		}
+		return insert(g.Root.Label, f, spec, storage.Pointer(base))
+	}
+	for _, e := range elems {
+		f, spec, err := subpatternFeatures(e.v, ix.opts.DepthLimit, ix.opts.EdgeBudget, ix.enc, ix.opts.SpectrumK)
+		if err != nil {
+			return err
+		}
+		if err := insert(e.v.Label, f, spec, storage.Pointer(e.ptr)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteDocument removes every index entry pointing into record rec. The
+// record itself stays in the primary store (records are immutable), and
+// clustered copies are only reclaimed by a rebuild. The scan is O(index);
+// deletion is a maintenance operation, not a hot path.
+func (ix *Index) DeleteDocument(rec uint32) (int, error) {
+	var keys [][]byte
+	err := ix.bt.Scan(nil, nil, func(k, v []byte) bool {
+		if storage.Pointer(decodeValue(v).primary).Rec() == rec {
+			keys = append(keys, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		ok, err := ix.bt.Delete(k)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, fmt.Errorf("core: entry vanished during delete")
+		}
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+func TestInsertDocumentCollection(t *testing.T) {
+	st, ix := buildCollection(t, bibDocs, Options{})
+	n, err := xmltree.ParseString(`<article><title>new</title><author><phone>p</phone><email>e</email></author></article>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.AppendTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertDocument(rec); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Entries() != len(bibDocs)+1 {
+		t.Fatalf("entries = %d, want %d", ix.Entries(), len(bibDocs)+1)
+	}
+	q := xpath.MustParse("//author[phone][email]")
+	wantDocs, wantCount := bruteCount(t, st, q)
+	res, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != wantDocs || res.Count != wantCount {
+		t.Errorf("after insert: got %d/%d, want %d/%d", res.Matched, res.Count, wantDocs, wantCount)
+	}
+}
+
+func TestInsertDocumentDepthLimited(t *testing.T) {
+	st, ix := buildSingleDoc(t, deepDoc, Options{DepthLimit: 3, Clustered: true})
+	n, err := xmltree.ParseString(`<dblp><inproceedings><author>zz</author><title>t<i>q</i></title><url>u</url></inproceedings></dblp>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Entries()
+	rec, err := st.AppendTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertDocument(rec); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Entries() != before+n.CountElements() {
+		t.Fatalf("entries = %d, want %d", ix.Entries(), before+n.CountElements())
+	}
+	q := xpath.MustParse("//inproceedings[url]/title/i")
+	_, wantCount := bruteCount(t, st, q)
+	res, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != wantCount {
+		t.Errorf("after insert: count = %d, want %d", res.Count, wantCount)
+	}
+}
+
+func TestDeleteDocument(t *testing.T) {
+	st, ix := buildCollection(t, bibDocs, Options{})
+	q := xpath.MustParse("//author[email]")
+	before, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Document 0 matches; remove it from the index.
+	removed, err := ix.DeleteDocument(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d entries, want 1", removed)
+	}
+	if ix.Entries() != len(bibDocs)-1 {
+		t.Fatalf("entries = %d", ix.Entries())
+	}
+	after, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Matched != before.Matched-1 {
+		t.Errorf("matched = %d, want %d", after.Matched, before.Matched-1)
+	}
+	_ = st
+}
+
+func TestInsertThenDeleteRoundTrip(t *testing.T) {
+	st, ix := buildCollection(t, bibDocs, Options{})
+	n, err := xmltree.ParseString(`<www><title>x</title><author><email>e</email></author></www>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.AppendTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.InsertDocument(rec); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := ix.DeleteDocument(rec)
+	if err != nil || removed != 1 {
+		t.Fatalf("removed %d, err %v", removed, err)
+	}
+	if ix.Entries() != len(bibDocs) {
+		t.Errorf("entries = %d, want %d", ix.Entries(), len(bibDocs))
+	}
+}

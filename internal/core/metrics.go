@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// Metrics are the paper's implementation-independent effectiveness
+// measures (§6.2):
+//
+//	sel = 1 - rst/ent   query selectivity
+//	pp  = 1 - cdt/ent   pruning power of the index
+//	fpr = 1 - rst/cdt   false-positive ratio among candidates
+//
+// where ent is the number of index entries, cdt the number of candidates
+// the index returns, and rst the number of entries producing at least one
+// final result.
+type Metrics struct {
+	Ent, Cdt, Rst int
+	Sel, PP, FPR  float64
+}
+
+func computeMetrics(ent, cdt, rst int) Metrics {
+	m := Metrics{Ent: ent, Cdt: cdt, Rst: rst}
+	if ent > 0 {
+		m.Sel = 1 - float64(rst)/float64(ent)
+		m.PP = 1 - float64(cdt)/float64(ent)
+	}
+	if cdt > 0 {
+		m.FPR = 1 - float64(rst)/float64(cdt)
+	}
+	return m
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("sel=%.2f%% pp=%.2f%% fpr=%.2f%% (ent=%d cdt=%d rst=%d)",
+		m.Sel*100, m.PP*100, m.FPR*100, m.Ent, m.Cdt, m.Rst)
+}
+
+// Evaluate runs the query and reports the implementation-independent
+// metrics. By the index's no-false-negative property the result-producing
+// entries are a subset of the candidates, so rst is measured on them.
+func (ix *Index) Evaluate(path *xpath.Path) (Metrics, error) {
+	res, err := ix.Query(path)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return computeMetrics(res.Entries, res.Candidates, res.Matched), nil
+}

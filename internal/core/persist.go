@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/fix-index/fix/internal/btree"
+	"github.com/fix-index/fix/internal/matrix"
+	"github.com/fix-index/fix/internal/storage"
+)
+
+// On-disk index layout under Options.Dir:
+//
+//	fix.btree      B-tree of feature keys
+//	fix.clustered  key-ordered subtree heap (clustered indexes only)
+//	fix.edges      edge-label encoder
+//	fix.meta       options and counters, line-oriented
+//
+// The primary store and label dictionary belong to the database layer and
+// are persisted by it; the index only records the parameters needed to
+// interpret its keys against them.
+
+const metaVersion = 1
+
+// Save persists the index metadata and flushes the B-tree. It is a no-op
+// beyond the flush for in-memory indexes (empty Dir).
+func (ix *Index) Save() error {
+	if err := ix.bt.Flush(); err != nil {
+		return err
+	}
+	if ix.clustered != nil {
+		if err := ix.clustered.Sync(); err != nil {
+			return err
+		}
+	}
+	if ix.opts.Dir == "" {
+		return nil
+	}
+	ef, err := os.Create(filepath.Join(ix.opts.Dir, "fix.edges"))
+	if err != nil {
+		return err
+	}
+	if _, err := ix.enc.WriteTo(ef); err != nil {
+		ef.Close()
+		return err
+	}
+	if err := ef.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(ix.opts.Dir, "fix.meta"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(mf)
+	fmt.Fprintf(w, "version %d\n", metaVersion)
+	fmt.Fprintf(w, "depthlimit %d\n", ix.opts.DepthLimit)
+	fmt.Fprintf(w, "clustered %t\n", ix.opts.Clustered)
+	fmt.Fprintf(w, "values %t\n", ix.opts.Values)
+	fmt.Fprintf(w, "beta %d\n", ix.opts.Beta)
+	fmt.Fprintf(w, "edgebudget %d\n", ix.opts.EdgeBudget)
+	fmt.Fprintf(w, "spectrumk %d\n", ix.opts.SpectrumK)
+	fmt.Fprintf(w, "paperpruning %t\n", ix.opts.PaperPruning)
+	fmt.Fprintf(w, "norootlabel %t\n", ix.opts.NoRootLabel)
+	fmt.Fprintf(w, "alpha %d\n", ix.vh.alpha)
+	fmt.Fprintf(w, "seq %d\n", ix.seq)
+	fmt.Fprintf(w, "oversize %d\n", ix.oversize)
+	fmt.Fprintf(w, "maxdocdepth %d\n", ix.maxDocDepth)
+	if err := w.Flush(); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
+}
+
+// Open loads a persisted index from dir and attaches it to the primary
+// store it was built over. The store must carry the same dictionary as at
+// build time (the database layer guarantees this).
+func Open(st *storage.Store, dir string) (*Index, error) {
+	mf, err := os.Open(filepath.Join(dir, "fix.meta"))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	ix := &Index{store: st, dict: st.Dict()}
+	ix.opts.Dir = dir
+	var version int
+	var alpha uint32
+	r := bufio.NewReader(mf)
+	fields := []struct {
+		name string
+		dst  interface{}
+	}{
+		{"version", &version},
+		{"depthlimit", &ix.opts.DepthLimit},
+		{"clustered", &ix.opts.Clustered},
+		{"values", &ix.opts.Values},
+		{"beta", &ix.opts.Beta},
+		{"edgebudget", &ix.opts.EdgeBudget},
+		{"spectrumk", &ix.opts.SpectrumK},
+		{"paperpruning", &ix.opts.PaperPruning},
+		{"norootlabel", &ix.opts.NoRootLabel},
+		{"alpha", &alpha},
+		{"seq", &ix.seq},
+		{"oversize", &ix.oversize},
+		{"maxdocdepth", &ix.maxDocDepth},
+	}
+	for _, f := range fields {
+		var name string
+		if _, err := fmt.Fscan(r, &name, f.dst); err != nil {
+			return nil, fmt.Errorf("core: reading meta field %s: %w", f.name, err)
+		}
+		if name != f.name {
+			return nil, fmt.Errorf("core: meta field %q, want %q", name, f.name)
+		}
+	}
+	if version != metaVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+	ix.vh = valueHasher{alpha: alpha, beta: ix.opts.Beta}
+
+	ef, err := os.Open(filepath.Join(dir, "fix.edges"))
+	if err != nil {
+		return nil, err
+	}
+	ix.enc, err = matrix.ReadEdgeEncoder(ef)
+	ef.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	bf, err := storage.Open(filepath.Join(dir, "fix.btree"))
+	if err != nil {
+		return nil, err
+	}
+	ix.bt, err = btree.Open(bf, ix.opts.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	if ix.opts.Clustered {
+		cf, err := storage.Open(filepath.Join(dir, "fix.clustered"))
+		if err != nil {
+			return nil, err
+		}
+		ix.clustered, err = storage.OpenStore(cf, ix.dict)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}

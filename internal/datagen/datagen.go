@@ -1,0 +1,138 @@
+// Package datagen synthesizes the four evaluation workloads of the paper
+// (§6.1) at configurable scale. The real corpora (XBench TCMD, DBLP,
+// XMark, Treebank) are not redistributable here, so each generator
+// reproduces the *structural regime* the paper relies on instead:
+//
+//   - TCMD: a large collection of small, nearly-regular text-centric
+//     documents (weak structural selectivity);
+//   - DBLP: one shallow, regular, highly repetitive bibliography document;
+//   - XMark: one structure-rich auction-site document with large
+//     bisimulation fan-out;
+//   - Treebank: one deep, highly recursive parse-tree document with very
+//     selective structures.
+//
+// All generators are deterministic in their seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Dataset names the four workloads.
+type Dataset string
+
+// The four datasets of the paper's evaluation.
+const (
+	TCMDDataset     Dataset = "tcmd"
+	DBLPDataset     Dataset = "dblp"
+	XMarkDataset    Dataset = "xmark"
+	TreebankDataset Dataset = "treebank"
+)
+
+// AllDatasets lists the datasets in the paper's order.
+var AllDatasets = []Dataset{TCMDDataset, DBLPDataset, XMarkDataset, TreebankDataset}
+
+// Config controls generation volume. Scale 1.0 approximates one tenth of
+// the paper's element counts, which keeps the full harness laptop-sized;
+// raise it to approach the original sizes.
+type Config struct {
+	Seed  int64
+	Scale float64
+}
+
+func (c Config) scale(base int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(base) * s)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate materializes the named dataset into a fresh in-memory store.
+func Generate(ds Dataset, cfg Config) (*storage.Store, error) {
+	dict := xmltree.NewDict()
+	st, err := storage.NewStore(storage.NewMemFile(), dict)
+	if err != nil {
+		return nil, err
+	}
+	if err := Populate(st, ds, cfg); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Populate appends the named dataset's documents to an existing store.
+func Populate(st *storage.Store, ds Dataset, cfg Config) error {
+	switch ds {
+	case TCMDDataset:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.scale(2607); i++ {
+			if _, err := st.AppendTree(tcmdDoc(rng)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case DBLPDataset:
+		_, err := st.AppendTree(DBLP(cfg))
+		return err
+	case XMarkDataset:
+		_, err := st.AppendTree(XMark(cfg))
+		return err
+	case TreebankDataset:
+		_, err := st.AppendTree(Treebank(cfg))
+		return err
+	default:
+		return fmt.Errorf("datagen: unknown dataset %q", ds)
+	}
+}
+
+// DefaultDepthLimit returns the paper's index depth limit per dataset:
+// unlimited (0) for the TCMD collection, 6 for the single large documents.
+func DefaultDepthLimit(ds Dataset) int {
+	if ds == TCMDDataset {
+		return 0
+	}
+	return 6
+}
+
+// chance reports true with probability p.
+func chance(rng *rand.Rand, p float64) bool { return rng.Float64() < p }
+
+// between returns a uniform int in [lo, hi].
+func between(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// pick returns a random element of choices.
+func pick(rng *rand.Rand, choices []string) string {
+	return choices[rng.Intn(len(choices))]
+}
+
+// words generates n space-separated pseudo-words.
+func words(rng *rand.Rand, n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	buf := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		l := between(rng, 3, 8)
+		for j := 0; j < l; j++ {
+			buf = append(buf, letters[rng.Intn(len(letters))])
+		}
+	}
+	return string(buf)
+}
+
+func text(rng *rand.Rand, n int) *xmltree.Node { return xmltree.Text(words(rng, n)) }

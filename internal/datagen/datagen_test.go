@@ -1,0 +1,176 @@
+package datagen_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/datagen"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+func TestGenerateAndIndexSmoke(t *testing.T) {
+	for _, ds := range datagen.AllDatasets {
+		t0 := time.Now()
+		st, err := datagen.Generate(ds, datagen.Config{Seed: 42, Scale: 0.05})
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		gen := time.Since(t0)
+		elems := 0
+		for r := 0; r < st.NumRecords(); r++ {
+			cur, err := st.Cursor(uint32(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var walk func(ref xmltree.Ref)
+			walk = func(ref xmltree.Ref) {
+				if cur.IsText(ref) {
+					return
+				}
+				elems++
+				it := cur.Children(ref)
+				for {
+					c, ok := it.Next()
+					if !ok {
+						break
+					}
+					walk(c)
+				}
+			}
+			walk(0)
+		}
+		t1 := time.Now()
+		ix, err := core.Build(st, core.Options{DepthLimit: datagen.DefaultDepthLimit(ds)})
+		if err != nil {
+			t.Fatalf("%s: Build: %v", ds, err)
+		}
+		t.Logf("%-9s gen=%v size=%dKB docs=%d elems=%d ICT=%v entries=%d oversize=%d idx=%dKB pairs=%d maxdepth=%d",
+			ds, gen.Round(time.Millisecond), st.Size()/1024, st.NumRecords(), elems,
+			time.Since(t1).Round(time.Millisecond), ix.Entries(), ix.OversizeEntries(),
+			ix.SizeBytes()/1024, ix.EdgePairs(), ix.MaxDocDepth())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, ds := range datagen.AllDatasets {
+		a, err := datagen.Generate(ds, datagen.Config{Seed: 5, Scale: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := datagen.Generate(ds, datagen.Config{Seed: 5, Scale: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size() != b.Size() || a.NumRecords() != b.NumRecords() {
+			t.Errorf("%s: same seed produced different stores (%d/%d vs %d/%d bytes/records)",
+				ds, a.Size(), a.NumRecords(), b.Size(), b.NumRecords())
+		}
+		c, err := datagen.Generate(ds, datagen.Config{Seed: 6, Scale: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Size() == a.Size() {
+			t.Logf("%s: different seeds produced equal sizes (possible but suspicious)", ds)
+		}
+	}
+}
+
+func TestScaleGrowsElements(t *testing.T) {
+	for _, ds := range datagen.AllDatasets {
+		small, err := datagen.Generate(ds, datagen.Config{Seed: 1, Scale: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := datagen.Generate(ds, datagen.Config{Seed: 1, Scale: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := small.CountElements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		be, err := big.CountElements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be <= se {
+			t.Errorf("%s: scale 0.05 has %d elements, scale 0.01 has %d", ds, be, se)
+		}
+	}
+}
+
+func TestDefaultDepthLimit(t *testing.T) {
+	if datagen.DefaultDepthLimit(datagen.TCMDDataset) != 0 {
+		t.Error("TCMD should use the collection (depth 0) index")
+	}
+	for _, ds := range []datagen.Dataset{datagen.DBLPDataset, datagen.XMarkDataset, datagen.TreebankDataset} {
+		if datagen.DefaultDepthLimit(ds) != 6 {
+			t.Errorf("%s depth limit != 6", ds)
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := datagen.Generate("nope", datagen.Config{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestQueryVocabularyPresent(t *testing.T) {
+	// Every label used by the fixed benchmark queries must occur in the
+	// generated data, otherwise those queries are vacuously empty.
+	want := map[datagen.Dataset][]string{
+		datagen.TCMDDataset:     {"article", "epilog", "acknoledgements", "references", "a_id", "prolog", "keywords", "authors", "author", "contact", "phone"},
+		datagen.DBLPDataset:     {"proceedings", "booktitle", "title", "sup", "i", "sub", "article", "number", "author", "inproceedings", "url", "publisher", "year"},
+		datagen.XMarkDataset:    {"category", "description", "parlist", "listitem", "text", "closed_auction", "open_auction", "annotation", "seller", "item", "mailbox", "mail", "emph", "keyword", "bold", "to", "name", "payment", "quantity", "shipping"},
+		datagen.TreebankDataset: {"EMPTY", "S", "NP", "VP", "PP"},
+	}
+	for ds, labels := range want {
+		st, err := datagen.Generate(ds, datagen.Config{Seed: 3, Scale: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range labels {
+			if _, ok := st.Dict().Lookup(l); !ok {
+				t.Errorf("%s: label %q missing from generated data", ds, l)
+			}
+		}
+	}
+}
+
+func TestRandomQueriesAreValidAndMatch(t *testing.T) {
+	st, err := datagen.Generate(datagen.XMarkDataset, datagen.Config{Seed: 9, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datagen.RandomQueries(st, 11, 30, 4, 3)
+	if len(queries) < 20 {
+		t.Fatalf("generated only %d queries", len(queries))
+	}
+	seen := map[string]bool{}
+	for _, q := range queries {
+		s := q.String()
+		if seen[s] {
+			t.Errorf("duplicate query %s", s)
+		}
+		seen[s] = true
+		// Carved from real subtrees, every query must match somewhere.
+		nq, err := nok.Compile(q.Tree(), st.Dict())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for rec := 0; rec < st.NumRecords() && !found; rec++ {
+			cur, err := st.Cursor(uint32(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			found = nq.Exists(cur, 0)
+		}
+		if !found {
+			t.Errorf("random query %s matches nothing", s)
+		}
+	}
+}

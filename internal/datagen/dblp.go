@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// DBLP generates one DBLP-style bibliography: a shallow, regular document
+// where a small set of record structures repeats many times, so
+// individual structural patterns are weakly selective (paper §6.1). It is
+// the only dataset with meaningful PCDATA (author names, years,
+// publishers), matching the paper's use of DBLP for the value-index
+// experiments (§6.4).
+func DBLP(cfg Config) *xmltree.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	root := xmltree.Elem("dblp")
+	for i := cfg.scale(40000); i > 0; i-- {
+		root.Append(dblpRecord(rng))
+	}
+	return root
+}
+
+var (
+	dblpAuthors = []string{
+		"Jim Gray", "Michael Stonebraker", "David J. DeWitt", "Jeffrey D. Ullman",
+		"Serge Abiteboul", "Dan Suciu", "Jennifer Widom", "Hector Garcia-Molina",
+		"Rakesh Agrawal", "Jiawei Han", "Divesh Srivastava", "H. V. Jagadish",
+		"M. Tamer Ozsu", "Ihab F. Ilyas", "Ashraf Aboulnaga", "Ning Zhang",
+		"Alon Y. Halevy", "Gerhard Weikum", "Raghu Ramakrishnan", "Joseph M. Hellerstein",
+	}
+	dblpPublishers = []string{"Springer", "ACM", "IEEE Computer Society", "Morgan Kaufmann", "Elsevier"}
+	dblpBooktitles = []string{"SIGMOD Conference", "VLDB", "ICDE", "EDBT", "PODS", "CIKM", "WWW"}
+	dblpJournals   = []string{"TODS", "VLDB Journal", "TKDE", "SIGMOD Record", "Information Systems"}
+)
+
+func dblpYear(rng *rand.Rand) string { return fmt.Sprintf("%d", between(rng, 1985, 2005)) }
+
+// dblpTitle builds a title, sometimes with markup children (sub/sup/i)
+// like real DBLP titles, which the paper's hi-selectivity queries target.
+func dblpTitle(rng *rand.Rand) *xmltree.Node {
+	title := xmltree.Elem("title", text(rng, between(rng, 3, 9)))
+	if chance(rng, 0.06) {
+		title.Append(xmltree.Elem("i", text(rng, 1)))
+	}
+	if chance(rng, 0.03) {
+		title.Append(xmltree.Elem("sub", text(rng, 1)))
+	}
+	if chance(rng, 0.03) {
+		title.Append(xmltree.Elem("sup", text(rng, 1)))
+	}
+	return title
+}
+
+func dblpRecord(rng *rand.Rand) *xmltree.Node {
+	r := rng.Float64()
+	switch {
+	case r < 0.38:
+		rec := xmltree.Elem("article")
+		for i := between(rng, 1, 3); i > 0; i-- {
+			rec.Append(xmltree.Elem("author", xmltree.Text(pick(rng, dblpAuthors))))
+		}
+		rec.Append(dblpTitle(rng))
+		rec.Append(xmltree.Elem("journal", xmltree.Text(pick(rng, dblpJournals))))
+		if chance(rng, 0.72) {
+			rec.Append(xmltree.Elem("number", text(rng, 1)))
+		}
+		if chance(rng, 0.85) {
+			rec.Append(xmltree.Elem("volume", text(rng, 1)))
+		}
+		rec.Append(xmltree.Elem("year", xmltree.Text(dblpYear(rng))))
+		if chance(rng, 0.4) {
+			rec.Append(xmltree.Elem("url", text(rng, 1)))
+		}
+		return rec
+	case r < 0.80:
+		rec := xmltree.Elem("inproceedings")
+		for i := between(rng, 1, 4); i > 0; i-- {
+			rec.Append(xmltree.Elem("author", xmltree.Text(pick(rng, dblpAuthors))))
+		}
+		rec.Append(dblpTitle(rng))
+		rec.Append(xmltree.Elem("booktitle", xmltree.Text(pick(rng, dblpBooktitles))))
+		rec.Append(xmltree.Elem("year", xmltree.Text(dblpYear(rng))))
+		if chance(rng, 0.55) {
+			rec.Append(xmltree.Elem("pages", text(rng, 1)))
+		}
+		if chance(rng, 0.65) {
+			rec.Append(xmltree.Elem("url", text(rng, 1)))
+		}
+		if chance(rng, 0.5) {
+			rec.Append(xmltree.Elem("ee", text(rng, 1)))
+		}
+		return rec
+	case r < 0.90:
+		rec := xmltree.Elem("proceedings")
+		if chance(rng, 0.6) {
+			rec.Append(xmltree.Elem("editor", xmltree.Text(pick(rng, dblpAuthors))))
+		}
+		rec.Append(dblpTitle(rng))
+		rec.Append(xmltree.Elem("booktitle", xmltree.Text(pick(rng, dblpBooktitles))))
+		rec.Append(xmltree.Elem("publisher", xmltree.Text(pick(rng, dblpPublishers))))
+		rec.Append(xmltree.Elem("year", xmltree.Text(dblpYear(rng))))
+		if chance(rng, 0.5) {
+			rec.Append(xmltree.Elem("isbn", text(rng, 1)))
+		}
+		return rec
+	case r < 0.96:
+		rec := xmltree.Elem("book")
+		for i := between(rng, 1, 2); i > 0; i-- {
+			rec.Append(xmltree.Elem("author", xmltree.Text(pick(rng, dblpAuthors))))
+		}
+		rec.Append(dblpTitle(rng))
+		rec.Append(xmltree.Elem("publisher", xmltree.Text(pick(rng, dblpPublishers))))
+		rec.Append(xmltree.Elem("year", xmltree.Text(dblpYear(rng))))
+		return rec
+	default:
+		rec := xmltree.Elem("www")
+		rec.Append(xmltree.Elem("author", xmltree.Text(pick(rng, dblpAuthors))))
+		rec.Append(dblpTitle(rng))
+		rec.Append(xmltree.Elem("url", text(rng, 1)))
+		return rec
+	}
+}

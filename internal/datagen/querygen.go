@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// RandomQueries samples n distinct random twig queries from the data in
+// st, as the paper does for Figure 5 (1000 random queries per dataset).
+// Each query is derived from an actual subtree: a random element is
+// chosen, then a random sub-twig of bounded depth and branching is carved
+// out of its subtree, so generated queries always have at least one
+// match somewhere in the data. Queries are //-rooted twigs.
+func RandomQueries(st *storage.Store, seed int64, n, maxDepth, maxBranch int) []*xpath.Path {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]struct{})
+	var out []*xpath.Path
+	attempts := 0
+	for len(out) < n && attempts < n*50 {
+		attempts++
+		rec := uint32(rng.Intn(st.NumRecords()))
+		cur, err := st.Cursor(rec)
+		if err != nil {
+			continue
+		}
+		ref, ok := randomElement(rng, cur)
+		if !ok {
+			continue
+		}
+		q := carveTwig(rng, cur, ref, maxDepth, maxBranch)
+		if q == nil {
+			continue
+		}
+		s := q.String()
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		path, err := xpath.Parse(s)
+		if err != nil {
+			continue
+		}
+		out = append(out, path)
+	}
+	return out
+}
+
+// randomElement picks a uniformly random element of the record by
+// reservoir sampling over a preorder walk.
+func randomElement(rng *rand.Rand, cur xmltree.Cursor) (xmltree.Ref, bool) {
+	var chosen xmltree.Ref
+	count := 0
+	var walk func(r xmltree.Ref)
+	walk = func(r xmltree.Ref) {
+		if cur.IsText(r) {
+			return
+		}
+		count++
+		if rng.Intn(count) == 0 {
+			chosen = r
+		}
+		it := cur.Children(r)
+		for {
+			c, ok := it.Next()
+			if !ok {
+				return
+			}
+			walk(c)
+		}
+	}
+	walk(0)
+	return chosen, count > 0
+}
+
+// carveTwig builds a twig query mirroring part of the subtree at ref.
+func carveTwig(rng *rand.Rand, cur xmltree.Cursor, ref xmltree.Ref, maxDepth, maxBranch int) *xpath.QNode {
+	root := carve(rng, cur, ref, maxDepth, maxBranch)
+	if root == nil {
+		return nil
+	}
+	root.Axis = xpath.Descendant
+	// Reject trivial single-node queries: they are almost always
+	// selectivity-0-or-1 probes the paper excludes anyway.
+	if len(root.Children) == 0 {
+		return nil
+	}
+	return root
+}
+
+func carve(rng *rand.Rand, cur xmltree.Cursor, ref xmltree.Ref, depth, maxBranch int) *xpath.QNode {
+	if cur.IsText(ref) {
+		return nil
+	}
+	n := &xpath.QNode{Name: cur.Label(ref), Axis: xpath.Child}
+	if depth <= 1 {
+		return n
+	}
+	// Collect distinct-label element children, then keep a random subset.
+	var kids []xmltree.Ref
+	seen := make(map[string]struct{})
+	it := cur.Children(ref)
+	for {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		if cur.IsText(c) {
+			continue
+		}
+		l := cur.Label(c)
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		kids = append(kids, c)
+	}
+	rng.Shuffle(len(kids), func(i, j int) { kids[i], kids[j] = kids[j], kids[i] })
+	take := between(rng, 1, maxBranch)
+	if take > len(kids) {
+		take = len(kids)
+	}
+	for _, c := range kids[:take] {
+		// Recurse with decreasing probability so depths vary.
+		d := depth - 1
+		if chance(rng, 0.35) {
+			d = 1
+		}
+		if child := carve(rng, cur, c, d, maxBranch); child != nil {
+			n.Children = append(n.Children, child)
+		}
+	}
+	return n
+}

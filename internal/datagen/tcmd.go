@@ -1,0 +1,94 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// tcmdDoc generates one XBench-TCMD-style article: small (tens of
+// elements), text-centric, with a handful of optional sub-elements so the
+// collection is nearly regular. The element vocabulary includes the paths
+// used by the paper's representative queries (§6.2), including the
+// original's "acknoledgements" spelling.
+//
+// The optional-element probabilities are tuned so the three representative
+// queries land in the paper's selectivity bands: /article[epilog]/prolog/
+// authors/author matches most documents (low selectivity), the
+// keywords+phone query about half (medium), and the
+// acknoledgements+references query few (high).
+func tcmdDoc(rng *rand.Rand) *xmltree.Node {
+	article := xmltree.Elem("article")
+
+	prolog := xmltree.Elem("prolog")
+	prolog.Append(xmltree.Elem("title", text(rng, 4)))
+	if chance(rng, 0.55) {
+		prolog.Append(xmltree.Elem("dateline",
+			xmltree.Elem("date", text(rng, 1)),
+			xmltree.Elem("country", text(rng, 1))))
+	}
+	if chance(rng, 0.93) {
+		authors := xmltree.Elem("authors")
+		for i := between(rng, 1, 3); i > 0; i-- {
+			author := xmltree.Elem("author", xmltree.Elem("name", text(rng, 2)))
+			if chance(rng, 0.78) {
+				contact := xmltree.Elem("contact")
+				if chance(rng, 0.72) {
+					contact.Append(xmltree.Elem("phone", text(rng, 1)))
+				}
+				if chance(rng, 0.8) {
+					contact.Append(xmltree.Elem("email", text(rng, 1)))
+				}
+				author.Append(contact)
+			}
+			if chance(rng, 0.4) {
+				author.Append(xmltree.Elem("affiliation", text(rng, 3)))
+			}
+			authors.Append(author)
+		}
+		prolog.Append(authors)
+	}
+	if chance(rng, 0.62) {
+		kw := xmltree.Elem("keywords")
+		for i := between(rng, 1, 5); i > 0; i-- {
+			kw.Append(xmltree.Elem("keyword", text(rng, 1)))
+		}
+		prolog.Append(kw)
+	}
+	if chance(rng, 0.5) {
+		prolog.Append(xmltree.Elem("genre", text(rng, 1)))
+	}
+	article.Append(prolog)
+
+	body := xmltree.Elem("body")
+	for i := between(rng, 1, 4); i > 0; i-- {
+		section := xmltree.Elem("section")
+		if chance(rng, 0.7) {
+			section.Append(xmltree.Elem("title", text(rng, 3)))
+		}
+		for j := between(rng, 1, 4); j > 0; j-- {
+			section.Append(xmltree.Elem("p", text(rng, between(rng, 8, 30))))
+		}
+		body.Append(section)
+	}
+	article.Append(body)
+
+	if chance(rng, 0.9) {
+		epilog := xmltree.Elem("epilog")
+		if chance(rng, 0.34) {
+			epilog.Append(xmltree.Elem("acknoledgements", text(rng, 6)))
+		}
+		if chance(rng, 0.64) {
+			refs := xmltree.Elem("references")
+			for i := between(rng, 1, 6); i > 0; i-- {
+				refs.Append(xmltree.Elem("a_id", text(rng, 1)))
+			}
+			epilog.Append(refs)
+		}
+		if chance(rng, 0.5) {
+			epilog.Append(xmltree.Elem("date", text(rng, 1)))
+		}
+		article.Append(epilog)
+	}
+	return article
+}

@@ -1,0 +1,110 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Treebank generates one Treebank-style document: deeply recursive parse
+// trees under EMPTY containers, as in the University of Washington
+// Treebank XML dump the paper uses. Structures are deep and highly
+// selective; the bisimulation graph is large because deep recursive
+// contexts rarely repeat exactly (paper §1 and §6.1).
+func Treebank(cfg Config) *xmltree.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	file := xmltree.Elem("FILE")
+	for i := cfg.scale(1800); i > 0; i-- {
+		empty := xmltree.Elem("EMPTY")
+		for j := between(rng, 1, 2); j > 0; j-- {
+			empty.Append(tbSentence(rng, between(rng, 6, 14)))
+		}
+		file.Append(empty)
+	}
+	return file
+}
+
+// tbSentence generates an S subtree with bounded recursion depth.
+func tbSentence(rng *rand.Rand, depth int) *xmltree.Node {
+	s := xmltree.Elem("S")
+	s.Append(tbNP(rng, depth-1))
+	s.Append(tbVP(rng, depth-1))
+	if chance(rng, 0.3) {
+		s.Append(tbPP(rng, depth-1))
+	}
+	if depth > 3 && chance(rng, 0.12) {
+		s.Append(tbSentence(rng, depth-2))
+	}
+	return s
+}
+
+func tbNP(rng *rand.Rand, depth int) *xmltree.Node {
+	np := xmltree.Elem("NP")
+	if depth <= 1 {
+		np.Append(tbLeaf(rng))
+		return np
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2: // NP -> NP PP
+		np.Append(tbNP(rng, depth-1))
+		np.Append(tbPP(rng, depth-1))
+	case 3, 4: // NP -> NP NP (apposition)
+		np.Append(tbNP(rng, depth-1))
+		np.Append(tbNP(rng, depth-1))
+	case 5: // NP -> NP SBAR
+		np.Append(tbNP(rng, depth-1))
+		np.Append(tbSBAR(rng, depth-1))
+	case 6, 7: // NP -> DT NN
+		np.Append(xmltree.Elem("DT", text(rng, 1)))
+		np.Append(xmltree.Elem("NN", text(rng, 1)))
+	default:
+		np.Append(tbLeaf(rng))
+	}
+	return np
+}
+
+func tbVP(rng *rand.Rand, depth int) *xmltree.Node {
+	vp := xmltree.Elem("VP")
+	vp.Append(xmltree.Elem("VBD", text(rng, 1)))
+	if depth <= 1 {
+		return vp
+	}
+	switch rng.Intn(8) {
+	case 0, 1, 2:
+		vp.Append(tbNP(rng, depth-1))
+	case 3:
+		vp.Append(tbNP(rng, depth-1))
+		vp.Append(tbPP(rng, depth-1))
+	case 4:
+		vp.Append(tbSBAR(rng, depth-1))
+	case 5:
+		vp.Append(tbVP(rng, depth-1))
+	case 6:
+		vp.Append(tbPP(rng, depth-1))
+	}
+	return vp
+}
+
+func tbPP(rng *rand.Rand, depth int) *xmltree.Node {
+	pp := xmltree.Elem("PP", xmltree.Elem("IN", text(rng, 1)))
+	if depth > 1 {
+		pp.Append(tbNP(rng, depth-1))
+	} else {
+		pp.Append(tbLeaf(rng))
+	}
+	return pp
+}
+
+func tbSBAR(rng *rand.Rand, depth int) *xmltree.Node {
+	sbar := xmltree.Elem("SBAR")
+	if depth > 2 {
+		sbar.Append(tbSentence(rng, depth-1))
+	} else {
+		sbar.Append(tbLeaf(rng))
+	}
+	return sbar
+}
+
+func tbLeaf(rng *rand.Rand) *xmltree.Node {
+	return xmltree.Elem(pick(rng, []string{"PRP", "NN", "NNS", "NNP", "JJ", "CD"}), text(rng, 1))
+}

@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// XMark generates one XMark-style auction-site document: structure-rich,
+// fairly deep, and flat (the bisimulation graph has a large fan-out), so
+// almost all random twig patterns are highly selective (paper §6.1). The
+// schema covers the paths of the paper's XMark queries: items with
+// mailbox/mail/text rich content, categories with recursive
+// parlist/listitem descriptions, and open/closed auctions with
+// annotations.
+func XMark(cfg Config) *xmltree.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	site := xmltree.Elem("site")
+
+	regions := xmltree.Elem("regions")
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	itemsPerRegion := cfg.scale(600)
+	for _, rn := range regionNames {
+		region := xmltree.Elem(rn)
+		for i := 0; i < itemsPerRegion; i++ {
+			region.Append(xmarkItem(rng))
+		}
+		regions.Append(region)
+	}
+	site.Append(regions)
+
+	categories := xmltree.Elem("categories")
+	for i := cfg.scale(100); i > 0; i-- {
+		cat := xmltree.Elem("category", xmltree.Elem("name", text(rng, 2)))
+		cat.Append(xmarkDescription(rng, 3))
+		categories.Append(cat)
+	}
+	site.Append(categories)
+
+	open := xmltree.Elem("open_auctions")
+	for i := cfg.scale(2000); i > 0; i-- {
+		open.Append(xmarkOpenAuction(rng))
+	}
+	site.Append(open)
+
+	closed := xmltree.Elem("closed_auctions")
+	for i := cfg.scale(1600); i > 0; i-- {
+		closed.Append(xmarkClosedAuction(rng))
+	}
+	site.Append(closed)
+
+	people := xmltree.Elem("people")
+	for i := cfg.scale(2550); i > 0; i-- {
+		people.Append(xmarkPerson(rng))
+	}
+	site.Append(people)
+
+	return site
+}
+
+// xmarkText builds XMark's rich text content: a text element mixing
+// character data with emph/bold/keyword markup, occasionally nested
+// (emph/keyword is what the hi-selectivity queries probe).
+func xmarkText(rng *rand.Rand, depth int) *xmltree.Node {
+	t := xmltree.Elem("text", text(rng, between(rng, 4, 15)))
+	if depth <= 0 {
+		return t
+	}
+	if chance(rng, 0.25) {
+		emph := xmltree.Elem("emph", text(rng, 2))
+		if chance(rng, 0.4) {
+			emph.Append(xmltree.Elem("keyword", text(rng, 1)))
+		}
+		if chance(rng, 0.15) {
+			emph.Append(xmltree.Elem("bold", text(rng, 1)))
+		}
+		t.Append(emph)
+	}
+	if chance(rng, 0.2) {
+		bold := xmltree.Elem("bold", text(rng, 2))
+		if chance(rng, 0.3) {
+			bold.Append(xmltree.Elem("keyword", text(rng, 1)))
+		}
+		t.Append(bold)
+	}
+	if chance(rng, 0.15) {
+		t.Append(xmltree.Elem("keyword", text(rng, 1)))
+	}
+	return t
+}
+
+// xmarkDescription is either plain text or a recursive parlist.
+func xmarkDescription(rng *rand.Rand, depth int) *xmltree.Node {
+	d := xmltree.Elem("description")
+	if depth > 0 && chance(rng, 0.45) {
+		d.Append(xmarkParlist(rng, depth))
+	} else {
+		d.Append(xmarkText(rng, 1))
+	}
+	return d
+}
+
+func xmarkParlist(rng *rand.Rand, depth int) *xmltree.Node {
+	pl := xmltree.Elem("parlist")
+	for i := between(rng, 1, 3); i > 0; i-- {
+		li := xmltree.Elem("listitem")
+		if depth > 1 && chance(rng, 0.3) {
+			li.Append(xmarkParlist(rng, depth-1))
+		} else {
+			li.Append(xmarkText(rng, 1))
+		}
+		pl.Append(li)
+	}
+	return pl
+}
+
+func xmarkItem(rng *rand.Rand) *xmltree.Node {
+	item := xmltree.Elem("item")
+	item.Append(xmltree.Elem("location", text(rng, 1)))
+	item.Append(xmltree.Elem("quantity", text(rng, 1)))
+	if chance(rng, 0.92) {
+		item.Append(xmltree.Elem("name", text(rng, 2)))
+	}
+	if chance(rng, 0.85) {
+		item.Append(xmltree.Elem("payment", text(rng, 2)))
+	}
+	item.Append(xmarkDescription(rng, 2))
+	if chance(rng, 0.8) {
+		item.Append(xmltree.Elem("shipping", text(rng, 2)))
+	}
+	mailbox := xmltree.Elem("mailbox")
+	for i := between(rng, 0, 3); i > 0; i-- {
+		mail := xmltree.Elem("mail",
+			xmltree.Elem("from", text(rng, 2)),
+			xmltree.Elem("date", text(rng, 1)))
+		if chance(rng, 0.85) {
+			mail.Append(xmltree.Elem("to", text(rng, 2)))
+		}
+		mail.Append(xmarkText(rng, 2))
+		mailbox.Append(mail)
+	}
+	item.Append(mailbox)
+	return item
+}
+
+func xmarkOpenAuction(rng *rand.Rand) *xmltree.Node {
+	oa := xmltree.Elem("open_auction")
+	oa.Append(xmltree.Elem("initial", text(rng, 1)))
+	for i := between(rng, 0, 4); i > 0; i-- {
+		oa.Append(xmltree.Elem("bidder",
+			xmltree.Elem("date", text(rng, 1)),
+			xmltree.Elem("personref", text(rng, 1)),
+			xmltree.Elem("increase", text(rng, 1))))
+	}
+	if chance(rng, 0.7) {
+		oa.Append(xmltree.Elem("seller", text(rng, 1)))
+	}
+	if chance(rng, 0.8) {
+		ann := xmltree.Elem("annotation",
+			xmltree.Elem("author", text(rng, 1)))
+		ann.Append(xmarkDescription(rng, 2))
+		oa.Append(ann)
+	}
+	oa.Append(xmltree.Elem("quantity", text(rng, 1)))
+	oa.Append(xmltree.Elem("itemref", text(rng, 1)))
+	return oa
+}
+
+func xmarkClosedAuction(rng *rand.Rand) *xmltree.Node {
+	ca := xmltree.Elem("closed_auction",
+		xmltree.Elem("seller", text(rng, 1)),
+		xmltree.Elem("buyer", text(rng, 1)),
+		xmltree.Elem("itemref", text(rng, 1)),
+		xmltree.Elem("price", text(rng, 1)),
+		xmltree.Elem("date", text(rng, 1)))
+	if chance(rng, 0.75) {
+		ann := xmltree.Elem("annotation",
+			xmltree.Elem("author", text(rng, 1)))
+		ann.Append(xmarkDescription(rng, 2))
+		ca.Append(ann)
+	}
+	return ca
+}
+
+func xmarkPerson(rng *rand.Rand) *xmltree.Node {
+	p := xmltree.Elem("person", xmltree.Elem("name", text(rng, 2)))
+	if chance(rng, 0.8) {
+		p.Append(xmltree.Elem("emailaddress", text(rng, 1)))
+	}
+	if chance(rng, 0.4) {
+		p.Append(xmltree.Elem("phone", text(rng, 1)))
+	}
+	if chance(rng, 0.5) {
+		p.Append(xmltree.Elem("address",
+			xmltree.Elem("street", text(rng, 2)),
+			xmltree.Elem("city", text(rng, 1)),
+			xmltree.Elem("country", text(rng, 1)),
+			xmltree.Elem("zipcode", text(rng, 1))))
+	}
+	if chance(rng, 0.3) {
+		watches := xmltree.Elem("watches")
+		for i := between(rng, 1, 3); i > 0; i-- {
+			watches.Append(xmltree.Elem("watch", text(rng, 1)))
+		}
+		p.Append(watches)
+	}
+	return p
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// The ablations quantify two design choices DESIGN.md calls out: the
+// root-label component of the feature key (paper §3.4) and the depth
+// limit / coverage / index size tradeoff (paper §4.4).
+
+// RootLabelRow compares pruning with and without the root-label feature
+// for one representative query.
+type RootLabelRow struct {
+	Query          string
+	PPWith         float64
+	PPWithout      float64
+	ScannedWith    int
+	ScannedWithout int
+}
+
+// AblationRootLabel builds a second index whose query planner ignores the
+// root label and contrasts pruning power and scan effort.
+func AblationRootLabel(env *Env) ([]RootLabelRow, error) {
+	with, err := env.Unclustered()
+	if err != nil {
+		return nil, err
+	}
+	without, err := core.Build(env.Store, core.Options{
+		DepthLimit:  env.DepthLimit(),
+		NoRootLabel: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []RootLabelRow
+	for _, rq := range RepresentativeQueries[env.Dataset] {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, err
+		}
+		resW, err := with.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		resWo, err := without.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		mW := computeMetricsFromResult(resW)
+		mWo := computeMetricsFromResult(resWo)
+		rows = append(rows, RootLabelRow{
+			Query:          rq.Name,
+			PPWith:         mW.PP,
+			PPWithout:      mWo.PP,
+			ScannedWith:    resW.Scanned,
+			ScannedWithout: resWo.Scanned,
+		})
+	}
+	return rows, nil
+}
+
+func computeMetricsFromResult(r core.Result) core.Metrics {
+	return core.Metrics{
+		Ent: r.Entries, Cdt: r.Candidates, Rst: r.Matched,
+		PP: 1 - float64(r.Candidates)/float64(max(1, r.Entries)),
+	}
+}
+
+// DepthSweepRow reports one depth limit's cost and coverage.
+type DepthSweepRow struct {
+	Depth    int
+	ICT      time.Duration
+	IdxBytes int64
+	Oversize int
+	Covered  int // representative queries the index can answer
+	AvgPP    float64
+}
+
+// AblationDepth builds unclustered indexes at several depth limits and
+// reports construction cost, coverage of the representative queries and
+// average pruning power over the covered ones.
+func AblationDepth(env *Env, depths []int) ([]DepthSweepRow, error) {
+	queries := RepresentativeQueries[env.Dataset]
+	var rows []DepthSweepRow
+	for _, d := range depths {
+		ix, err := core.Build(env.Store, core.Options{DepthLimit: d})
+		if err != nil {
+			return nil, err
+		}
+		row := DepthSweepRow{
+			Depth:    d,
+			ICT:      ix.BuildTime(),
+			IdxBytes: ix.SizeBytes(),
+			Oversize: ix.OversizeEntries(),
+		}
+		for _, rq := range queries {
+			q, err := xpath.Parse(rq.XPath)
+			if err != nil {
+				return nil, err
+			}
+			if !ix.Covered(q) {
+				continue
+			}
+			m, err := ix.Evaluate(q)
+			if err != nil {
+				return nil, err
+			}
+			row.Covered++
+			row.AvgPP += m.PP
+		}
+		if row.Covered > 0 {
+			row.AvgPP /= float64(row.Covered)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PruningModeRow contrasts the paper's pruning bound with the provably
+// complete default on one representative query.
+type PruningModeRow struct {
+	Query    string
+	PaperPP  float64
+	SoundPP  float64
+	PaperRst int
+	SoundRst int // exact; a smaller PaperRst means false negatives
+}
+
+// AblationPruningMode evaluates the dataset's representative queries
+// under both pruning bounds.
+func AblationPruningMode(env *Env) ([]PruningModeRow, error) {
+	paper, err := env.Unclustered()
+	if err != nil {
+		return nil, err
+	}
+	sound, err := env.SoundIndex()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PruningModeRow
+	for _, rq := range RepresentativeQueries[env.Dataset] {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := paper.Evaluate(q)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := sound.Evaluate(q)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PruningModeRow{
+			Query:    rq.Name,
+			PaperPP:  pm.PP,
+			SoundPP:  sm.PP,
+			PaperRst: pm.Rst,
+			SoundRst: sm.Rst,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostModelArithmetic(t *testing.T) {
+	m := CostModel{Seek: 10 * time.Millisecond, SeqMBps: 100}
+	cases := []struct {
+		io   IOStats
+		want time.Duration
+	}{
+		{IOStats{}, 0},
+		{IOStats{Random: 5}, 50 * time.Millisecond},
+		{IOStats{SeqBytes: 100e6}, time.Second},
+		{IOStats{Random: 2, SeqBytes: 50e6}, 20*time.Millisecond + 500*time.Millisecond},
+	}
+	for i, c := range cases {
+		if got := m.IOTime(c.io); got != c.want {
+			t.Errorf("case %d: IOTime = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestIOStatsAdd(t *testing.T) {
+	a := IOStats{Random: 1, SeqBytes: 10}
+	a.Add(IOStats{Random: 2, SeqBytes: 20})
+	if a.Random != 3 || a.SeqBytes != 30 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestDisk2006Defaults(t *testing.T) {
+	if Disk2006.Seek != 8500*time.Microsecond || Disk2006.SeqMBps != 50 {
+		t.Errorf("Disk2006 = %+v", Disk2006)
+	}
+}

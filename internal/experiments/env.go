@@ -1,0 +1,163 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6) over the synthetic workloads in internal/datagen. Each
+// experiment function returns structured rows; cmd/fixbench formats them
+// in the paper's layout, and the repository's benchmarks wrap them as
+// testing.B targets.
+package experiments
+
+import (
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/datagen"
+	"github.com/fix-index/fix/internal/fbindex"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// Env holds one dataset plus lazily built indexes so experiments sharing
+// a dataset do not rebuild them.
+type Env struct {
+	Dataset datagen.Dataset
+	Cfg     datagen.Config
+	Store   *storage.Store
+
+	elements int
+
+	uidx  *core.Index // unclustered structural, paper pruning bound
+	cidx  *core.Index // clustered structural, paper pruning bound
+	vidx  *core.Index // clustered with values, paper pruning bound
+	sound *core.Index // unclustered, provably complete bound
+	fb    *fbindex.Index
+
+	uidxTime, cidxTime, vidxTime, fbTime time.Duration
+}
+
+// Setup generates the dataset and counts its elements.
+func Setup(ds datagen.Dataset, cfg datagen.Config) (*Env, error) {
+	st, err := datagen.Generate(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	elems, err := st.CountElements()
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Dataset: ds, Cfg: cfg, Store: st, elements: elems}, nil
+}
+
+// Elements returns the dataset's element count.
+func (e *Env) Elements() int { return e.elements }
+
+// DepthLimit returns the paper's per-dataset depth limit.
+func (e *Env) DepthLimit() int { return datagen.DefaultDepthLimit(e.Dataset) }
+
+// The experiment indexes use the paper's literal pruning bound
+// (PaperPruning) to reproduce its tables and figures; SoundIndex provides
+// the library's default provably complete bound for the comparison rows.
+
+// Unclustered returns (building on first use) the unclustered FIX index.
+func (e *Env) Unclustered() (*core.Index, error) {
+	if e.uidx != nil {
+		return e.uidx, nil
+	}
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), PaperPruning: true})
+	if err != nil {
+		return nil, err
+	}
+	e.uidx, e.uidxTime = ix, ix.BuildTime()
+	return ix, nil
+}
+
+// SoundIndex returns (building on first use) an unclustered index using
+// the provably complete pruning bound.
+func (e *Env) SoundIndex() (*core.Index, error) {
+	if e.sound != nil {
+		return e.sound, nil
+	}
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit()})
+	if err != nil {
+		return nil, err
+	}
+	e.sound = ix
+	return ix, nil
+}
+
+// Clustered returns (building on first use) the clustered FIX index.
+func (e *Env) Clustered() (*core.Index, error) {
+	if e.cidx != nil {
+		return e.cidx, nil
+	}
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), Clustered: true, PaperPruning: true})
+	if err != nil {
+		return nil, err
+	}
+	e.cidx, e.cidxTime = ix, ix.BuildTime()
+	return ix, nil
+}
+
+// ValueIndex returns (building on first use) the clustered FIX index with
+// the value extension enabled.
+func (e *Env) ValueIndex(beta uint32) (*core.Index, error) {
+	if e.vidx != nil {
+		return e.vidx, nil
+	}
+	ix, err := core.Build(e.Store, core.Options{
+		DepthLimit:   e.DepthLimit(),
+		Clustered:    true,
+		Values:       true,
+		Beta:         beta,
+		PaperPruning: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.vidx, e.vidxTime = ix, ix.BuildTime()
+	return ix, nil
+}
+
+// FB returns (building on first use) the F&B bisimulation index.
+func (e *Env) FB() (*fbindex.Index, error) {
+	if e.fb != nil {
+		return e.fb, nil
+	}
+	start := time.Now()
+	ix, err := fbindex.Build(e.Store)
+	if err != nil {
+		return nil, err
+	}
+	e.fb, e.fbTime = ix, time.Since(start)
+	return ix, nil
+}
+
+// NoKScan evaluates the query over the whole store with the bare
+// navigational operator (the unindexed baseline) and returns the number
+// of output matches.
+func (e *Env) NoKScan(q *xpath.Path) (int, error) {
+	nq, err := nok.Compile(q.Tree(), e.Store.Dict())
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for rec := 0; rec < e.Store.NumRecords(); rec++ {
+		cur, err := e.Store.Cursor(uint32(rec))
+		if err != nil {
+			return 0, err
+		}
+		total += nq.Count(cur, 0)
+	}
+	return total, nil
+}
+
+// timeIt runs fn once warm (after one discarded warm-up run) and returns
+// the measured duration of the second run together with its result.
+func timeIt[T any](fn func() (T, error)) (T, time.Duration, error) {
+	var zero T
+	if _, err := fn(); err != nil {
+		return zero, 0, err
+	}
+	start := time.Now()
+	v, err := fn()
+	return v, time.Since(start), err
+}

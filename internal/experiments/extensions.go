@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/joins"
+	"github.com/fix-index/fix/internal/tagindex"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// Extension experiments beyond the paper's evaluation: the §8 future-work
+// R-tree over feature vectors, and the join-based evaluator of the
+// architecture in Figure 3 compared against the navigational operator.
+
+// RTreeRow compares the search effort of the B-tree range scan against
+// the R-tree box query for one representative query. Both return the same
+// candidate set; the interesting quantity is how much of the index each
+// one touches.
+type RTreeRow struct {
+	Query        string
+	Candidates   int
+	BTreeScanned int   // entries touched by the B-tree range scan
+	RTreeVisited int64 // R-tree nodes visited
+}
+
+// ExtRTree builds the feature R-tree and contrasts scan effort.
+func ExtRTree(env *Env) ([]RTreeRow, error) {
+	ix, err := env.Unclustered()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := ix.BuildFeatureRTree()
+	if err != nil {
+		return nil, err
+	}
+	var rows []RTreeRow
+	for _, rq := range RepresentativeQueries[env.Dataset] {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, err
+		}
+		bt, scanned, err := ix.Candidates(q)
+		if err != nil {
+			return nil, err
+		}
+		rt.ResetStats()
+		rc, err := rt.Candidates(q)
+		if err != nil {
+			return nil, err
+		}
+		if len(bt) != len(rc) {
+			return nil, fmt.Errorf("experiments: %s: candidate sets differ (%d vs %d)", rq.Name, len(bt), len(rc))
+		}
+		rows = append(rows, RTreeRow{
+			Query:        rq.Name,
+			Candidates:   len(bt),
+			BTreeScanned: scanned,
+			RTreeVisited: rt.NodesVisited(),
+		})
+	}
+	return rows, nil
+}
+
+// EvaluatorRow compares the navigational (NoK) and join-based
+// (Stack-Tree structural join) processors on one runtime query, both
+// without FIX pruning.
+type EvaluatorRow struct {
+	Query    string
+	Count    int
+	NoK      time.Duration
+	Joins    time.Duration
+	TagBuild time.Duration
+	TagMB    float64
+}
+
+// ExtEvaluators runs the dataset's runtime workload through both
+// evaluators.
+func ExtEvaluators(env *Env) ([]EvaluatorRow, error) {
+	queries, ok := RuntimeQueries[env.Dataset]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no runtime queries for %s", env.Dataset)
+	}
+	t0 := time.Now()
+	tags, err := tagindex.Build(env.Store)
+	if err != nil {
+		return nil, err
+	}
+	tagBuild := time.Since(t0)
+	ev := joins.New(tags)
+	var rows []EvaluatorRow
+	for _, rq := range queries {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, err
+		}
+		row := EvaluatorRow{Query: rq.Name, TagBuild: tagBuild, TagMB: float64(tags.SizeBytes()) / (1 << 20)}
+		nokCount, nokTime, err := timeIt(func() (int, error) { return env.NoKScan(q) })
+		if err != nil {
+			return nil, err
+		}
+		row.NoK = nokTime
+		jc, jTime, err := timeIt(func() (int, error) { return ev.Count(q.Tree()) })
+		if err != nil {
+			return nil, err
+		}
+		row.Joins = jTime
+		if jc != nokCount {
+			return nil, fmt.Errorf("experiments: %s: joins %d != NoK %d", rq.Name, jc, nokCount)
+		}
+		row.Count = jc
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SpectrumRow compares candidate counts with and without the spectrum
+// filter (§3.3 "whole set of eigenvalues") for one representative query.
+type SpectrumRow struct {
+	Query     string
+	CandPlain int
+	CandK4    int
+	Rst       int // exact result-producing entries (both must agree)
+}
+
+// ExtSpectrum builds a SpectrumK=4 index alongside the plain one and
+// contrasts pruning.
+func ExtSpectrum(env *Env) ([]SpectrumRow, error) {
+	plain, err := env.SoundIndex()
+	if err != nil {
+		return nil, err
+	}
+	spectral, err := core.Build(env.Store, core.Options{DepthLimit: env.DepthLimit(), SpectrumK: 4})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpectrumRow
+	for _, rq := range RepresentativeQueries[env.Dataset] {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, err
+		}
+		a, err := plain.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		b, err := spectral.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		if a.Count != b.Count {
+			return nil, fmt.Errorf("experiments: %s: spectrum filter changed results (%d vs %d)", rq.Name, a.Count, b.Count)
+		}
+		rows = append(rows, SpectrumRow{Query: rq.Name, CandPlain: a.Candidates, CandK4: b.Candidates, Rst: b.Matched})
+	}
+	return rows, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// SystemRun is one system's cold-cache execution of one query: wall time
+// in RAM, the I/O footprint, and the footprint converted to reference
+// disk time (wall + modeled I/O).
+type SystemRun struct {
+	Wall    time.Duration
+	IO      IOStats
+	Modeled time.Duration
+	Count   int
+}
+
+// Fig6Row is one runtime comparison: the four systems of Figure 6 on one
+// query. Unclustered FIX is compared against the bare NoK scan, clustered
+// FIX against the F&B index, as in the paper (§6.3).
+type Fig6Row struct {
+	Query                        string
+	NoK, FIXUnclust, FB, FIXClus SystemRun
+}
+
+// Fig6 runs the dataset's runtime workload over all four systems with
+// cold caches.
+func Fig6(env *Env) ([]Fig6Row, error) {
+	queries, ok := RuntimeQueries[env.Dataset]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no runtime queries for %s", env.Dataset)
+	}
+	uidx, err := env.Unclustered()
+	if err != nil {
+		return nil, err
+	}
+	cidx, err := env.Clustered()
+	if err != nil {
+		return nil, err
+	}
+	fb, err := env.FB()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for _, rq := range queries {
+		q, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", rq.Name, err)
+		}
+		row := Fig6Row{Query: rq.Name}
+
+		row.NoK, err = runCold(
+			func() error { env.Store.ClearCache(); env.Store.ResetStats(); return nil },
+			func() (int, error) { return env.NoKScan(q) },
+			func() IOStats { return storeIO(env.Store) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s (NoK): %w", rq.Name, err)
+		}
+
+		row.FIXUnclust, err = runCold(
+			func() error {
+				env.Store.ClearCache()
+				env.Store.ResetStats()
+				uidx.BTree().ResetStats()
+				return uidx.BTree().ClearCache()
+			},
+			func() (int, error) {
+				res, err := uidx.Query(q)
+				return res.Count, err
+			},
+			func() IOStats {
+				// Unclustered refinement dereferences one pointer per
+				// candidate: a seek plus the subtree's bytes.
+				st := env.Store.Stats()
+				return IOStats{
+					Random:   st.SubtreeReads + uidx.BTree().Stats().PageReads,
+					SeqBytes: st.SubtreeBytes,
+				}
+			},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s (FIX unclustered): %w", rq.Name, err)
+		}
+
+		row.FB, err = runCold(
+			func() error { fb.ClearCache(); fb.ResetStats(); return nil },
+			func() (int, error) { return fb.Eval(q.Tree(), env.Store.Dict()) },
+			func() IOStats {
+				st := fb.Stats()
+				return IOStats{Random: st.PageReads, SeqBytes: st.ExtentBytes}
+			},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s (F&B): %w", rq.Name, err)
+		}
+
+		row.FIXClus, err = runCold(
+			func() error {
+				cs := cidx.ClusteredStore()
+				cs.ClearCache()
+				cs.ResetStats()
+				cidx.BTree().ResetStats()
+				return cidx.BTree().ClearCache()
+			},
+			func() (int, error) {
+				res, err := cidx.Query(q)
+				return res.Count, err
+			},
+			func() IOStats {
+				io := storeIO(cidx.ClusteredStore())
+				io.Random += cidx.BTree().Stats().PageReads
+				return io
+			},
+		)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s (FIX clustered): %w", rq.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runCold clears state, executes once, and collects wall time plus the
+// I/O footprint.
+func runCold(clear func() error, run func() (int, error), io func() IOStats) (SystemRun, error) {
+	if err := clear(); err != nil {
+		return SystemRun{}, err
+	}
+	start := time.Now()
+	count, err := run()
+	if err != nil {
+		return SystemRun{}, err
+	}
+	wall := time.Since(start)
+	footprint := io()
+	return SystemRun{
+		Wall:    wall,
+		IO:      footprint,
+		Modeled: wall + Disk2006.IOTime(footprint),
+		Count:   count,
+	}, nil
+}
+
+// storeIO converts store counters to a footprint: random record accesses
+// are seeks, all transferred bytes stream sequentially after the seek.
+func storeIO(s *storage.Store) IOStats {
+	st := s.Stats()
+	return IOStats{Random: st.RandomReads, SeqBytes: st.BytesRead}
+}

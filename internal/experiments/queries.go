@@ -1,0 +1,74 @@
+package experiments
+
+import "github.com/fix-index/fix/internal/datagen"
+
+// The fixed query workloads of the paper's evaluation, verbatim from §6.2
+// (representative selectivity queries), §6.3 (runtime queries) and §6.4
+// (value queries).
+
+// RepQuery is a representative query with its selectivity band.
+type RepQuery struct {
+	Name  string
+	Band  string // hi, md, lo
+	XPath string
+}
+
+// RepresentativeQueries reproduces the Table 2 workload.
+var RepresentativeQueries = map[datagen.Dataset][]RepQuery{
+	datagen.TCMDDataset: {
+		{"TCMD_hi", "hi", "/article/epilog[acknoledgements]/references/a_id"},
+		{"TCMD_md", "md", "/article/prolog[keywords]/authors/author/contact[phone]"},
+		{"TCMD_lo", "lo", "/article[epilog]/prolog/authors/author"},
+	},
+	datagen.DBLPDataset: {
+		{"DBLP_hi", "hi", "//proceedings[booktitle]/title[sup][i]"},
+		{"DBLP_md", "md", "//article[number]/author"},
+		{"DBLP_lo", "lo", "//inproceedings[url]/title"},
+	},
+	datagen.XMarkDataset: {
+		{"XMark_hi", "hi", "//category/description[parlist]/parlist/listitem/text"},
+		{"XMark_md", "md", "//closed_auction/annotation/description/text"},
+		{"XMark_lo", "lo", "//open_auction[seller]/annotation/description/text"},
+	},
+	datagen.TreebankDataset: {
+		{"TrBnk_hi", "hi", "//EMPTY/S/NP[PP]/NP"},
+		{"TrBnk_md", "md", "//S[VP]/NP/NP/PP/NP"},
+		{"TrBnk_lo", "lo", "//EMPTY/S[VP]/NP"},
+	},
+}
+
+// RuntimeQuery is one Figure 6 query: {hi,lo} selectivity × {simple path,
+// branching path}.
+type RuntimeQuery struct {
+	Name  string
+	XPath string
+}
+
+// RuntimeQueries reproduces the §6.3 workload for Figures 6a-6c.
+var RuntimeQueries = map[datagen.Dataset][]RuntimeQuery{
+	datagen.XMarkDataset: {
+		{"XMark_hi_sp", "//item/mailbox/mail/text/emph/keyword"},
+		{"XMark_lo_sp", "//description/parlist/listitem"},
+		{"XMark_hi_bp", "//item[name]/mailbox/mail[to]/text[bold]/emph/bold"},
+		{"XMark_lo_bp", "//item[payment][quantity][shipping][mailbox/mail/text]/description/parlist"},
+	},
+	datagen.TreebankDataset: {
+		{"Trbnk_hi_sp", "//EMPTY/S/NP/NP/PP"},
+		{"Trbnk_lo_sp", "//EMPTY/S/VP"},
+		{"Trbnk_hi_bp", "//EMPTY/S/NP[PP]/NP"},
+		{"Trbnk_lo_bp", "//EMPTY/S[VP]/NP"},
+	},
+	datagen.DBLPDataset: {
+		{"DBLP_hi_sp", "//inproceedings/title/i"},
+		{"DBLP_lo_sp", "//dblp/inproceedings/author"},
+		{"DBLP_hi_bp", "//inproceedings[url]/title[sub][i]"},
+		{"DBLP_lo_bp", "//article[number]/author"},
+	},
+}
+
+// ValueQueries reproduces the §6.4 DBLP value-predicate workload
+// (Figure 7).
+var ValueQueries = []RuntimeQuery{
+	{"DBLP_vl_hi", `//proceedings[publisher="Springer"][title]`},
+	{"DBLP_vl_lo", `//inproceedings[year="1998"][title]/author`},
+}

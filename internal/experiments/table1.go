@@ -1,0 +1,41 @@
+package experiments
+
+import "time"
+
+// Table1Row reports dataset characteristics, index construction time and
+// index sizes, the columns of the paper's Table 1.
+type Table1Row struct {
+	Dataset     string
+	SizeBytes   int64
+	Elements    int
+	ICT         time.Duration // unclustered construction time
+	UIdxBytes   int64
+	CIdxBytes   int64
+	Oversize    int // entries with the artificial [0, inf) range (§6.1)
+	DepthLimit  int
+	MaxDocDepth int
+}
+
+// Table1 builds both index layouts for the environment's dataset and
+// returns the statistics row.
+func Table1(env *Env) (Table1Row, error) {
+	uidx, err := env.Unclustered()
+	if err != nil {
+		return Table1Row{}, err
+	}
+	cidx, err := env.Clustered()
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{
+		Dataset:     string(env.Dataset),
+		SizeBytes:   env.Store.Size(),
+		Elements:    env.Elements(),
+		ICT:         env.uidxTime,
+		UIdxBytes:   uidx.SizeBytes(),
+		CIdxBytes:   cidx.SizeBytes(),
+		Oversize:    uidx.OversizeEntries(),
+		DepthLimit:  env.DepthLimit(),
+		MaxDocDepth: uidx.MaxDocDepth(),
+	}, nil
+}

@@ -1,0 +1,320 @@
+package fbindex
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// Query evaluation navigates the class graph top-down from the classes
+// whose label matches the query root (found through the in-memory label
+// directory), memoizing per-(class, query node) match decisions. Because
+// F&B bisimulation is a covering index for twig queries, a structural
+// match on the graph needs no refinement against the data.
+
+type compiled struct {
+	labels   []uint32
+	desc     []bool
+	output   []bool
+	children [][]int
+	rootDesc bool
+	valued   bool
+	bad      bool
+}
+
+func compile(root *xpath.QNode, dict *xmltree.Dict) (*compiled, error) {
+	c := &compiled{rootDesc: root.Axis == xpath.Descendant}
+	var add func(n *xpath.QNode) (int, error)
+	add = func(n *xpath.QNode) (int, error) {
+		if n.IsValue {
+			// Value leaves are dropped from the structural match; the
+			// refinement pass checks them.
+			c.valued = true
+			return -1, nil
+		}
+		idx := len(c.labels)
+		id, ok := dict.Lookup(n.Name)
+		if !ok {
+			c.bad = true
+		}
+		c.labels = append(c.labels, id)
+		c.desc = append(c.desc, n.Axis == xpath.Descendant)
+		c.output = append(c.output, n.Output)
+		c.children = append(c.children, nil)
+		if len(c.labels) > 64 {
+			return 0, fmt.Errorf("fbindex: query exceeds 64 nodes")
+		}
+		for _, ch := range n.Children {
+			ci, err := add(ch)
+			if err != nil {
+				return 0, err
+			}
+			if ci >= 0 {
+				c.children[idx] = append(c.children[idx], ci)
+			}
+		}
+		return idx, nil
+	}
+	if _, err := add(root); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+type fbEval struct {
+	ix *Index
+	q  *compiled
+	// memo maps class -> (decided mask, result mask) for direct matches,
+	// and the same for descendant-existence probes.
+	decided, result         map[int32]uint64
+	descDecided, descResult map[int32]uint64
+}
+
+func newEval(ix *Index, q *compiled) *fbEval {
+	return &fbEval{
+		ix: ix, q: q,
+		decided: make(map[int32]uint64), result: make(map[int32]uint64),
+		descDecided: make(map[int32]uint64), descResult: make(map[int32]uint64),
+	}
+}
+
+// matches reports whether class c matches query node qi (labels equal and
+// all child constraints satisfiable below c).
+func (e *fbEval) matches(c int32, qi int) (bool, error) {
+	bit := uint64(1) << uint(qi)
+	if e.decided[c]&bit != 0 {
+		return e.result[c]&bit != 0, nil
+	}
+	e.decided[c] |= bit // mark first: the class DAG has no cycles, but
+	// sibling probes may revisit while we are below.
+	rec, err := e.ix.fetch(c)
+	if err != nil {
+		return false, err
+	}
+	ok := rec.label == e.q.labels[qi] && e.q.labels[qi] != 0
+	if ok {
+		for _, ci := range e.q.children[qi] {
+			found := false
+			for _, k := range rec.children {
+				if e.q.desc[ci] {
+					found, err = e.existsBelow(k, ci)
+				} else {
+					found, err = e.matches(k, ci)
+				}
+				if err != nil {
+					return false, err
+				}
+				if found {
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		e.result[c] |= bit
+	}
+	return ok, nil
+}
+
+// existsBelow reports whether class c or any descendant matches qi.
+func (e *fbEval) existsBelow(c int32, qi int) (bool, error) {
+	bit := uint64(1) << uint(qi)
+	if e.descDecided[c]&bit != 0 {
+		return e.descResult[c]&bit != 0, nil
+	}
+	e.descDecided[c] |= bit
+	ok, err := e.matches(c, qi)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		rec, err := e.ix.fetch(c)
+		if err != nil {
+			return false, err
+		}
+		for _, k := range rec.children {
+			ok, err = e.existsBelow(k, qi)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				break
+			}
+		}
+	}
+	if ok {
+		e.descResult[c] |= bit
+	}
+	return ok, nil
+}
+
+// Matches returns the pointers of all elements binding the query's output
+// node, determined purely from the index graph (covering evaluation). The
+// boolean reports whether the query carries value predicates, in which
+// case the pointers are the structural candidate set and Eval should be
+// used for exact answers.
+func (ix *Index) Matches(root *xpath.QNode, dict *xmltree.Dict) ([]storage.Pointer, bool, error) {
+	q, err := compile(root, dict)
+	if err != nil {
+		return nil, false, err
+	}
+	if q.bad {
+		return nil, q.valued, nil
+	}
+	e := newEval(ix, q)
+
+	// Root binding candidates: all classes with the root label (for //),
+	// or document-root classes (for /).
+	var starts []int32
+	if q.rootDesc {
+		starts = ix.byLabel[q.labels[0]]
+	} else {
+		starts = ix.roots
+	}
+	var matched []int32
+	for _, c := range starts {
+		ok, err := e.matches(c, 0)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			matched = append(matched, c)
+		}
+	}
+
+	// Witness pass: walk matched embeddings to find output classes.
+	witnessed := make(map[int32]uint64)
+	descMarked := make(map[int32]uint64)
+	outClasses := make(map[int32]struct{})
+	var mark func(c int32, qi int) error
+	var markDesc func(c int32, qi int) error
+	markDesc = func(c int32, qi int) error {
+		bit := uint64(1) << uint(qi)
+		if descMarked[c]&bit != 0 {
+			return nil
+		}
+		descMarked[c] |= bit
+		ok, err := e.existsBelow(c, qi)
+		if err != nil || !ok {
+			return err
+		}
+		if m, err := e.matches(c, qi); err != nil {
+			return err
+		} else if m {
+			if err := mark(c, qi); err != nil {
+				return err
+			}
+		}
+		rec, err := ix.fetch(c)
+		if err != nil {
+			return err
+		}
+		for _, k := range rec.children {
+			if err := markDesc(k, qi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mark = func(c int32, qi int) error {
+		bit := uint64(1) << uint(qi)
+		if witnessed[c]&bit != 0 {
+			return nil
+		}
+		witnessed[c] |= bit
+		if e.q.output[qi] {
+			outClasses[c] = struct{}{}
+		}
+		rec, err := ix.fetch(c)
+		if err != nil {
+			return err
+		}
+		for _, ci := range e.q.children[qi] {
+			for _, k := range rec.children {
+				if e.q.desc[ci] {
+					if err := markDesc(k, ci); err != nil {
+						return err
+					}
+					continue
+				}
+				ok, err := e.matches(k, ci)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := mark(k, ci); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, c := range matched {
+		if err := mark(c, 0); err != nil {
+			return nil, false, err
+		}
+	}
+	var out []storage.Pointer
+	ids := make([]int32, 0, len(outClasses))
+	for c := range outClasses {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		rec, err := ix.fetch(c)
+		if err != nil {
+			return nil, false, err
+		}
+		ext, err := ix.extent(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, ext...)
+	}
+	return out, q.valued, nil
+}
+
+// Eval answers the query exactly: structural queries directly from the
+// covering index, value queries by refining the structural candidates
+// against primary storage with NoK. It returns the number of output-node
+// matches.
+func (ix *Index) Eval(root *xpath.QNode, dict *xmltree.Dict) (int, error) {
+	ptrs, valued, err := ix.Matches(root, dict)
+	if err != nil {
+		return 0, err
+	}
+	if !valued {
+		return len(ptrs), nil
+	}
+	nq, err := nok.Compile(root, dict)
+	if err != nil {
+		return 0, err
+	}
+	docs := make(map[uint32]struct{})
+	for _, p := range ptrs {
+		docs[p.Rec()] = struct{}{}
+	}
+	recs := make([]uint32, 0, len(docs))
+	for r := range docs {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i] < recs[j] })
+	total := 0
+	for _, rec := range recs {
+		cur, err := ix.store.Cursor(rec)
+		if err != nil {
+			return 0, err
+		}
+		total += nq.Count(cur, 0)
+	}
+	return total, nil
+}

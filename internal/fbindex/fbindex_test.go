@@ -1,0 +1,255 @@
+package fbindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+func buildStore(t *testing.T, docs []string) *storage.Store {
+	t.Helper()
+	st, err := storage.NewStore(storage.NewMemFile(), xmltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if _, err := st.AppendTree(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// nokCount evaluates the query over the whole store as ground truth.
+func nokCount(t *testing.T, st *storage.Store, q *xpath.Path) int {
+	t.Helper()
+	nq, err := nok.Compile(q.Tree(), st.Dict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for rec := 0; rec < st.NumRecords(); rec++ {
+		cur, err := st.Cursor(uint32(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += nq.Count(cur, 0)
+	}
+	return total
+}
+
+func TestFBClassMerging(t *testing.T) {
+	// F&B bisimulation includes the parent chain, so the two authors
+	// below come out in DIFFERENT classes even though their subtrees are
+	// identical (unlike the downward bisimulation of package bisim).
+	st := buildStore(t, []string{
+		`<bib><book><author><email/></author></book><www><author><email/></author></www></bib>`,
+	})
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes: bib, book, www, author(book), author(www), email(book
+	// author), email(www author) = 7.
+	if ix.NumClasses() != 7 {
+		t.Errorf("classes = %d, want 7", ix.NumClasses())
+	}
+	if ix.NumElements() != 7 {
+		t.Errorf("elements = %d, want 7", ix.NumElements())
+	}
+}
+
+func TestFBSharedContextMerges(t *testing.T) {
+	// Identical subtrees under identical contexts do merge.
+	st := buildStore(t, []string{
+		`<bib><book><author/></book><book><author/></book></bib>`,
+	})
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes: bib, book, author = 3 (the two books are bisimilar).
+	if ix.NumClasses() != 3 {
+		t.Errorf("classes = %d, want 3", ix.NumClasses())
+	}
+}
+
+func TestFBEvalMatchesNoK(t *testing.T) {
+	docs := []string{
+		`<bib><article><title/><author><email/></author></article></bib>`,
+		`<bib><book><title/><author><phone/></author></book><article><title/></article></bib>`,
+		`<bib><inproceedings><author><email/><affiliation/></author></inproceedings></bib>`,
+	}
+	st := buildStore(t, docs)
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"//article",
+		"//author[email]",
+		"//book/author/phone",
+		"/bib/article/title",
+		"//bib//email",
+		"//article//affiliation",
+		"//nosuch",
+	}
+	for _, qs := range queries {
+		q := xpath.MustParse(qs)
+		want := nokCount(t, st, q)
+		got, err := ix.Eval(q.Tree(), st.Dict())
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if got != want {
+			t.Errorf("%s: F&B = %d, NoK = %d", qs, got, want)
+		}
+	}
+}
+
+func TestFBValueQueriesRefine(t *testing.T) {
+	st := buildStore(t, []string{
+		`<lib><book><publisher>Springer</publisher><title/></book></lib>`,
+		`<lib><book><publisher>ACM</publisher><title/></book></lib>`,
+	})
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustParse(`//book[publisher="Springer"]/title`)
+	got, err := ix.Eval(q.Tree(), st.Dict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("value query = %d, want 1", got)
+	}
+	// Matches reports the structural candidate set and the valued flag.
+	ptrs, valued, err := ix.Matches(q.Tree(), st.Dict())
+	if err != nil || !valued {
+		t.Fatalf("Matches: valued=%v err=%v", valued, err)
+	}
+	if len(ptrs) != 2 {
+		t.Errorf("structural candidates = %d, want 2", len(ptrs))
+	}
+}
+
+func randomFBDoc(rng *rand.Rand, depth int) *xmltree.Node {
+	labels := []string{"a", "b", "c", "d", "e"}
+	var build func(d int) *xmltree.Node
+	build = func(d int) *xmltree.Node {
+		n := xmltree.Elem(labels[rng.Intn(len(labels))])
+		if d <= 0 {
+			return n
+		}
+		for i := rng.Intn(3); i > 0; i-- {
+			n.Children = append(n.Children, build(d-1))
+		}
+		return n
+	}
+	return xmltree.Elem("root", build(depth), build(depth))
+}
+
+func TestFBRandomAgainstNoK(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{
+		"//a/b", "//a[b][c]", "//root//d", "//b/c/d", "//a//e",
+		"/root/a", "//c[d]/a", "//e[a/b]",
+	}
+	for trial := 0; trial < 25; trial++ {
+		st, err := storage.NewStore(storage.NewMemFile(), xmltree.NewDict())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := st.AppendTree(randomFBDoc(rng, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ix, err := Build(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			q := xpath.MustParse(qs)
+			want := nokCount(t, st, q)
+			got, err := ix.Eval(q.Tree(), st.Dict())
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, qs, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d %s: F&B = %d, NoK = %d", trial, qs, got, want)
+			}
+		}
+	}
+}
+
+func TestFBCacheBehaviour(t *testing.T) {
+	docs := make([]string, 0, 50)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		docs = append(docs, xmltree.MarshalString(randomFBDoc(rng, 5)))
+	}
+	st := buildStore(t, docs)
+	ix, err := Build(st, Options{CachePages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xpath.MustParse("//a[b]/c").Tree()
+	if _, err := ix.Eval(q, st.Dict()); err != nil {
+		t.Fatal(err)
+	}
+	cold := ix.Stats()
+	if cold.PageReads == 0 {
+		t.Error("cold eval did no page reads")
+	}
+	// A big cache makes the second run nearly I/O-free.
+	ix2, err := Build(st, Options{CachePages: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix2.Eval(q, st.Dict()); err != nil {
+		t.Fatal(err)
+	}
+	first := ix2.Stats().PageReads
+	if _, err := ix2.Eval(q, st.Dict()); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Stats().PageReads != first {
+		t.Errorf("warm eval re-read pages: %d -> %d", first, ix2.Stats().PageReads)
+	}
+	ix2.ClearCache()
+	ix2.ResetStats()
+	if _, err := ix2.Eval(q, st.Dict()); err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Stats().PageReads == 0 {
+		t.Error("ClearCache did not force page reads")
+	}
+}
+
+func TestFBSizeAndRounds(t *testing.T) {
+	st := buildStore(t, []string{`<a><b><c/></b><b><c/></b></a>`})
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	if ix.Rounds() < 1 {
+		t.Error("Rounds < 1")
+	}
+	if ix.NumEdges() != ix.NumClasses()-1 {
+		// A tree-shaped dataset yields a tree-shaped class graph.
+		t.Errorf("edges = %d, classes = %d", ix.NumEdges(), ix.NumClasses())
+	}
+}

@@ -1,0 +1,195 @@
+// Package matrix translates labeled directed graphs (twig patterns and
+// bisimulation graphs) into the anti-symmetric matrices whose eigenvalues
+// are the FIX features (paper §3.2). Vertex labels are folded into edge
+// weights: every distinct (parent label, child label) pair is assigned a
+// distinct positive integer by an EdgeEncoder, the weight goes to M[i][j]
+// and its negation to M[j][i], and the eigenvalues of the resulting
+// skew-symmetric matrix are invariant under vertex renumbering.
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/fix-index/fix/internal/eigen"
+)
+
+// LabelPair identifies a directed edge type by the labels of its incident
+// vertices.
+type LabelPair struct {
+	Parent, Child uint32
+}
+
+// EdgeEncoder assigns distinct positive integer weights to distinct
+// (parent label, child label) pairs. The assignment is persisted with the
+// index so queries are encoded identically. It is safe for concurrent use.
+type EdgeEncoder struct {
+	mu    sync.RWMutex
+	pairs map[LabelPair]int32
+	list  []LabelPair
+}
+
+// NewEdgeEncoder returns an empty encoder.
+func NewEdgeEncoder() *EdgeEncoder {
+	return &EdgeEncoder{pairs: make(map[LabelPair]int32)}
+}
+
+// Encode returns the weight for the pair, assigning the next integer if it
+// is new. Weights start at 1.
+func (e *EdgeEncoder) Encode(parent, child uint32) int32 {
+	p := LabelPair{parent, child}
+	e.mu.RLock()
+	w, ok := e.pairs[p]
+	e.mu.RUnlock()
+	if ok {
+		return w
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w, ok := e.pairs[p]; ok {
+		return w
+	}
+	e.list = append(e.list, p)
+	w = int32(len(e.list))
+	e.pairs[p] = w
+	return w
+}
+
+// Lookup returns the weight for the pair without assigning. ok is false
+// for pairs never seen in the indexed data — a query containing such an
+// edge cannot match anything (the pair would have been assigned during
+// construction), so callers may safely return an empty candidate set.
+func (e *EdgeEncoder) Lookup(parent, child uint32) (int32, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w, ok := e.pairs[LabelPair{parent, child}]
+	return w, ok
+}
+
+// Len returns the number of distinct pairs assigned.
+func (e *EdgeEncoder) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.list)
+}
+
+// WriteTo persists the encoder: a count followed by fixed-width pairs in
+// assignment order.
+func (e *EdgeEncoder) WriteTo(w io.Writer) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(e.list)))
+	n, err := bw.Write(buf[:4])
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, p := range e.list {
+		binary.BigEndian.PutUint32(buf[:4], p.Parent)
+		binary.BigEndian.PutUint32(buf[4:], p.Child)
+		n, err = bw.Write(buf[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadEdgeEncoder deserializes an encoder written by WriteTo.
+func ReadEdgeEncoder(r io.Reader) (*EdgeEncoder, error) {
+	br := bufio.NewReader(r)
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("matrix: reading encoder header: %w", err)
+	}
+	count := binary.BigEndian.Uint32(buf[:4])
+	e := NewEdgeEncoder()
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("matrix: reading encoder pair %d: %w", i, err)
+		}
+		p := LabelPair{binary.BigEndian.Uint32(buf[:4]), binary.BigEndian.Uint32(buf[4:])}
+		e.list = append(e.list, p)
+		e.pairs[p] = int32(i + 1)
+	}
+	return e, nil
+}
+
+// Graph is a labeled DAG in compact form: Labels[i] is the label of vertex
+// i and Adj[i] lists the child vertices of i. Vertex 0 is conventionally
+// the root.
+type Graph struct {
+	Labels []uint32
+	Adj    [][]int32
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.Labels) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// BuildEdges translates g into the sparse edge-list form of its
+// skew-symmetric matrix. Semantics of enc and assign match BuildSkew.
+func BuildEdges(g *Graph, enc *EdgeEncoder, assign bool) ([]eigen.Edge, bool) {
+	edges := make([]eigen.Edge, 0, g.NumEdges())
+	for i, children := range g.Adj {
+		for _, j := range children {
+			var w int32
+			if assign {
+				w = enc.Encode(g.Labels[i], g.Labels[j])
+			} else {
+				var ok bool
+				w, ok = enc.Lookup(g.Labels[i], g.Labels[j])
+				if !ok {
+					return nil, false
+				}
+			}
+			edges = append(edges, eigen.Edge{From: int32(i), To: j, W: float64(w)})
+		}
+	}
+	return edges, true
+}
+
+// BuildSkew translates g into its skew-symmetric matrix using enc for edge
+// weights. If assign is true, unseen label pairs get fresh weights (index
+// construction); if false and the graph contains a pair unknown to enc,
+// BuildSkew returns (nil, false) — the query-side signal that the pattern
+// cannot occur in the indexed data.
+func BuildSkew(g *Graph, enc *EdgeEncoder, assign bool) ([][]float64, bool) {
+	n := g.NumVertices()
+	m := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range m {
+		m[i] = flat[i*n : (i+1)*n]
+	}
+	for i, children := range g.Adj {
+		for _, j := range children {
+			var w int32
+			if assign {
+				w = enc.Encode(g.Labels[i], g.Labels[j])
+			} else {
+				var ok bool
+				w, ok = enc.Lookup(g.Labels[i], g.Labels[j])
+				if !ok {
+					return nil, false
+				}
+			}
+			m[i][j] = float64(w)
+			m[j][i] = -float64(w)
+		}
+	}
+	return m, true
+}

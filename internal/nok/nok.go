@@ -1,0 +1,267 @@
+// Package nok implements a navigational twig matcher in the role of the
+// paper's NoK operator [32]: it evaluates twig queries (extended with
+// descendant axes and value-equality predicates) directly over the binary
+// subtree encoding in primary storage, with no index support. FIX uses it
+// as the refinement processor on candidate subtrees; the experiments also
+// run it standalone as the unindexed baseline.
+//
+// Evaluation is a two-pass dynamic program over the subtree. The first,
+// bottom-up pass computes for every node the set of query nodes whose
+// subtree constraints it satisfies (a bitmask; twig queries are tiny). The
+// second, top-down pass walks only witnessed bindings to enumerate the
+// distinct matches of the query's output node. Existence checks stop after
+// the first pass.
+package nok
+
+import (
+	"fmt"
+
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// maxQueryNodes bounds the number of query-tree nodes (bitmask width).
+const maxQueryNodes = 64
+
+// qnode is a flattened query-tree node.
+type qnode struct {
+	label    uint32 // element label id; 0 for value leaves
+	isValue  bool
+	value    string
+	desc     bool // incoming axis is descendant
+	output   bool
+	children []int
+}
+
+// Query is a compiled twig query ready for repeated evaluation.
+type Query struct {
+	nodes         []qnode
+	rootDesc      bool // the query's leading axis is //
+	unsatisfiable bool // a query label does not occur in the dictionary
+}
+
+// Compile flattens and label-resolves the query tree. A query whose labels
+// never occur in the data is still compiled; it simply matches nothing.
+func Compile(root *xpath.QNode, dict *xmltree.Dict) (*Query, error) {
+	if root == nil {
+		return nil, fmt.Errorf("nok: nil query")
+	}
+	q := &Query{rootDesc: root.Axis == xpath.Descendant}
+	var add func(n *xpath.QNode) (int, error)
+	add = func(n *xpath.QNode) (int, error) {
+		if len(q.nodes) >= maxQueryNodes {
+			return 0, fmt.Errorf("nok: query exceeds %d nodes", maxQueryNodes)
+		}
+		idx := len(q.nodes)
+		qn := qnode{
+			isValue: n.IsValue,
+			value:   n.Value,
+			desc:    n.Axis == xpath.Descendant,
+			output:  n.Output,
+		}
+		if !n.IsValue {
+			id, ok := dict.Lookup(n.Name)
+			if !ok {
+				q.unsatisfiable = true
+			}
+			qn.label = id
+		}
+		q.nodes = append(q.nodes, qn)
+		for _, c := range n.Children {
+			ci, err := add(c)
+			if err != nil {
+				return 0, err
+			}
+			q.nodes[idx].children = append(q.nodes[idx].children, ci)
+		}
+		return idx, nil
+	}
+	if _, err := add(root); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// evalState carries one evaluation's per-node satisfaction masks.
+type evalState struct {
+	c   xmltree.Cursor
+	q   *Query
+	sat map[xmltree.Ref]uint64 // bit i set: node satisfies query node i's subtree
+}
+
+// pass1 computes the satisfaction mask of the node at r and returns
+// (sat(r), sat(r) | union of descendants' sat).
+func (s *evalState) pass1(r xmltree.Ref) (own, withDesc uint64) {
+	var childUnion uint64 // union over children of (sat | descSat)
+	type childInfo struct {
+		ref xmltree.Ref
+		sat uint64
+	}
+	var children []childInfo
+	if !s.c.IsText(r) {
+		it := s.c.Children(r)
+		for {
+			cr, ok := it.Next()
+			if !ok {
+				break
+			}
+			cs, cw := s.pass1(cr)
+			childUnion |= cw
+			children = append(children, childInfo{cr, cs})
+		}
+	}
+	isText := s.c.IsText(r)
+	var labelID uint32
+	var text string
+	if isText {
+		text = s.c.Text(r)
+	} else {
+		labelID = s.c.LabelID(r)
+	}
+	for i := range s.q.nodes {
+		qn := &s.q.nodes[i]
+		if qn.isValue {
+			if isText && text == qn.value {
+				own |= 1 << uint(i)
+			}
+			continue
+		}
+		if isText || labelID != qn.label || qn.label == 0 {
+			continue
+		}
+		ok := true
+		for _, ci := range qn.children {
+			cq := &s.q.nodes[ci]
+			bit := uint64(1) << uint(ci)
+			if cq.desc {
+				if childUnion&bit == 0 {
+					ok = false
+					break
+				}
+			} else {
+				found := false
+				for _, ch := range children {
+					if ch.sat&bit != 0 {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			own |= 1 << uint(i)
+		}
+	}
+	if s.sat != nil && own != 0 {
+		s.sat[r] = own
+	}
+	return own, own | childUnion
+}
+
+// Exists reports whether the query matches the subtree rooted at r: with a
+// // leading axis any element of the subtree may bind the query root; with
+// a / leading axis only r itself may.
+func (q *Query) Exists(c xmltree.Cursor, r xmltree.Ref) bool {
+	if q.unsatisfiable {
+		return false
+	}
+	s := &evalState{c: c, q: q}
+	own, withDesc := s.pass1(r)
+	if q.rootDesc {
+		return withDesc&1 != 0
+	}
+	return own&1 != 0
+}
+
+// Outputs returns the distinct nodes (by offset, in document order) that
+// bind the query's output node in some embedding rooted per the leading
+// axis.
+func (q *Query) Outputs(c xmltree.Cursor, r xmltree.Ref) []xmltree.Ref {
+	if q.unsatisfiable {
+		return nil
+	}
+	s := &evalState{c: c, q: q, sat: make(map[xmltree.Ref]uint64)}
+	s.pass1(r)
+	// witnessed[q] per node: we propagate top-down which (node, query node)
+	// bindings participate in a full embedding.
+	witnessed := make(map[xmltree.Ref]uint64)
+	var outputs []xmltree.Ref
+	outputBit := uint64(0)
+	for i := range q.nodes {
+		if q.nodes[i].output {
+			outputBit |= 1 << uint(i)
+		}
+	}
+	var mark func(r xmltree.Ref, qi int)
+	var collectDesc func(r xmltree.Ref, qi int)
+	collectDesc = func(r xmltree.Ref, qi int) {
+		it := c.Children(r)
+		for {
+			cr, ok := it.Next()
+			if !ok {
+				break
+			}
+			if s.sat[cr]&(1<<uint(qi)) != 0 {
+				mark(cr, qi)
+			}
+			collectDesc(cr, qi)
+		}
+	}
+	mark = func(r xmltree.Ref, qi int) {
+		bit := uint64(1) << uint(qi)
+		if witnessed[r]&bit != 0 {
+			return
+		}
+		witnessed[r] |= bit
+		for _, ci := range q.nodes[qi].children {
+			if q.nodes[ci].desc {
+				collectDesc(r, ci)
+				continue
+			}
+			it := c.Children(r)
+			for {
+				cr, ok := it.Next()
+				if !ok {
+					break
+				}
+				if s.sat[cr]&(1<<uint(ci)) != 0 {
+					mark(cr, ci)
+				}
+			}
+		}
+	}
+	if q.rootDesc {
+		if s.sat[r]&1 != 0 {
+			mark(r, 0)
+		}
+		collectDesc(r, 0)
+	} else if s.sat[r]&1 != 0 {
+		mark(r, 0)
+	}
+	// Gather outputs in document order.
+	var walk func(r xmltree.Ref)
+	walk = func(r xmltree.Ref) {
+		if witnessed[r]&outputBit != 0 {
+			outputs = append(outputs, r)
+		}
+		it := c.Children(r)
+		for {
+			cr, ok := it.Next()
+			if !ok {
+				break
+			}
+			walk(cr)
+		}
+	}
+	walk(r)
+	return outputs
+}
+
+// Count returns the number of distinct output-node matches.
+func (q *Query) Count(c xmltree.Cursor, r xmltree.Ref) int {
+	return len(q.Outputs(c, r))
+}

@@ -1,0 +1,347 @@
+// Package rtree implements a Guttman R-tree over three-dimensional boxes,
+// the "R-tree or other high-dimensional indexing trees" the paper's
+// conclusion (§8) proposes as the next home for FIX feature vectors. FIX
+// stores every entry as the point (root label, λmax, λmin); the
+// containment search "label = l ∧ λmax ≥ q ∧ λmin ≤ q'" becomes a single
+// box query, which an R-tree answers without scanning the whole λmax tail
+// the B-tree range scan has to walk.
+package rtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is the dimensionality of the tree.
+const Dims = 3
+
+// Box is an axis-aligned box; a point has Min == Max.
+type Box struct {
+	Min, Max [Dims]float64
+}
+
+// Point returns a degenerate box.
+func Point(coords [Dims]float64) Box {
+	return Box{Min: coords, Max: coords}
+}
+
+// Intersects reports whether two boxes overlap.
+func (b Box) Intersects(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if b.Max[d] < o.Min[d] || o.Max[d] < b.Min[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports whether b fully contains o.
+func (b Box) contains(o Box) bool {
+	for d := 0; d < Dims; d++ {
+		if o.Min[d] < b.Min[d] || o.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// extend grows b to cover o.
+func (b *Box) extend(o Box) {
+	for d := 0; d < Dims; d++ {
+		if o.Min[d] < b.Min[d] {
+			b.Min[d] = o.Min[d]
+		}
+		if o.Max[d] > b.Max[d] {
+			b.Max[d] = o.Max[d]
+		}
+	}
+}
+
+// volume returns the (clamped) volume of the box. Infinite extents are
+// clamped so enlargement comparisons stay finite.
+func (b Box) volume() float64 {
+	v := 1.0
+	for d := 0; d < Dims; d++ {
+		side := b.Max[d] - b.Min[d]
+		if math.IsInf(side, 1) {
+			side = math.MaxFloat64 / 8
+		}
+		v *= side + 1e-12
+	}
+	return v
+}
+
+func enlargement(b, o Box) float64 {
+	grown := b
+	grown.extend(o)
+	return grown.volume() - b.volume()
+}
+
+// Entry is a leaf payload.
+type Entry struct {
+	Box  Box
+	Data uint64
+}
+
+const (
+	maxEntries = 16
+	minEntries = maxEntries / 4
+)
+
+type node struct {
+	leaf     bool
+	box      Box
+	entries  []Entry // leaf
+	children []*node // internal
+}
+
+// Tree is an in-memory R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root  *node
+	count int
+	// NodesVisited counts nodes touched by searches since the last
+	// ResetStats, the R-tree analogue of entries scanned.
+	nodesVisited int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.count }
+
+// NodesVisited returns the search-effort counter.
+func (t *Tree) NodesVisited() int64 { return t.nodesVisited }
+
+// ResetStats zeroes the search-effort counter.
+func (t *Tree) ResetStats() { t.nodesVisited = 0 }
+
+// Insert adds an entry.
+func (t *Tree) Insert(e Entry) {
+	t.count++
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &node{children: []*node{old, split}}
+		t.root.box = old.box
+		t.root.box.extend(split.box)
+	}
+}
+
+func (t *Tree) insert(n *node, e Entry) *node {
+	if len(n.entries) == 0 && len(n.children) == 0 {
+		n.box = e.Box
+	} else {
+		n.box.extend(e.Box)
+	}
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > maxEntries {
+			return splitLeaf(n)
+		}
+		return nil
+	}
+	// Choose the child needing least enlargement (ties: smaller volume).
+	best := n.children[0]
+	bestEnl := enlargement(best.box, e.Box)
+	for _, c := range n.children[1:] {
+		enl := enlargement(c.box, e.Box)
+		if enl < bestEnl || (enl == bestEnl && c.box.volume() < best.box.volume()) {
+			best, bestEnl = c, enl
+		}
+	}
+	split := t.insert(best, e)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > maxEntries {
+			return splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// splitLeaf performs Guttman's quadratic split on an over-full leaf,
+// moving part of the entries into a returned sibling.
+func splitLeaf(n *node) *node {
+	seedA, seedB := pickSeeds(len(n.entries), func(i int) Box { return n.entries[i].Box })
+	entries := n.entries
+	a := []Entry{entries[seedA]}
+	b := []Entry{entries[seedB]}
+	boxA, boxB := entries[seedA].Box, entries[seedB].Box
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for k, e := range rest {
+		if assignToA(e.Box, &boxA, &boxB, len(a), len(b), len(rest)-k) {
+			a = append(a, e)
+		} else {
+			b = append(b, e)
+		}
+	}
+	n.entries = a
+	n.box = boxA
+	return &node{leaf: true, entries: b, box: boxB}
+}
+
+func splitInternal(n *node) *node {
+	seedA, seedB := pickSeeds(len(n.children), func(i int) Box { return n.children[i].box })
+	children := n.children
+	a := []*node{children[seedA]}
+	b := []*node{children[seedB]}
+	boxA, boxB := children[seedA].box, children[seedB].box
+	rest := make([]*node, 0, len(children)-2)
+	for i, c := range children {
+		if i != seedA && i != seedB {
+			rest = append(rest, c)
+		}
+	}
+	for k, c := range rest {
+		if assignToA(c.box, &boxA, &boxB, len(a), len(b), len(rest)-k) {
+			a = append(a, c)
+		} else {
+			b = append(b, c)
+		}
+	}
+	n.children = a
+	n.box = boxA
+	return &node{children: b, box: boxB}
+}
+
+// pickSeeds chooses the pair wasting the most volume when grouped.
+func pickSeeds(n int, boxAt func(int) Box) (int, int) {
+	worst := -1.0
+	sa, sb := 0, 1
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			combined := boxAt(i)
+			combined.extend(boxAt(j))
+			waste := combined.volume() - boxAt(i).volume() - boxAt(j).volume()
+			if waste > worst {
+				worst, sa, sb = waste, i, j
+			}
+		}
+	}
+	return sa, sb
+}
+
+// assignToA decides group membership during a split, respecting the
+// minimum fill. remaining counts the unassigned items including the
+// current one.
+func assignToA(b Box, boxA, boxB *Box, lenA, lenB, remaining int) bool {
+	// Force-fill a group that needs every remaining item to reach the
+	// minimum.
+	if lenA+remaining <= minEntries {
+		boxA.extend(b)
+		return true
+	}
+	if lenB+remaining <= minEntries {
+		boxB.extend(b)
+		return false
+	}
+	enlA := enlargement(*boxA, b)
+	enlB := enlargement(*boxB, b)
+	if enlA < enlB || (enlA == enlB && lenA <= lenB) {
+		boxA.extend(b)
+		return true
+	}
+	boxB.extend(b)
+	return false
+}
+
+// Search calls fn for every entry whose box intersects query; fn
+// returning false stops the search.
+func (t *Tree) Search(query Box, fn func(Entry) bool) {
+	t.search(t.root, query, fn)
+}
+
+func (t *Tree) search(n *node, query Box, fn func(Entry) bool) bool {
+	t.nodesVisited++
+	if n.leaf {
+		for _, e := range n.entries {
+			if query.Intersects(e.Box) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if query.Intersects(c.box) {
+			if !t.search(c, query, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// Validate checks structural invariants (fill factors, bounding boxes);
+// it is used by tests.
+func (t *Tree) Validate() error {
+	var check func(n *node, isRoot bool) (Box, int, error)
+	check = func(n *node, isRoot bool) (Box, int, error) {
+		if n.leaf {
+			if !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+				return Box{}, 0, fmt.Errorf("rtree: leaf fill %d out of range", len(n.entries))
+			}
+			if len(n.entries) == 0 {
+				return n.box, 0, nil
+			}
+			box := n.entries[0].Box
+			for _, e := range n.entries[1:] {
+				box.extend(e.Box)
+			}
+			if !n.box.contains(box) {
+				return Box{}, 0, fmt.Errorf("rtree: leaf box does not cover entries")
+			}
+			return box, len(n.entries), nil
+		}
+		if !isRoot && (len(n.children) < minEntries || len(n.children) > maxEntries) {
+			return Box{}, 0, fmt.Errorf("rtree: node fill %d out of range", len(n.children))
+		}
+		if len(n.children) == 0 {
+			return Box{}, 0, fmt.Errorf("rtree: internal node with no children")
+		}
+		total := 0
+		box, cnt, err := check(n.children[0], false)
+		if err != nil {
+			return Box{}, 0, err
+		}
+		total += cnt
+		for _, c := range n.children[1:] {
+			cb, cnt, err := check(c, false)
+			if err != nil {
+				return Box{}, 0, err
+			}
+			total += cnt
+			box.extend(cb)
+		}
+		if !n.box.contains(box) {
+			return Box{}, 0, fmt.Errorf("rtree: node box does not cover children")
+		}
+		return box, total, nil
+	}
+	_, total, err := check(t.root, true)
+	if err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("rtree: count %d != entries %d", t.count, total)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxIntersects(t *testing.T) {
+	a := Box{Min: [Dims]float64{0, 0, 0}, Max: [Dims]float64{2, 2, 2}}
+	b := Box{Min: [Dims]float64{1, 1, 1}, Max: [Dims]float64{3, 3, 3}}
+	c := Box{Min: [Dims]float64{5, 5, 5}, Max: [Dims]float64{6, 6, 6}}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	// Touching edges intersect.
+	d := Box{Min: [Dims]float64{2, 0, 0}, Max: [Dims]float64{4, 2, 2}}
+	if !a.Intersects(d) {
+		t.Error("touching boxes reported disjoint")
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(Entry{Box: Point([Dims]float64{float64(i), float64(i), 0}), Data: uint64(i)})
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var got []uint64
+	tr.Search(Box{Min: [Dims]float64{2, 2, -1}, Max: [Dims]float64{5, 5, 1}}, func(e Entry) bool {
+		got = append(got, e.Data)
+		return true
+	})
+	if len(got) != 4 {
+		t.Errorf("search hit %v, want 4 points (2..5)", got)
+	}
+}
+
+func TestRandomAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := New()
+	var all []Entry
+	for i := 0; i < 3000; i++ {
+		e := Entry{
+			Box: Point([Dims]float64{
+				float64(rng.Intn(50)),
+				rng.Float64() * 100,
+				-rng.Float64() * 100,
+			}),
+			Data: uint64(i),
+		}
+		tr.Insert(e)
+		all = append(all, e)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := Box{
+			Min: [Dims]float64{float64(rng.Intn(50)), rng.Float64() * 80, -100},
+			Max: [Dims]float64{float64(rng.Intn(50)) + 5, 100, -rng.Float64() * 80},
+		}
+		want := make(map[uint64]bool)
+		for _, e := range all {
+			if q.Intersects(e.Box) {
+				want[e.Data] = true
+			}
+		}
+		got := make(map[uint64]bool)
+		tr.Search(q, func(e Entry) bool {
+			if got[e.Data] {
+				t.Fatal("duplicate result")
+			}
+			got[e.Data] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for d := range want {
+			if !got[d] {
+				t.Fatalf("trial %d: missing %d", trial, d)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Box: Point([Dims]float64{0, 0, 0}), Data: uint64(i)})
+	}
+	n := 0
+	tr.Search(Box{Min: [Dims]float64{-1, -1, -1}, Max: [Dims]float64{1, 1, 1}}, func(e Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestInfiniteCoordinates(t *testing.T) {
+	// The FIX oversize entries use ±Inf; they must be retrievable by any
+	// containment query.
+	tr := New()
+	tr.Insert(Entry{Box: Point([Dims]float64{3, math.Inf(1), math.Inf(-1)}), Data: 42})
+	for i := 0; i < 200; i++ {
+		tr.Insert(Entry{Box: Point([Dims]float64{3, float64(i % 17), -float64(i % 13)}), Data: uint64(i)})
+	}
+	found := false
+	tr.Search(Box{
+		Min: [Dims]float64{3, 1000, math.Inf(-1)},
+		Max: [Dims]float64{3, math.Inf(1), -999},
+	}, func(e Entry) bool {
+		if e.Data == 42 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("oversize point not found by dominance query")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		n := 50 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			tr.Insert(Entry{Box: Point([Dims]float64{
+				float64(rng.Intn(10)), rng.NormFloat64() * 10, rng.NormFloat64() * 10,
+			})})
+		}
+		return tr.Validate() == nil && tr.Len() == n && tr.Depth() >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounter(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(Entry{Box: Point([Dims]float64{float64(i), float64(i), 0})})
+	}
+	tr.ResetStats()
+	tr.Search(Point([Dims]float64{250, 250, 0}), func(Entry) bool { return true })
+	if tr.NodesVisited() == 0 {
+		t.Error("search visited no nodes")
+	}
+	// A point query should touch far fewer nodes than the tree holds.
+	if tr.NodesVisited() > int64(tr.Len()/4) {
+		t.Errorf("point query visited %d nodes out of %d entries", tr.NodesVisited(), tr.Len())
+	}
+}

@@ -1,0 +1,35 @@
+package storage
+
+import "github.com/fix-index/fix/internal/xmltree"
+
+// CountElements walks every record and returns the total number of
+// element nodes (text nodes excluded). It is a convenience for dataset
+// statistics; the walk does not disturb the read cache position counters
+// beyond normal record reads.
+func (s *Store) CountElements() (int, error) {
+	total := 0
+	for rec := 0; rec < s.NumRecords(); rec++ {
+		cur, err := s.Cursor(uint32(rec))
+		if err != nil {
+			return 0, err
+		}
+		var walk func(r xmltree.Ref) int
+		walk = func(r xmltree.Ref) int {
+			if cur.IsText(r) {
+				return 0
+			}
+			n := 1
+			it := cur.Children(r)
+			for {
+				c, ok := it.Next()
+				if !ok {
+					break
+				}
+				n += walk(c)
+			}
+			return n
+		}
+		total += walk(0)
+	}
+	return total, nil
+}

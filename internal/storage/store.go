@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Pointer addresses a node inside the primary storage: the high 32 bits
+// select a record (document), the low 32 bits are the byte offset of the
+// node's binary encoding inside that record. Pointers are what the FIX
+// B-tree stores as values for the unclustered index.
+type Pointer uint64
+
+// MakePointer packs a record number and an in-record offset.
+func MakePointer(rec, off uint32) Pointer {
+	return Pointer(uint64(rec)<<32 | uint64(off))
+}
+
+// Rec returns the record number.
+func (p Pointer) Rec() uint32 { return uint32(p >> 32) }
+
+// Off returns the byte offset inside the record.
+func (p Pointer) Off() uint32 { return uint32(p) }
+
+func (p Pointer) String() string {
+	return fmt.Sprintf("ptr(%d:%d)", p.Rec(), p.Off())
+}
+
+// Stats accumulates I/O accounting for a Store. Sequential reads are reads
+// that start exactly where the previous read ended; everything else is
+// counted as a random read. Cached reads touch no I/O and are counted
+// separately.
+type Stats struct {
+	RecordsWritten int64
+	BytesWritten   int64
+	RandomReads    int64
+	SeqReads       int64
+	CachedReads    int64
+	BytesRead      int64
+	// SubtreeReads/SubtreeBytes count pointer dereferences through
+	// ReadSubtree: the I/O a deployment would pay to fetch just the
+	// pointed-to subtree (one seek plus its bytes), independent of the
+	// record-level caching this implementation uses physically. The
+	// unclustered-index refinement cost model is built on these.
+	SubtreeReads int64
+	SubtreeBytes int64
+}
+
+const storeMagic = "FIXSTOR1"
+
+// Store is an append-only heap of records, each holding one binary-encoded
+// XML document (or subtree, in the clustered-copy case). Records are
+// length-prefixed; the offset table is kept in memory and rebuilt by
+// scanning on open.
+//
+// A Store is safe for concurrent readers; appends must not race with other
+// operations.
+type Store struct {
+	mu      sync.Mutex
+	f       File
+	dict    *xmltree.Dict
+	offs    []int64 // offset of each record's length prefix
+	lens    []uint32
+	end     int64 // next append position
+	lastEnd int64 // end offset of the last physical read, for seq/random
+	stats   Stats
+
+	cacheRec uint32
+	cacheBuf []byte
+	hasCache bool
+}
+
+// NewStore initializes an empty store over f, writing the header. The
+// dictionary is shared with whoever encodes the trees.
+func NewStore(f File, dict *xmltree.Dict) (*Store, error) {
+	if _, err := f.WriteAt([]byte(storeMagic), 0); err != nil {
+		return nil, fmt.Errorf("storage: writing header: %w", err)
+	}
+	return &Store{f: f, dict: dict, end: int64(len(storeMagic))}, nil
+}
+
+// OpenStore opens an existing store, rebuilding the record offset table.
+func OpenStore(f File, dict *xmltree.Dict) (*Store, error) {
+	hdr := make([]byte, len(storeMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	if string(hdr) != storeMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", hdr)
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, dict: dict}
+	pos := int64(len(storeMagic))
+	var lenBuf [4]byte
+	for pos < size {
+		if _, err := f.ReadAt(lenBuf[:], pos); err != nil {
+			return nil, fmt.Errorf("storage: scanning record at %d: %w", pos, err)
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		s.offs = append(s.offs, pos)
+		s.lens = append(s.lens, n)
+		pos += 4 + int64(n)
+	}
+	s.end = pos
+	return s, nil
+}
+
+// Dict returns the label dictionary used to encode records.
+func (s *Store) Dict() *xmltree.Dict { return s.dict }
+
+// NumRecords returns the number of records in the store.
+func (s *Store) NumRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.offs)
+}
+
+// Size returns the total byte size of the store.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters, so an experiment can measure a
+// single query in isolation.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+	s.lastEnd = -1
+}
+
+// AppendTree encodes and appends a document tree, returning its record
+// number.
+func (s *Store) AppendTree(n *xmltree.Node) (uint32, error) {
+	return s.AppendBytes(xmltree.EncodeBinary(n, s.dict))
+}
+
+// AppendBytes appends a pre-encoded record.
+func (s *Store) AppendBytes(b []byte) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	if _, err := s.f.WriteAt(lenBuf[:], s.end); err != nil {
+		return 0, fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := s.f.WriteAt(b, s.end+4); err != nil {
+		return 0, fmt.Errorf("storage: append: %w", err)
+	}
+	rec := uint32(len(s.offs))
+	s.offs = append(s.offs, s.end)
+	s.lens = append(s.lens, uint32(len(b)))
+	s.end += 4 + int64(len(b))
+	s.stats.RecordsWritten++
+	s.stats.BytesWritten += int64(len(b)) + 4
+	return rec, nil
+}
+
+// Record returns the raw bytes of a record, with I/O accounting. The most
+// recently read record is cached so that repeated probes of the same
+// document during refinement don't multiply counted I/O.
+func (s *Store) Record(rec uint32) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordLocked(rec)
+}
+
+func (s *Store) recordLocked(rec uint32) ([]byte, error) {
+	if int(rec) >= len(s.offs) {
+		return nil, fmt.Errorf("storage: record %d out of range (have %d)", rec, len(s.offs))
+	}
+	if s.hasCache && s.cacheRec == rec {
+		s.stats.CachedReads++
+		return s.cacheBuf, nil
+	}
+	off := s.offs[rec] + 4
+	n := s.lens[rec]
+	buf := make([]byte, n)
+	if _, err := s.f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: reading record %d: %w", rec, err)
+	}
+	if s.offs[rec] == s.lastEnd {
+		s.stats.SeqReads++
+	} else {
+		s.stats.RandomReads++
+	}
+	s.lastEnd = off + int64(n)
+	s.stats.BytesRead += int64(n)
+	s.cacheRec, s.cacheBuf, s.hasCache = rec, buf, true
+	return buf, nil
+}
+
+// Cursor returns a navigation cursor over the given record.
+func (s *Store) Cursor(rec uint32) (xmltree.Cursor, error) {
+	buf, err := s.Record(rec)
+	if err != nil {
+		return xmltree.Cursor{}, err
+	}
+	return xmltree.Cursor{Buf: buf, Dict: s.dict}, nil
+}
+
+// ReadSubtree resolves a pointer to a cursor positioned at the pointed-to
+// node.
+func (s *Store) ReadSubtree(p Pointer) (xmltree.Cursor, xmltree.Ref, error) {
+	cur, err := s.Cursor(p.Rec())
+	if err != nil {
+		return xmltree.Cursor{}, 0, err
+	}
+	if int(p.Off()) >= len(cur.Buf) {
+		return xmltree.Cursor{}, 0, fmt.Errorf("storage: %v offset beyond record of %d bytes", p, len(cur.Buf))
+	}
+	ref := xmltree.Ref(p.Off())
+	s.mu.Lock()
+	s.stats.SubtreeReads++
+	s.stats.SubtreeBytes += int64(cur.SubtreeEnd(ref) - ref)
+	s.mu.Unlock()
+	return cur, ref, nil
+}
+
+// Sync flushes the underlying file.
+func (s *Store) Sync() error { return s.f.Sync() }
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// ClearCache drops the one-record read cache, so a following query
+// measures cold I/O.
+func (s *Store) ClearCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hasCache = false
+	s.cacheBuf = nil
+	s.lastEnd = -1
+}

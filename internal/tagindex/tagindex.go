@@ -1,0 +1,106 @@
+// Package tagindex provides per-label element posting lists with region
+// encoding, the storage-side substrate of join-based XPath processing
+// (paper references [3], [7], [31]): every element is recorded as
+// (document, start, end, level), where [start, end) is its subtree's byte
+// extent in the stored record. Containment of regions is equivalent to
+// the ancestor-descendant relation, and a level difference of one to
+// parent-child, which is what the structural-join operators in package
+// joins consume.
+package tagindex
+
+import (
+	"sort"
+
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Posting is one element occurrence.
+type Posting struct {
+	Rec        uint32
+	Start, End uint32 // subtree byte extent within the record
+	Level      uint16 // depth below the document root (root = 0)
+}
+
+// Contains reports whether p's region properly contains q's (p is an
+// ancestor of q in the same document).
+func (p Posting) Contains(q Posting) bool {
+	return p.Rec == q.Rec && p.Start < q.Start && q.End <= p.End
+}
+
+// Pointer converts the posting to a primary-storage pointer.
+func (p Posting) Pointer() storage.Pointer {
+	return storage.MakePointer(p.Rec, p.Start)
+}
+
+// Index maps label IDs to document-ordered posting lists.
+type Index struct {
+	dict  *xmltree.Dict
+	lists map[uint32][]Posting
+
+	elements int
+}
+
+// Build scans every record of the store.
+func Build(st *storage.Store) (*Index, error) {
+	ix := &Index{dict: st.Dict(), lists: make(map[uint32][]Posting)}
+	for rec := 0; rec < st.NumRecords(); rec++ {
+		cur, err := st.Cursor(uint32(rec))
+		if err != nil {
+			return nil, err
+		}
+		var walk func(r xmltree.Ref, level uint16)
+		walk = func(r xmltree.Ref, level uint16) {
+			if cur.IsText(r) {
+				return
+			}
+			ix.elements++
+			label := cur.LabelID(r)
+			ix.lists[label] = append(ix.lists[label], Posting{
+				Rec:   uint32(rec),
+				Start: uint32(r),
+				End:   uint32(cur.SubtreeEnd(r)),
+				Level: level,
+			})
+			it := cur.Children(r)
+			for {
+				c, ok := it.Next()
+				if !ok {
+					return
+				}
+				walk(c, level+1)
+			}
+		}
+		walk(0, 0)
+	}
+	// The preorder walk already yields (Rec, Start) order per label, but
+	// normalize defensively: join operators rely on it.
+	for _, l := range ix.lists {
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].Rec != l[j].Rec {
+				return l[i].Rec < l[j].Rec
+			}
+			return l[i].Start < l[j].Start
+		})
+	}
+	return ix, nil
+}
+
+// List returns the posting list for a label name, or nil if the label
+// never occurs.
+func (ix *Index) List(name string) []Posting {
+	id, ok := ix.dict.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return ix.lists[id]
+}
+
+// NumElements returns the total number of postings.
+func (ix *Index) NumElements() int { return ix.elements }
+
+// NumLabels returns the number of distinct labels.
+func (ix *Index) NumLabels() int { return len(ix.lists) }
+
+// SizeBytes estimates the serialized footprint (14 bytes per posting).
+func (ix *Index) SizeBytes() int64 { return int64(ix.elements) * 14 }

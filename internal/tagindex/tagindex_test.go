@@ -1,0 +1,96 @@
+package tagindex
+
+import (
+	"testing"
+
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+func build(t *testing.T, docs ...string) *Index {
+	t.Helper()
+	st, err := storage.NewStore(storage.NewMemFile(), xmltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.AppendTree(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestPostingOrder(t *testing.T) {
+	ix := build(t,
+		`<r><x/><x><x/></x></r>`,
+		`<r><x/></r>`,
+	)
+	xs := ix.List("x")
+	if len(xs) != 4 {
+		t.Fatalf("x postings = %d, want 4", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		a, b := xs[i-1], xs[i]
+		if a.Rec > b.Rec || (a.Rec == b.Rec && a.Start >= b.Start) {
+			t.Fatalf("postings out of document order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	if rs := ix.List("r"); len(rs) != 2 || rs[0].Level != 0 || rs[1].Level != 0 {
+		t.Errorf("r postings = %+v", rs)
+	}
+	if ix.List("unknown") != nil {
+		t.Error("unknown label returned postings")
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	ix := build(t, `<x><x><x/></x></x>`)
+	xs := ix.List("x")
+	if len(xs) != 3 {
+		t.Fatalf("postings = %d", len(xs))
+	}
+	// Outer contains middle contains inner; levels 0,1,2.
+	if !xs[0].Contains(xs[1]) || !xs[1].Contains(xs[2]) || !xs[0].Contains(xs[2]) {
+		t.Error("nesting broken")
+	}
+	for i, p := range xs {
+		if int(p.Level) != i {
+			t.Errorf("posting %d level = %d", i, p.Level)
+		}
+	}
+	if xs[1].Contains(xs[1]) {
+		t.Error("self-containment must be false (proper ancestor)")
+	}
+}
+
+func TestTextNodesSkipped(t *testing.T) {
+	ix := build(t, `<a>text<b>more</b></a>`)
+	if ix.NumElements() != 2 {
+		t.Errorf("elements = %d, want 2", ix.NumElements())
+	}
+}
+
+func TestPointerRoundTrip(t *testing.T) {
+	ix := build(t, `<a><b/></a>`)
+	b := ix.List("b")[0]
+	p := b.Pointer()
+	if p.Rec() != b.Rec || p.Off() != b.Start {
+		t.Errorf("pointer %v from posting %+v", p, b)
+	}
+}
+
+func TestSizeEstimate(t *testing.T) {
+	ix := build(t, `<a><b/><c/></a>`)
+	if ix.SizeBytes() != 3*14 {
+		t.Errorf("SizeBytes = %d", ix.SizeBytes())
+	}
+}

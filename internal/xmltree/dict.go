@@ -1,0 +1,137 @@
+package xmltree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Dict maps element labels to dense uint32 identifiers and back. Label IDs
+// start at 1; ID 0 is reserved for text nodes in the binary encoding.
+//
+// A Dict is safe for concurrent use.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string // strs[i] is the label with ID i+1
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// ID returns the identifier for label, assigning a fresh one if the label
+// has not been seen before.
+func (d *Dict) ID(label string) uint32 {
+	d.mu.RLock()
+	id, ok := d.ids[label]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[label]; ok {
+		return id
+	}
+	d.strs = append(d.strs, label)
+	id = uint32(len(d.strs))
+	d.ids[label] = id
+	return id
+}
+
+// Lookup returns the identifier for label without assigning a new one.
+// The second result reports whether the label is known.
+func (d *Dict) Lookup(label string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[label]
+	return id, ok
+}
+
+// Label returns the label string for the given identifier. It returns the
+// empty string for ID 0 (text) and for unknown IDs it returns a synthetic
+// placeholder so that diagnostics never panic.
+func (d *Dict) Label(id uint32) string {
+	if id == 0 {
+		return ""
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) <= len(d.strs) {
+		return d.strs[id-1]
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// Len returns the number of distinct labels registered.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// MaxID returns the largest assigned label ID, or 0 if empty. The paper's
+// value hashing (§4.6) maps PCDATA into the range (MaxID, MaxID+β].
+func (d *Dict) MaxID() uint32 {
+	return uint32(d.Len())
+}
+
+// Labels returns all registered labels sorted lexicographically.
+func (d *Dict) Labels() []string {
+	d.mu.RLock()
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	d.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serializes the dictionary as a line-oriented text format:
+// a count line followed by one quoted label per line in ID order.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "%d\n", len(d.strs))
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, s := range d.strs {
+		k, err = fmt.Fprintf(bw, "%s\n", strconv.Quote(s))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDict deserializes a dictionary written by WriteTo.
+func ReadDict(r io.Reader) (*Dict, error) {
+	br := bufio.NewReader(r)
+	var count int
+	if _, err := fmt.Fscanf(br, "%d\n", &count); err != nil {
+		return nil, fmt.Errorf("xmltree: reading dict header: %w", err)
+	}
+	d := NewDict()
+	for i := 0; i < count; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: reading dict entry %d: %w", i, err)
+		}
+		s, err := strconv.Unquote(line[:len(line)-1])
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: unquoting dict entry %d: %w", i, err)
+		}
+		d.strs = append(d.strs, s)
+		d.ids[s] = uint32(len(d.strs))
+	}
+	return d, nil
+}

@@ -1,0 +1,87 @@
+package xmltree
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestDictAssignAndLookup(t *testing.T) {
+	d := NewDict()
+	a := d.ID("alpha")
+	b := d.ID("beta")
+	if a != 1 || b != 2 {
+		t.Fatalf("IDs = %d, %d; want 1, 2", a, b)
+	}
+	if again := d.ID("alpha"); again != a {
+		t.Errorf("re-ID(alpha) = %d, want %d", again, a)
+	}
+	if id, ok := d.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Error("Lookup(gamma) should miss")
+	}
+	if d.Label(a) != "alpha" || d.Label(0) != "" {
+		t.Error("Label lookup wrong")
+	}
+	if d.Label(99) == "" {
+		t.Error("unknown ID should render a placeholder, not empty")
+	}
+	if d.MaxID() != 2 || d.Len() != 2 {
+		t.Errorf("MaxID=%d Len=%d", d.MaxID(), d.Len())
+	}
+	labels := d.Labels()
+	if len(labels) != 2 || labels[0] != "alpha" || labels[1] != "beta" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	for _, s := range []string{"a", "weird \"label\"", "tab\there", "ünïcode"} {
+		d.ID(s)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", back.Len(), d.Len())
+	}
+	for _, s := range []string{"a", "weird \"label\"", "tab\there", "ünïcode"} {
+		want, _ := d.Lookup(s)
+		got, ok := back.Lookup(s)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %d, %v; want %d", s, got, ok, want)
+		}
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	labels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l := labels[i%len(labels)]
+				id := d.ID(l)
+				if d.Label(id) != l {
+					t.Errorf("Label(ID(%q)) mismatch", l)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() != len(labels) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(labels))
+	}
+}

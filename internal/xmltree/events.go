@@ -1,0 +1,137 @@
+package xmltree
+
+import "io"
+
+// EventKind discriminates the events of a SAX-style stream over an XML
+// tree, matching the input model of the paper's Algorithm 1
+// (CONSTRUCT-ENTRIES): open tags, close tags and character data.
+type EventKind uint8
+
+const (
+	// Open is generated when an element's start tag is encountered.
+	Open EventKind = iota
+	// Close is generated when an element's end tag is encountered.
+	Close
+	// TextEvent is generated for a text node between tags.
+	TextEvent
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Open:
+		return "open"
+	case Close:
+		return "close"
+	case TextEvent:
+		return "text"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a single parsing event. Ptr is an opaque pointer into primary
+// storage identifying where the subtree rooted at this element starts; it
+// is carried through bisimulation construction and becomes the B-tree
+// payload (paper Algorithm 1, x.start_ptr).
+type Event struct {
+	Kind  EventKind
+	Label string // element label for Open/Close
+	Value string // character data for TextEvent
+	Ptr   uint64
+}
+
+// EventStream produces parsing events. Next returns io.EOF after the last
+// event.
+type EventStream interface {
+	Next() (Event, error)
+}
+
+// treeStream walks an in-memory tree emitting events. Ptr values are the
+// preorder ordinal of each node offset by base, which is sufficient for
+// in-memory use; storage-backed streams supply real byte offsets instead.
+type treeStream struct {
+	stack []frame
+	next  uint64
+}
+
+type frame struct {
+	node *Node
+	ptr  uint64
+	idx  int // next child index; -1 means the open event is pending
+}
+
+// NewTreeStream returns an EventStream over the given tree. base is added
+// to every pointer, letting a caller stream several documents with
+// non-overlapping pointer ranges.
+func NewTreeStream(root *Node, base uint64) EventStream {
+	ts := &treeStream{next: base}
+	if root != nil {
+		ts.stack = append(ts.stack, frame{node: root, idx: -1})
+	}
+	return ts
+}
+
+func (ts *treeStream) Next() (Event, error) {
+	for len(ts.stack) > 0 {
+		top := &ts.stack[len(ts.stack)-1]
+		if top.idx < 0 {
+			top.idx = 0
+			top.ptr = ts.next
+			ts.next++
+			if top.node.IsText() {
+				// Emit the text event and pop immediately; text nodes
+				// have no close event.
+				ev := Event{Kind: TextEvent, Value: top.node.Value, Ptr: top.ptr}
+				ts.stack = ts.stack[:len(ts.stack)-1]
+				return ev, nil
+			}
+			return Event{Kind: Open, Label: top.node.Label, Ptr: top.ptr}, nil
+		}
+		if top.idx < len(top.node.Children) {
+			child := top.node.Children[top.idx]
+			top.idx++
+			ts.stack = append(ts.stack, frame{node: child, idx: -1})
+			continue
+		}
+		ev := Event{Kind: Close, Label: top.node.Label, Ptr: top.ptr}
+		ts.stack = ts.stack[:len(ts.stack)-1]
+		return ev, nil
+	}
+	return Event{}, io.EOF
+}
+
+// SliceStream replays a fixed slice of events; it is used by tests and by
+// the bisimulation traveler.
+type SliceStream struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceStream returns a stream over the given events.
+func NewSliceStream(events []Event) *SliceStream {
+	return &SliceStream{events: events}
+}
+
+func (s *SliceStream) Next() (Event, error) {
+	if s.pos >= len(s.events) {
+		return Event{}, io.EOF
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, nil
+}
+
+// Collect drains a stream into a slice, mainly for tests.
+func Collect(s EventStream) ([]Event, error) {
+	var out []Event
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,60 @@
+package xmltree
+
+import (
+	"io"
+	"testing"
+)
+
+func TestTreeStreamEvents(t *testing.T) {
+	n := Elem("a", Elem("b", Text("x")), Elem("c"))
+	evs, err := Collect(NewTreeStream(n, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []EventKind{Open, Open, TextEvent, Close, Open, Close, Close}
+	labels := []string{"a", "b", "", "b", "c", "c", "a"}
+	if len(evs) != len(kinds) {
+		t.Fatalf("events = %d, want %d", len(evs), len(kinds))
+	}
+	for i, ev := range evs {
+		if ev.Kind != kinds[i] || ev.Label != labels[i] {
+			t.Errorf("event %d = %v %q, want %v %q", i, ev.Kind, ev.Label, kinds[i], labels[i])
+		}
+	}
+	// Open/Close pairs of the same element carry the same pointer, and
+	// all pointers are offset by the base.
+	if evs[0].Ptr != 100 || evs[6].Ptr != 100 {
+		t.Errorf("root pointers = %d, %d", evs[0].Ptr, evs[6].Ptr)
+	}
+	if evs[1].Ptr != evs[3].Ptr {
+		t.Error("open/close pointers differ for b")
+	}
+}
+
+func TestTreeStreamEmpty(t *testing.T) {
+	s := NewTreeStream(nil, 0)
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestSliceStreamReplay(t *testing.T) {
+	src := []Event{{Kind: Open, Label: "a"}, {Kind: Close, Label: "a"}}
+	s := NewSliceStream(src)
+	out, err := Collect(s)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("collect: %v %d", err, len(out))
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Error("exhausted stream should return EOF")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Open.String() != "open" || Close.String() != "close" || TextEvent.String() != "text" {
+		t.Error("kind strings wrong")
+	}
+	if EventKind(9).String() != "unknown" {
+		t.Error("unknown kind string wrong")
+	}
+}

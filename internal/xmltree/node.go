@@ -1,0 +1,179 @@
+// Package xmltree provides the XML document model used throughout FIX:
+// an in-memory node tree, a SAX-style event stream abstraction, parsing
+// from and serialization to textual XML, and a compact binary subtree
+// encoding with a zero-copy navigation cursor.
+//
+// The model is deliberately small: elements carry a label, text nodes carry
+// a value, and that is all the structure the FIX index (and the paper's
+// bisimulation machinery) cares about. Attributes, comments, processing
+// instructions and namespaces are outside the paper's data model and are
+// skipped by the parser.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a single node of an XML tree. An element node has a non-empty
+// Label; a text node has an empty Label and carries its character data in
+// Value. Text nodes never have children.
+type Node struct {
+	Label    string
+	Value    string
+	Children []*Node
+}
+
+// Elem constructs an element node with the given label and children.
+func Elem(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// Text constructs a text node carrying the given character data.
+func Text(value string) *Node {
+	return &Node{Value: value}
+}
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n.Label == "" }
+
+// Append adds children to n and returns n for chaining.
+func (n *Node) Append(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Depth returns the depth of the subtree rooted at n. A leaf has depth 1.
+// Text nodes count as nodes, matching the paper's treatment of values as
+// labeled leaf children of their parent element.
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// CountElements returns the number of element nodes in the subtree rooted
+// at n, including n itself if it is an element.
+func (n *Node) CountElements() int {
+	if n == nil {
+		return 0
+	}
+	total := 0
+	if !n.IsText() {
+		total = 1
+	}
+	for _, c := range n.Children {
+		total += c.CountElements()
+	}
+	return total
+}
+
+// CountNodes returns the number of nodes (elements and text) in the
+// subtree rooted at n.
+func (n *Node) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Walk visits every node of the subtree in document (preorder) order.
+// It stops early if fn returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Child returns the first element child with the given label, or nil.
+func (n *Node) Child(label string) *Node {
+	for _, c := range n.Children {
+		if c.Label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// TextContent returns the concatenation of all text node values directly
+// under n.
+func (n *Node) TextContent() string {
+	var sb strings.Builder
+	for _, c := range n.Children {
+		if c.IsText() {
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// String renders a compact single-line summary of the node, useful in
+// test failure messages. It is not valid XML; use Marshal for that.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	if n.IsText() {
+		return fmt.Sprintf("%q", n.Value)
+	}
+	if len(n.Children) == 0 {
+		return "(" + n.Label + ")"
+	}
+	parts := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		parts = append(parts, c.String())
+	}
+	return "(" + n.Label + " " + strings.Join(parts, " ") + ")"
+}
+
+// Equal reports whether two trees are structurally identical, including
+// text values and child order.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Label != o.Label || n.Value != o.Value || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Label: n.Label, Value: n.Value}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}

@@ -1,0 +1,127 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Node {
+	return Elem("bib",
+		Elem("article",
+			Elem("title", Text("t1")),
+			Elem("author",
+				Elem("address"),
+				Elem("email"))),
+		Elem("book",
+			Elem("title", Text("t2")),
+			Elem("author",
+				Elem("affiliation"))))
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		n    *Node
+		want int
+	}{
+		{nil, 0},
+		{Elem("a"), 1},
+		{Elem("a", Elem("b")), 2},
+		{Elem("a", Text("x")), 2},
+		{sample(), 5}, // bib/article/title/"t1" is 4; bib/article/author/email is 4... deepest is 4? see below
+	}
+	// bib -> article -> title -> text = 4 levels; bib -> article -> author -> email = 4.
+	cases[4].want = 4
+	for i, c := range cases {
+		if got := c.n.Depth(); got != c.want {
+			t.Errorf("case %d: Depth() = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	n := sample()
+	// bib, article, title, author, address, email, book, title, author,
+	// affiliation = 10 elements; plus two text nodes.
+	if got := n.CountElements(); got != 10 {
+		t.Errorf("CountElements = %d, want 10", got)
+	}
+	if got := n.CountNodes(); got != 12 {
+		t.Errorf("CountNodes = %d, want 12", got)
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	n := sample()
+	var order []string
+	n.Walk(func(x *Node) bool {
+		if x.IsText() {
+			order = append(order, "#"+x.Value)
+		} else {
+			order = append(order, x.Label)
+		}
+		return true
+	})
+	want := "bib article title #t1 author address email book title #t2 author affiliation"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("walk order = %q, want %q", got, want)
+	}
+	count := 0
+	n.Walk(func(x *Node) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d nodes, want 3", count)
+	}
+}
+
+func TestChildAndTextContent(t *testing.T) {
+	n := sample()
+	art := n.Child("article")
+	if art == nil || art.Label != "article" {
+		t.Fatalf("Child(article) = %v", art)
+	}
+	if n.Child("nope") != nil {
+		t.Error("Child(nope) should be nil")
+	}
+	title := art.Child("title")
+	if got := title.TextContent(); got != "t1" {
+		t.Errorf("TextContent = %q, want t1", got)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := sample()
+	b := sample()
+	if !a.Equal(b) {
+		t.Error("identical trees not Equal")
+	}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Error("clone not Equal to original")
+	}
+	c.Children[0].Label = "mutated"
+	if a.Equal(c) {
+		t.Error("mutated clone still Equal")
+	}
+	if a.Children[0].Label == "mutated" {
+		t.Error("mutating the clone changed the original")
+	}
+	if a.Equal(nil) || !(*Node)(nil).Equal(nil) {
+		t.Error("nil Equal semantics wrong")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	n := Elem("a", Text("x"), Elem("b"))
+	if got := n.String(); got != `(a "x" (b))` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	n := Elem("a").Append(Elem("b"), Text("t"))
+	if len(n.Children) != 2 || n.Children[0].Label != "b" || !n.Children[1].IsText() {
+		t.Errorf("Append built %v", n)
+	}
+}

@@ -1,0 +1,94 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a single XML document from r and returns its root element.
+// Attributes, comments, processing instructions and namespaces are ignored
+// (the paper's data model covers element structure and PCDATA only).
+// Whitespace-only text between elements is dropped.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Label: t.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end tag </%s>", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := strings.TrimSpace(string(t))
+			if s == "" || len(stack) == 0 {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, Text(s))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unterminated element <%s>", stack[len(stack)-1].Label)
+	}
+	return root, nil
+}
+
+// ParseString is a convenience wrapper around Parse.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Marshal writes the subtree rooted at n as compact XML (no indentation,
+// escaped text).
+func Marshal(w io.Writer, n *Node) error {
+	if n == nil {
+		return nil
+	}
+	if n.IsText() {
+		return xml.EscapeText(w, []byte(n.Value))
+	}
+	if _, err := io.WriteString(w, "<"+n.Label+">"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := Marshal(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</"+n.Label+">")
+	return err
+}
+
+// MarshalString renders the subtree as an XML string.
+func MarshalString(n *Node) string {
+	var sb strings.Builder
+	// strings.Builder writes never fail.
+	_ = Marshal(&sb, n)
+	return sb.String()
+}

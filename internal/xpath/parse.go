@@ -1,0 +1,209 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an absolute path expression of the supported fragment:
+//
+//	path    := axis step (axis step)*
+//	axis    := '/' | '//'
+//	step    := name pred*
+//	pred    := '[' rel ( '=' string )? ']'
+//	rel     := ( './/' | '' ) name pred* ( axis name pred* )*
+//	string  := '"' chars '"'
+//
+// Whitespace is permitted around '=' and inside predicates.
+func Parse(input string) (*Path, error) {
+	p := &parser{src: input}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %w (input %q)", err, input)
+	}
+	return path, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed query
+// tables.
+func MustParse(input string) *Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parsePath() (*Path, error) {
+	var path Path
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		axis, ok := p.axis()
+		if !ok {
+			return nil, fmt.Errorf("expected axis at offset %d", p.pos)
+		}
+		step, err := p.step(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return &path, nil
+}
+
+func (p *parser) axis() (Axis, bool) {
+	if !p.eat('/') {
+		return Child, false
+	}
+	if p.eat('/') {
+		return Descendant, true
+	}
+	return Child, true
+}
+
+func (p *parser) step(axis Axis) (*Step, error) {
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	s := &Step{Axis: axis, Name: name}
+	for {
+		p.skipSpace()
+		if !p.eat('[') {
+			break
+		}
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(']') {
+			return nil, fmt.Errorf("expected ']' at offset %d", p.pos)
+		}
+		s.Preds = append(s.Preds, pred)
+	}
+	return s, nil
+}
+
+func (p *parser) predicate() (*Predicate, error) {
+	pred := &Predicate{}
+	p.skipSpace()
+	// Value-only predicate [.="v"] or [. = "v"].
+	if p.peek() == '.' && p.peekAt(1) != '/' {
+		p.pos++
+		p.skipSpace()
+		if !p.eat('=') {
+			return nil, fmt.Errorf("expected '=' after '.' at offset %d", p.pos)
+		}
+		v, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		pred.Value, pred.HasValue = v, true
+		return pred, nil
+	}
+	first := Child
+	if strings.HasPrefix(p.src[p.pos:], ".//") {
+		p.pos += 3
+		first = Descendant
+	} else if strings.HasPrefix(p.src[p.pos:], "//") {
+		p.pos += 2
+		first = Descendant
+	}
+	for {
+		step, err := p.step(first)
+		if err != nil {
+			return nil, err
+		}
+		pred.Path = append(pred.Path, step)
+		p.skipSpace()
+		axis, ok := p.axis()
+		if !ok {
+			break
+		}
+		first = axis
+	}
+	p.skipSpace()
+	if p.eat('=') {
+		v, err := p.quoted()
+		if err != nil {
+			return nil, err
+		}
+		pred.Value, pred.HasValue = v, true
+	}
+	return pred, nil
+}
+
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected name at offset %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) quoted() (string, error) {
+	p.skipSpace()
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return "", fmt.Errorf("expected quoted string at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated string starting at offset %d", start)
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) peekAt(off int) byte {
+	if p.pos+off < len(p.src) {
+		return p.src[p.pos+off]
+	}
+	return 0
+}
+
+func isNameRune(r rune) bool {
+	return r == '_' || r == '-' || r == ':' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

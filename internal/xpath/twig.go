@@ -1,0 +1,54 @@
+package xpath
+
+// Twig decomposition (paper §5). A twig query may only use child axes
+// below its root, so a general query tree with internal descendant edges
+// is decomposed into maximal child-axis-connected components ("twigs")
+// joined by descendant edges. For example
+//
+//	//open_auction[.//bidder[name][email]]/price
+//
+// decomposes into the top twig //open_auction/price and the descendant
+// twig //bidder[name][email].
+
+// Twig is one component of the decomposition: a query tree whose internal
+// edges are all child axes. Top marks the twig containing the original
+// query root.
+type Twig struct {
+	Root *QNode
+	Top  bool
+}
+
+// IsTwig reports whether the query tree rooted at n is already a twig
+// (no descendant edges below the root).
+func (n *QNode) IsTwig() bool { return !n.HasDescendantEdge() }
+
+// Decompose splits the query tree into twigs. The first element is always
+// the top twig. The input tree is not modified; twig trees are copies with
+// descendant-edge children cut.
+func Decompose(root *QNode) []*Twig {
+	if root == nil {
+		return nil
+	}
+	var twigs []*Twig
+	var build func(n *QNode) *QNode
+	var queue []*QNode
+	build = func(n *QNode) *QNode {
+		cp := &QNode{Name: n.Name, Axis: n.Axis, IsValue: n.IsValue, Value: n.Value, Output: n.Output}
+		for _, c := range n.Children {
+			if c.Axis == Descendant {
+				queue = append(queue, c)
+				continue
+			}
+			cp.Children = append(cp.Children, build(c))
+		}
+		return cp
+	}
+	top := build(root)
+	twigs = append(twigs, &Twig{Root: top, Top: true})
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		twigs = append(twigs, &Twig{Root: build(n)})
+	}
+	return twigs
+}
