@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build vet test race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: vet, build, tests (the fault-injection
+# and crash-recovery suites run as part of the default test set), then the
+# race detector.
+check: vet build test race

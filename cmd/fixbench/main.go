@@ -26,9 +26,10 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ one tenth of the paper's element counts)")
 		seed    = flag.Int64("seed", 42, "generator seed")
 		queries = flag.Int("queries", 200, "random queries per dataset for fig5 (paper: 1000)")
+		verify  = flag.Bool("verify", false, "verify the integrity of every index built during the run")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *seed, *queries); err != nil {
+	if err := run(*exp, *scale, *seed, *queries, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "fixbench:", err)
 		os.Exit(1)
 	}
@@ -55,7 +56,7 @@ func (e *envs) get(ds datagen.Dataset) (*experiments.Env, error) {
 	return env, nil
 }
 
-func run(exp string, scale float64, seed int64, queries int) error {
+func run(exp string, scale float64, seed int64, queries int, verify bool) error {
 	e := &envs{
 		cfg:   datagen.Config{Seed: seed, Scale: scale},
 		cache: make(map[datagen.Dataset]*experiments.Env),
@@ -239,6 +240,14 @@ func run(exp string, scale float64, seed int64, queries int) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if verify {
+		for ds, env := range e.cache {
+			if err := env.VerifyIndexes(); err != nil {
+				return fmt.Errorf("verifying %s indexes: %w", ds, err)
+			}
+			fmt.Printf("[verify] %s: all built indexes sound\n", ds)
+		}
 	}
 	return nil
 }

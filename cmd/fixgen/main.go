@@ -27,19 +27,20 @@ func main() {
 		seed    = flag.Int64("seed", 42, "generator seed")
 		out     = flag.String("out", "", "output database directory (or file with -xml)")
 		asXML   = flag.Bool("xml", false, "write XML text instead of a database directory")
+		verify  = flag.Bool("verify", false, "reopen the written database and check it round-trips")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "fixgen: -out is required")
 		os.Exit(2)
 	}
-	if err := run(datagen.Dataset(*dataset), datagen.Config{Seed: *seed, Scale: *scale}, *out, *asXML); err != nil {
+	if err := run(datagen.Dataset(*dataset), datagen.Config{Seed: *seed, Scale: *scale}, *out, *asXML, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "fixgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds datagen.Dataset, cfg datagen.Config, out string, asXML bool) error {
+func run(ds datagen.Dataset, cfg datagen.Config, out string, asXML, verify bool) error {
 	st, err := datagen.Generate(ds, cfg)
 	if err != nil {
 		return err
@@ -118,5 +119,47 @@ func run(ds datagen.Dataset, cfg datagen.Config, out string, asXML bool) error {
 	}
 	fmt.Printf("wrote %s: %d documents, %d elements, %d labels\n",
 		out, dst.NumRecords(), elems, st.Dict().Len())
+	if verify {
+		if err := verifyDB(out, st.NumRecords(), elems); err != nil {
+			return fmt.Errorf("verifying %s: %w", out, err)
+		}
+		fmt.Printf("verified %s: reopened database matches the generated data\n", out)
+	}
+	return nil
+}
+
+// verifyDB reopens the written database from scratch and re-derives the
+// document and element counts, catching truncated or unreadable output
+// before it is used in an experiment.
+func verifyDB(dir string, wantDocs, wantElems int) error {
+	df, err := os.Open(filepath.Join(dir, "labels.dict"))
+	if err != nil {
+		return err
+	}
+	dict, err := xmltree.ReadDict(df)
+	df.Close()
+	if err != nil {
+		return err
+	}
+	hf, err := storage.Open(filepath.Join(dir, "data.heap"))
+	if err != nil {
+		return err
+	}
+	st, err := storage.OpenStore(hf, dict)
+	if err != nil {
+		hf.Close()
+		return err
+	}
+	defer st.Close()
+	if st.NumRecords() != wantDocs {
+		return fmt.Errorf("reopened store holds %d documents, wrote %d", st.NumRecords(), wantDocs)
+	}
+	elems, err := st.CountElements()
+	if err != nil {
+		return err
+	}
+	if elems != wantElems {
+		return fmt.Errorf("reopened store holds %d elements, wrote %d", elems, wantElems)
+	}
 	return nil
 }

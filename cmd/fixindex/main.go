@@ -8,6 +8,8 @@
 //	fixindex -db /tmp/xmarkdb metrics '//item[name]/mailbox'
 //	fixindex -db /tmp/xmarkdb add doc.xml
 //	fixindex -db /tmp/xmarkdb stats
+//	fixindex -db /tmp/xmarkdb verify
+//	fixindex -db /tmp/xmarkdb repair
 package main
 
 import (
@@ -40,7 +42,9 @@ commands:
   query XPATH                                          run a query
   metrics XPATH                                        report sel/pp/fpr
   add FILE...                                          add XML documents
-  stats                                                database statistics`)
+  stats                                                database statistics
+  verify                                               check index integrity
+  repair                                               rebuild a damaged index`)
 }
 
 func run(dbdir string, args []string) error {
@@ -134,6 +138,46 @@ func run(dbdir string, args []string) error {
 			m.Selectivity*100, m.PruningPower*100, m.FalsePosRatio*100)
 		return nil
 
+	case "verify":
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if !db.HasIndex() {
+			return fmt.Errorf("no index to verify (run 'build' first)")
+		}
+		if err := db.IndexHealth(); err != nil {
+			fmt.Printf("index degraded: %v\n", err)
+			fmt.Println("queries fall back to sequential scans; run 'repair' to rebuild")
+			return nil
+		}
+		if err := db.VerifyIndex(); err != nil {
+			fmt.Printf("index corrupt: %v\n", err)
+			fmt.Println("run 'repair' to rebuild")
+			return nil
+		}
+		fmt.Printf("index ok: %d entries verified\n", db.IndexEntries())
+		return nil
+
+	case "repair":
+		db, err := fix.Open(dbdir)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if !db.HasIndex() {
+			return fmt.Errorf("no index to repair (run 'build' first)")
+		}
+		if err := db.RebuildIndex(); err != nil {
+			return err
+		}
+		if err := db.VerifyIndex(); err != nil {
+			return fmt.Errorf("rebuilt index still fails verification: %w", err)
+		}
+		fmt.Printf("index rebuilt: %d entries, %s\n", db.IndexEntries(), sizeStr(db.IndexSizeBytes()))
+		return nil
+
 	case "stats":
 		db, err := fix.Open(dbdir)
 		if err != nil {
@@ -143,6 +187,9 @@ func run(dbdir string, args []string) error {
 		fmt.Printf("documents: %d\n", db.NumDocuments())
 		if db.HasIndex() {
 			fmt.Printf("index: %d entries, %s\n", db.IndexEntries(), sizeStr(db.IndexSizeBytes()))
+			if err := db.IndexHealth(); err != nil {
+				fmt.Printf("index health: degraded (%v)\n", err)
+			}
 		} else {
 			fmt.Println("index: none")
 		}

@@ -22,6 +22,7 @@
 package fix
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -35,6 +36,13 @@ import (
 	"github.com/fix-index/fix/internal/xmltree"
 	"github.com/fix-index/fix/internal/xpath"
 )
+
+// ErrCorrupt reports that index data on disk failed validation (a page
+// checksum mismatch, a torn write, structural damage). Errors returned by
+// VerifyIndex and IndexHealth can be tested against it with errors.Is. A
+// corrupt index never produces wrong query answers: queries degrade to a
+// full scan of the primary store until RebuildIndex repairs the index.
+var ErrCorrupt = core.ErrCorrupt
 
 // DB is a document database with an optional FIX index. It is not safe
 // for concurrent mutation; concurrent queries are safe once the index is
@@ -83,6 +91,10 @@ type Result struct {
 	// pipeline: total index entries, entries surviving the feature
 	// filter, and candidates that produced at least one result.
 	Entries, Candidates, MatchedEntries int
+	// ScanFallback reports that the index was degraded (corruption was
+	// detected, or it is stale relative to the store) and the result came
+	// from a full sequential scan instead. The count is still exact.
+	ScanFallback bool
 }
 
 // Metrics are the implementation-independent effectiveness measures of
@@ -121,8 +133,14 @@ func Create(dir string) (*DB, error) {
 }
 
 // Open opens a database previously persisted with Save, including its
-// index if one was built.
+// index if one was built. Before reading any index file it completes or
+// discards a commit a crash interrupted (see core.Recover); if the index
+// turns out to be corrupt or stale, the database still opens, IndexHealth
+// reports the problem, and queries answer via the scan fallback.
 func Open(dir string) (*DB, error) {
+	if err := core.Recover(dir); err != nil {
+		return nil, fmt.Errorf("fix: recovering index journal: %w", err)
+	}
 	df, err := os.Open(filepath.Join(dir, "labels.dict"))
 	if err != nil {
 		return nil, err
@@ -244,6 +262,46 @@ func (db *DB) BuildIndex(opts IndexOptions) error {
 // HasIndex reports whether an index is available.
 func (db *DB) HasIndex() bool { return db.index != nil }
 
+// IndexHealth returns nil when there is no index or the index is healthy,
+// and otherwise the reason the index was degraded (test with errors.Is
+// against ErrCorrupt). A degraded index still answers queries correctly
+// via the scan fallback; RebuildIndex restores full speed.
+func (db *DB) IndexHealth() error {
+	if db.index == nil {
+		return nil
+	}
+	return db.index.Health()
+}
+
+// VerifyIndex checks the on-disk integrity of the index: every B-tree
+// page checksum and structure, entry counts, and that every entry points
+// at an existing record. It returns nil for a sound index, an error
+// wrapping ErrCorrupt otherwise, and an error if no index exists.
+func (db *DB) VerifyIndex() error {
+	if db.index == nil {
+		return fmt.Errorf("fix: no index to verify")
+	}
+	return db.index.Verify()
+}
+
+// RebuildIndex reconstructs the index from the primary store using the
+// options it was built with, replacing the B-tree (and clustered heap)
+// files. It is the repair path for a corrupt or stale index.
+func (db *DB) RebuildIndex() error {
+	if db.index == nil {
+		return fmt.Errorf("fix: no index to rebuild")
+	}
+	ix, err := core.Build(db.store, db.index.Options())
+	if err != nil {
+		return err
+	}
+	db.index = ix
+	if db.dir != "" {
+		return ix.Save()
+	}
+	return nil
+}
+
 // IndexEntries returns the number of index entries, or 0 without an
 // index.
 func (db *DB) IndexEntries() int {
@@ -287,6 +345,7 @@ func (db *DB) Query(expr string) (Result, error) {
 			Entries:        res.Entries,
 			Candidates:     res.Candidates,
 			MatchedEntries: res.Matched,
+			ScanFallback:   res.Fallback,
 		}, nil
 	}
 	count, err := db.scanCount(q)
@@ -335,24 +394,30 @@ func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
 	var scan func(rec uint32) (bool, error)
 	if db.index != nil && db.index.Covered(q) {
 		cands, _, err := db.index.Candidates(q)
-		if err != nil {
+		switch {
+		case errors.Is(err, core.ErrDegraded):
+			// The index cannot be trusted; scan every document instead.
+			break
+		case err != nil:
 			return nil, err
-		}
-		candDocs := make(map[uint32]bool, len(cands))
-		for _, c := range cands {
-			candDocs[c.Primary.Rec()] = true
-		}
-		scan = func(rec uint32) (bool, error) {
-			if !candDocs[rec] {
-				return false, nil
+		default:
+			candDocs := make(map[uint32]bool, len(cands))
+			for _, c := range cands {
+				candDocs[c.Primary.Rec()] = true
 			}
-			cur, err := db.store.Cursor(rec)
-			if err != nil {
-				return false, err
+			scan = func(rec uint32) (bool, error) {
+				if !candDocs[rec] {
+					return false, nil
+				}
+				cur, err := db.store.Cursor(rec)
+				if err != nil {
+					return false, err
+				}
+				return nq.Exists(cur, 0), nil
 			}
-			return nq.Exists(cur, 0), nil
 		}
-	} else {
+	}
+	if scan == nil {
 		scan = func(rec uint32) (bool, error) {
 			cur, err := db.store.Cursor(rec)
 			if err != nil {

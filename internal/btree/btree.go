@@ -9,7 +9,7 @@ import (
 )
 
 const (
-	magic = "FIXBT001"
+	magic = "FIXBT002" // 002: checksummed page headers
 	// DefaultPageSize is the page size used unless overridden.
 	DefaultPageSize = 4096
 	// DefaultCacheSize is the default number of cached pages.
@@ -49,7 +49,7 @@ func Create(f storage.File, pageSize, cacheSize int) (*Tree, error) {
 		return nil, err
 	}
 	rootNode := &node{id: rootPg.id, leaf: true}
-	rootNode.encode(rootPg.buf)
+	rootNode.encode(rootPg.payload())
 	t.p.markDirty(rootPg)
 	t.root = rootPg.id
 	t.height = 1
@@ -59,24 +59,41 @@ func Create(f storage.File, pageSize, cacheSize int) (*Tree, error) {
 	return t, nil
 }
 
-// Open loads an existing tree from f.
+// Open loads an existing tree from f. Corruption of the meta page — a bad
+// magic, an implausible page size, or a checksum mismatch — is reported as
+// ErrCorrupt so callers can degrade gracefully instead of mis-reading the
+// tree.
 func Open(f storage.File, cacheSize int) (*Tree, error) {
-	var hdr [40]byte
+	// The page size must be known before the meta page can be
+	// checksum-verified, so peek at the raw header first.
+	var hdr [pageHeaderSize + 40]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		return nil, fmt.Errorf("btree: reading meta: %w", err)
+		return nil, fmt.Errorf("%w: reading meta: %v", ErrCorrupt, err)
 	}
-	if string(hdr[:8]) != magic {
-		return nil, fmt.Errorf("btree: bad magic %q", hdr[:8])
+	raw := hdr[pageHeaderSize:]
+	if string(raw[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[:8])
 	}
-	pageSize := int(binary.BigEndian.Uint32(hdr[8:12]))
+	pageSize := int(binary.BigEndian.Uint32(raw[8:12]))
+	if pageSize < 256 || pageSize > 1<<24 {
+		return nil, fmt.Errorf("%w: implausible page size %d", ErrCorrupt, pageSize)
+	}
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
 	t := &Tree{p: newPager(f, pageSize, cacheSize)}
-	t.root = binary.BigEndian.Uint32(hdr[12:16])
-	t.p.npages = binary.BigEndian.Uint32(hdr[16:20])
-	t.count = binary.BigEndian.Uint64(hdr[20:28])
-	t.height = binary.BigEndian.Uint32(hdr[28:32])
+	pg, err := t.p.read(0)
+	if err != nil {
+		return nil, err
+	}
+	meta := pg.payload()
+	t.root = binary.BigEndian.Uint32(meta[12:16])
+	t.p.npages = binary.BigEndian.Uint32(meta[16:20])
+	t.count = binary.BigEndian.Uint64(meta[20:28])
+	t.height = binary.BigEndian.Uint32(meta[28:32])
+	if t.p.npages < 2 || t.root == 0 || t.root >= t.p.npages || t.height == 0 {
+		return nil, fmt.Errorf("%w: meta page: npages=%d root=%d height=%d", ErrCorrupt, t.p.npages, t.root, t.height)
+	}
 	return t, nil
 }
 
@@ -85,12 +102,13 @@ func (t *Tree) writeMeta() error {
 	if err != nil {
 		return err
 	}
-	copy(pg.buf[:8], magic)
-	binary.BigEndian.PutUint32(pg.buf[8:12], uint32(t.p.pageSize))
-	binary.BigEndian.PutUint32(pg.buf[12:16], t.root)
-	binary.BigEndian.PutUint32(pg.buf[16:20], t.p.npages)
-	binary.BigEndian.PutUint64(pg.buf[20:28], t.count)
-	binary.BigEndian.PutUint32(pg.buf[28:32], t.height)
+	meta := pg.payload()
+	copy(meta[:8], magic)
+	binary.BigEndian.PutUint32(meta[8:12], uint32(t.p.pageSize))
+	binary.BigEndian.PutUint32(meta[12:16], t.root)
+	binary.BigEndian.PutUint32(meta[16:20], t.p.npages)
+	binary.BigEndian.PutUint64(meta[20:28], t.count)
+	binary.BigEndian.PutUint32(meta[28:32], t.height)
 	t.p.markDirty(pg)
 	return nil
 }
@@ -118,14 +136,17 @@ func (t *Tree) Flush() error {
 	return t.p.flush()
 }
 
-func (t *Tree) maxEntry() int { return t.p.pageSize / 4 }
+// payloadSize is the space available to a node on one page.
+func (t *Tree) payloadSize() int { return t.p.pageSize - pageHeaderSize }
+
+func (t *Tree) maxEntry() int { return t.payloadSize() / 4 }
 
 func (t *Tree) loadNode(id uint32) (*node, error) {
 	pg, err := t.p.read(id)
 	if err != nil {
 		return nil, err
 	}
-	return decodeNode(id, pg.buf)
+	return decodeNode(id, pg.payload())
 }
 
 func (t *Tree) storeNode(n *node) error {
@@ -133,7 +154,7 @@ func (t *Tree) storeNode(n *node) error {
 	if err != nil {
 		return err
 	}
-	n.encode(pg.buf)
+	n.encode(pg.payload())
 	t.p.markDirty(pg)
 	return nil
 }
@@ -189,7 +210,7 @@ func (t *Tree) Put(key, val []byte) error {
 			keys:     [][]byte{sepKey},
 			children: []uint32{newChild},
 		}
-		newRoot.encode(pg.buf)
+		newRoot.encode(pg.payload())
 		t.p.markDirty(pg)
 		t.root = pg.id
 		t.height++
@@ -210,7 +231,7 @@ func (t *Tree) insert(id uint32, key, val []byte) ([]byte, uint32, bool, bool, e
 			// Overwrites may grow the entry past the page capacity, in
 			// which case the leaf splits like a fresh insert would.
 			n.vals[i] = append([]byte(nil), val...)
-			if n.encodedSize() <= t.p.pageSize {
+			if n.encodedSize() <= t.payloadSize() {
 				return nil, 0, false, false, t.storeNode(n)
 			}
 			sep, rightID, err := t.splitLeaf(n)
@@ -222,7 +243,7 @@ func (t *Tree) insert(id uint32, key, val []byte) ([]byte, uint32, bool, bool, e
 		n.vals = append(n.vals, nil)
 		copy(n.vals[i+1:], n.vals[i:])
 		n.vals[i] = append([]byte(nil), val...)
-		if n.encodedSize() <= t.p.pageSize {
+		if n.encodedSize() <= t.payloadSize() {
 			return nil, 0, false, true, t.storeNode(n)
 		}
 		sep, rightID, err := t.splitLeaf(n)
@@ -244,7 +265,7 @@ func (t *Tree) insert(id uint32, key, val []byte) ([]byte, uint32, bool, bool, e
 	n.children = append(n.children, 0)
 	copy(n.children[i+1:], n.children[i:])
 	n.children[i] = newChild
-	if n.encodedSize() <= t.p.pageSize {
+	if n.encodedSize() <= t.payloadSize() {
 		return nil, 0, false, added, t.storeNode(n)
 	}
 	upSep, rightID, err := t.splitInternal(n)
@@ -269,7 +290,7 @@ func (t *Tree) splitLeaf(n *node) ([]byte, uint32, error) {
 	n.keys = n.keys[:mid]
 	n.vals = n.vals[:mid]
 	n.next = right.id
-	right.encode(pg.buf)
+	right.encode(pg.payload())
 	t.p.markDirty(pg)
 	if err := t.storeNode(n); err != nil {
 		return nil, 0, err
@@ -294,7 +315,7 @@ func (t *Tree) splitInternal(n *node) ([]byte, uint32, error) {
 	}
 	n.keys = n.keys[:mid]
 	n.children = n.children[:mid]
-	right.encode(pg.buf)
+	right.encode(pg.payload())
 	t.p.markDirty(pg)
 	if err := t.storeNode(n); err != nil {
 		return nil, 0, err
@@ -363,5 +384,58 @@ func (t *Tree) ClearCache() error {
 	}
 	t.p.cache = make(map[uint32]*page, t.p.cap)
 	t.p.lru.Init()
+	return nil
+}
+
+// PageSize returns the tree's page size in bytes.
+func (t *Tree) PageSize() int { return t.p.pageSize }
+
+// DirtyPage is a checksummed copy of one modified page, ready to be
+// journaled before an atomic commit.
+type DirtyPage struct {
+	ID   uint32
+	Data []byte
+}
+
+// DirtyPages stamps the meta page and returns checksummed copies of every
+// dirty page in id order, without writing anything. A following Flush
+// writes byte-identical pages in place, so a journal built from this
+// snapshot replays to exactly the committed state.
+func (t *Tree) DirtyPages() ([]DirtyPage, error) {
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	ids := t.p.dirtyIDs()
+	out := make([]DirtyPage, 0, len(ids))
+	for _, id := range ids {
+		buf := append([]byte(nil), t.p.cache[id].buf...)
+		stampPage(buf)
+		out = append(out, DirtyPage{ID: id, Data: buf})
+	}
+	return out, nil
+}
+
+// Verify checks the integrity of every allocated page — checksum, format
+// version, and node structure — and that the leaf chain holds exactly the
+// number of entries the meta page claims. It returns the first problem
+// found, wrapping ErrCorrupt for validation failures.
+func (t *Tree) Verify() error {
+	for id := uint32(1); id < t.p.npages; id++ {
+		pg, err := t.p.read(id)
+		if err != nil {
+			return err
+		}
+		if _, err := decodeNode(id, pg.payload()); err != nil {
+			return err
+		}
+	}
+	n := 0
+	err := t.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	if err != nil {
+		return err
+	}
+	if uint64(n) != t.count {
+		return fmt.Errorf("%w: leaf chain holds %d entries, meta page claims %d", ErrCorrupt, n, t.count)
+	}
 	return nil
 }

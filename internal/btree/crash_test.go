@@ -1,0 +1,164 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/fix-index/fix/internal/storage"
+)
+
+func fillTree(t *testing.T, tr *Tree, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		if err := tr.Put(k, []byte(fmt.Sprintf("val%05d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+}
+
+func TestCorruptPageDetected(t *testing.T) {
+	mem := storage.NewMemFile()
+	tr, err := Create(mem, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTree(t, tr, 200)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on every page except the meta page.
+	sz, err := mem.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := []byte{0xFF}
+	for off := int64(512) + 100; off < sz; off += 512 {
+		if _, err := mem.WriteAt(one, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re, err := Open(mem, 0)
+	if err != nil {
+		t.Fatalf("open with intact meta page: %v", err)
+	}
+	if _, _, err := re.Get([]byte("key00000")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on corrupt page: got %v, want ErrCorrupt", err)
+	}
+	if err := re.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptMetaPageRejectedAtOpen(t *testing.T) {
+	mem := storage.NewMemFile()
+	tr, err := Create(mem, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTree(t, tr, 10)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Damage the meta page past the magic, so only the checksum can tell.
+	if _, err := mem.WriteAt([]byte{0xFF}, pageHeaderSize+20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(mem, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt meta page: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTornPageDetected(t *testing.T) {
+	mem := storage.NewMemFile()
+	tr, err := Create(mem, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTree(t, tr, 200)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: the first half of page 1 is from a different
+	// (zeroed) version than the second half.
+	if _, err := mem.WriteAt(make([]byte, 256), 512); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = re.Scan(nil, nil, func(k, v []byte) bool { return true })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan over torn page: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEvictionWriteFailureSurfacesAtFlush pins the satellite fix for the
+// silent data-loss hazard: if an eviction write-back fails, the page
+// stays resident and the error must resurface from Flush, never be
+// swallowed.
+func TestEvictionWriteFailureSurfacesAtFlush(t *testing.T) {
+	pl := &storage.FaultPlan{FailWrite: 1}
+	tr, err := Create(pl.Wrap(storage.NewMemFile()), 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No write happens until the cache overflows, so the first physical
+	// write is an eviction write-back — which the plan fails.
+	fillTree(t, tr, 500)
+	if !pl.Tripped() {
+		t.Fatal("500 inserts at cache size 8 caused no eviction")
+	}
+	if err := tr.Flush(); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Flush after failed eviction: got %v, want the eviction's error", err)
+	}
+}
+
+// TestTransientEvictionFailureRecovers checks the other half of the
+// contract: after a one-off eviction failure, the page is still resident
+// and dirty, so a later Flush rewrites it and the tree is fully durable.
+func TestTransientEvictionFailureRecovers(t *testing.T) {
+	pl := &storage.FaultPlan{FailWrite: 1, OneShot: true}
+	mem := storage.NewMemFile()
+	tr, err := Create(pl.Wrap(mem), 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	fillTree(t, tr, n)
+	if !pl.Tripped() {
+		t.Fatal("expected an eviction fault to fire")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("Flush retry after transient fault: %v", err)
+	}
+	re, err := Open(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%05d", i))
+		v, ok, err := re.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("val%05d", i) {
+			t.Fatalf("Get(%s) = %q, %v, %v", k, v, ok, err)
+		}
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCleanTree(t *testing.T) {
+	tr := newTree(t, 512)
+	fillTree(t, tr, 300)
+	if err := tr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

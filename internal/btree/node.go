@@ -39,7 +39,7 @@ type node struct {
 
 func decodeNode(id uint32, buf []byte) (*node, error) {
 	if len(buf) < nodeHeaderSize {
-		return nil, fmt.Errorf("btree: page %d too small", id)
+		return nil, fmt.Errorf("%w: page %d too small", ErrCorrupt, id)
 	}
 	n := &node{id: id}
 	switch buf[0] {
@@ -47,25 +47,25 @@ func decodeNode(id uint32, buf []byte) (*node, error) {
 		n.leaf = true
 	case typeInternal:
 	default:
-		return nil, fmt.Errorf("btree: page %d has unknown type %d", id, buf[0])
+		return nil, fmt.Errorf("%w: page %d has unknown type %d", ErrCorrupt, id, buf[0])
 	}
 	nkeys := int(binary.BigEndian.Uint16(buf[1:3]))
 	n.next = binary.BigEndian.Uint32(buf[3:7])
 	pos := nodeHeaderSize
 	for i := 0; i < nkeys; i++ {
 		if pos+2 > len(buf) {
-			return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+			return nil, fmt.Errorf("%w: page %d cell %d overruns page", ErrCorrupt, id, i)
 		}
 		kl := int(binary.BigEndian.Uint16(buf[pos : pos+2]))
 		pos += 2
 		if n.leaf {
 			if pos+2 > len(buf) {
-				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+				return nil, fmt.Errorf("%w: page %d cell %d overruns page", ErrCorrupt, id, i)
 			}
 			vl := int(binary.BigEndian.Uint16(buf[pos : pos+2]))
 			pos += 2
 			if pos+kl+vl > len(buf) {
-				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+				return nil, fmt.Errorf("%w: page %d cell %d overruns page", ErrCorrupt, id, i)
 			}
 			n.keys = append(n.keys, append([]byte(nil), buf[pos:pos+kl]...))
 			pos += kl
@@ -73,7 +73,7 @@ func decodeNode(id uint32, buf []byte) (*node, error) {
 			pos += vl
 		} else {
 			if pos+kl+4 > len(buf) {
-				return nil, fmt.Errorf("btree: page %d cell %d overruns page", id, i)
+				return nil, fmt.Errorf("%w: page %d cell %d overruns page", ErrCorrupt, id, i)
 			}
 			n.keys = append(n.keys, append([]byte(nil), buf[pos:pos+kl]...))
 			pos += kl

@@ -9,6 +9,7 @@ package btree
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"github.com/fix-index/fix/internal/storage"
 )
@@ -29,6 +30,12 @@ type pager struct {
 	cache    map[uint32]*page
 	lru      *list.List // front = most recent
 	stats    Stats
+	// writeErr is the first background write-back failure since the last
+	// fully successful flush. Eviction write-backs are best effort (the
+	// victim stays resident and dirty on failure), so the error must be
+	// surfaced at the next flush/Sync, or a caller could believe a commit
+	// succeeded when data never reached the disk.
+	writeErr error
 }
 
 type page struct {
@@ -37,6 +44,10 @@ type page struct {
 	dirty bool
 	elem  *list.Element
 }
+
+// payload returns the node/meta portion of the page, after the checksum
+// header.
+func (pg *page) payload() []byte { return pg.buf[pageHeaderSize:] }
 
 func newPager(f storage.File, pageSize, cacheSize int) *pager {
 	if cacheSize < 8 {
@@ -61,6 +72,9 @@ func (p *pager) read(id uint32) (*page, error) {
 	buf := make([]byte, p.pageSize)
 	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
 		return nil, fmt.Errorf("btree: reading page %d: %w", id, err)
+	}
+	if err := verifyPage(id, buf); err != nil {
+		return nil, err
 	}
 	p.stats.PageReads++
 	return p.admit(id, buf), nil
@@ -87,7 +101,9 @@ func (p *pager) admit(id uint32, buf []byte) *page {
 			if err := p.writePage(victim); err == nil {
 				victim.dirty = false
 			} else {
-				// Keep the victim resident rather than losing data.
+				// Keep the victim resident rather than losing data, and
+				// record the failure so flush cannot silently succeed.
+				p.writeErr = err
 				p.lru.MoveToFront(tail)
 				break
 			}
@@ -101,6 +117,7 @@ func (p *pager) admit(id uint32, buf []byte) *page {
 func (p *pager) markDirty(pg *page) { pg.dirty = true }
 
 func (p *pager) writePage(pg *page) error {
+	stampPage(pg.buf)
 	if _, err := p.f.WriteAt(pg.buf, int64(pg.id)*int64(p.pageSize)); err != nil {
 		return fmt.Errorf("btree: writing page %d: %w", pg.id, err)
 	}
@@ -108,15 +125,36 @@ func (p *pager) writePage(pg *page) error {
 	return nil
 }
 
-// flush writes all dirty pages back.
-func (p *pager) flush() error {
-	for _, pg := range p.cache {
+// dirtyIDs returns the ids of all dirty pages in ascending order, so
+// flushes and journal commits are deterministic.
+func (p *pager) dirtyIDs() []uint32 {
+	var ids []uint32
+	for id, pg := range p.cache {
 		if pg.dirty {
-			if err := p.writePage(pg); err != nil {
-				return err
-			}
-			pg.dirty = false
+			ids = append(ids, id)
 		}
 	}
-	return p.f.Sync()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// flush writes all dirty pages back and syncs the file. Pages whose
+// eviction write-back failed earlier are still dirty and resident, so a
+// fully successful flush makes every page durable and clears the sticky
+// write error; anything less reports a failure.
+func (p *pager) flush() error {
+	for _, id := range p.dirtyIDs() {
+		pg := p.cache[id]
+		if err := p.writePage(pg); err != nil {
+			p.writeErr = err
+			return err
+		}
+		pg.dirty = false
+	}
+	if err := p.f.Sync(); err != nil {
+		p.writeErr = err
+		return err
+	}
+	p.writeErr = nil
+	return nil
 }

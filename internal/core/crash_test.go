@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fix-index/fix/internal/btree"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// faultFS routes the index's own file I/O through pl, so a test can
+// crash Build/Save at any chosen write operation.
+func faultFS(pl *storage.FaultPlan) *indexFS {
+	return &indexFS{
+		create: func(path string) (storage.File, error) {
+			f, err := storage.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			return pl.Wrap(f), nil
+		},
+		open: func(path string) (storage.File, error) {
+			f, err := storage.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			return pl.Wrap(f), nil
+		},
+	}
+}
+
+func memStoreFromDocs(t *testing.T, docs []string) *storage.Store {
+	t.Helper()
+	dict := xmltree.NewDict()
+	st, err := storage.NewStore(storage.NewMemFile(), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range docs {
+		n, err := xmltree.ParseString(d)
+		if err != nil {
+			t.Fatalf("parsing doc %d: %v", i, err)
+		}
+		if _, err := st.AppendTree(n); err != nil {
+			t.Fatalf("appending doc %d: %v", i, err)
+		}
+	}
+	return st
+}
+
+// oracleCounts answers the queries by full navigational scan — the
+// ground truth every post-crash state must reproduce.
+func oracleCounts(t *testing.T, st *storage.Store, queries []string) map[string]int {
+	t.Helper()
+	out := make(map[string]int, len(queries))
+	for _, qs := range queries {
+		nq, err := nok.Compile(xpath.MustParse(qs).Tree(), st.Dict())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for rec := 0; rec < st.NumRecords(); rec++ {
+			cur, err := st.Cursor(uint32(rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += nq.Count(cur, 0)
+		}
+		out[qs] = total
+	}
+	return out
+}
+
+func checkOracle(t *testing.T, ix *Index, oracle map[string]int, ctx string) {
+	t.Helper()
+	for qs, want := range oracle {
+		res, err := ix.Query(xpath.MustParse(qs))
+		if err != nil {
+			t.Fatalf("%s: query %s: %v", ctx, qs, err)
+		}
+		if res.Count != want {
+			t.Errorf("%s: query %s = %d, oracle says %d", ctx, qs, res.Count, want)
+		}
+	}
+}
+
+// crashQueries stay within depth 2 so every index variant covers them.
+var crashQueries = []string{
+	"//title",
+	"//author[email]",
+	"//author[address]",
+	"//article[author]",
+}
+
+// TestCrashPointRecovery drives Build+Save into a simulated crash at
+// every write operation (plain and torn), then reopens the directory and
+// requires one of exactly two outcomes: the commit never happened (no
+// fix.meta, so the database layer would scan) or Open succeeds — replayed
+// from the journal or degraded with a detected fault — and every query
+// still matches the full-scan oracle.
+func TestCrashPointRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"unclustered", Options{}},
+		{"clustered", Options{Clustered: true}},
+		{"depth2", Options{DepthLimit: 2}},
+		{"values", Options{Values: true, Beta: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := memStoreFromDocs(t, bibDocs)
+			oracle := oracleCounts(t, st, crashQueries)
+
+			// Dry run to learn the deterministic write-op count.
+			dry := &storage.FaultPlan{}
+			opts := tc.opts
+			opts.Dir = t.TempDir()
+			opts.fs = faultFS(dry)
+			ix, err := Build(st, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Save(); err != nil {
+				t.Fatal(err)
+			}
+			total := dry.Writes()
+			if total < 4 {
+				t.Fatalf("implausible write-op count %d", total)
+			}
+
+			for n := 1; n <= total; n++ {
+				for _, torn := range []bool{false, true} {
+					pl := &storage.FaultPlan{FailWrite: n, Torn: torn}
+					o := tc.opts
+					o.Dir = t.TempDir()
+					o.fs = faultFS(pl)
+					ix, err := Build(st, o)
+					if err == nil {
+						err = ix.Save()
+					}
+					if err == nil {
+						t.Fatalf("write %d (torn=%t): expected an injected failure", n, torn)
+					}
+					if !errors.Is(err, storage.ErrInjected) {
+						t.Fatalf("write %d (torn=%t): unexpected error: %v", n, torn, err)
+					}
+
+					// "Reboot": recover, then open whatever is on disk.
+					if err := Recover(o.Dir); err != nil {
+						t.Fatalf("write %d (torn=%t): recover: %v", n, torn, err)
+					}
+					if _, err := os.Stat(filepath.Join(o.Dir, "fix.meta")); os.IsNotExist(err) {
+						// The commit never became durable: there is no
+						// index, and the database layer scans. Correct by
+						// construction.
+						continue
+					}
+					re, err := Open(st, o.Dir)
+					if err != nil {
+						t.Fatalf("write %d (torn=%t): reopen: %v", n, torn, err)
+					}
+					checkOracle(t, re, oracle, re.opts.Dir)
+					if re.Health() == nil {
+						if err := re.Verify(); err != nil {
+							t.Errorf("write %d (torn=%t): healthy index fails verify: %v", n, torn, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCrashDuringIncrementalSave crashes the Save that follows an
+// incremental InsertDocument on an already-committed index. Whatever the
+// crash point, reopening must answer queries over the grown store
+// correctly: either the journal replays the new commit, or the old index
+// is detected as stale and queries fall back to scanning.
+func TestCrashDuringIncrementalSave(t *testing.T) {
+	const newDoc = `<article><author><email>zz</email><address>q</address></author></article>`
+
+	build := func(pl *storage.FaultPlan) (*storage.Store, *Index, string) {
+		st := memStoreFromDocs(t, bibDocs)
+		o := Options{Dir: t.TempDir(), fs: faultFS(pl)}
+		ix, err := Build(st, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Save(); err != nil {
+			t.Fatal(err)
+		}
+		return st, ix, o.Dir
+	}
+	addDoc := func(st *storage.Store, ix *Index) error {
+		n, err := xmltree.ParseString(newDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := st.AppendTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertDocument(rec); err != nil {
+			return err
+		}
+		return ix.Save()
+	}
+
+	// Dry run: find the write-op window of the incremental phase.
+	dry := &storage.FaultPlan{}
+	st, ix, _ := build(dry)
+	w1 := dry.Writes()
+	if err := addDoc(st, ix); err != nil {
+		t.Fatal(err)
+	}
+	w2 := dry.Writes()
+	if w2 <= w1 {
+		t.Fatalf("incremental save did no writes (%d..%d)", w1, w2)
+	}
+	oracle := oracleCounts(t, st, crashQueries)
+
+	for n := w1 + 1; n <= w2; n++ {
+		pl := &storage.FaultPlan{FailWrite: n, Torn: n%2 == 0}
+		st, ix, dir := build(pl)
+		if err := addDoc(st, ix); err == nil {
+			t.Fatalf("write %d: expected an injected failure", n)
+		} else if !errors.Is(err, storage.ErrInjected) {
+			t.Fatalf("write %d: unexpected error: %v", n, err)
+		}
+		re, err := Open(st, dir)
+		if err != nil {
+			t.Fatalf("write %d: reopen: %v", n, err)
+		}
+		checkOracle(t, re, oracle, dir)
+	}
+}
+
+// TestQueryCorruptPageScanFallback corrupts every non-meta B-tree page of
+// a committed index and checks that queries still return exactly the
+// oracle's answers via the scan fallback, that the health status reports
+// the corruption, and that a rebuild restores indexed operation.
+func TestQueryCorruptPageScanFallback(t *testing.T) {
+	st := memStoreFromDocs(t, bibDocs)
+	dir := t.TempDir()
+	ix, err := Build(st, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := oracleCounts(t, st, crashQueries)
+
+	path := filepath.Join(dir, "fix.btree")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := btree.DefaultPageSize + 100; off < len(buf); off += btree.DefaultPageSize {
+		buf[off] ^= 0xFF
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Health() != nil {
+		t.Fatalf("expected a clean open (meta page intact), got %v", re.Health())
+	}
+	res, err := re.Query(xpath.MustParse(crashQueries[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback {
+		t.Error("query against corrupt pages did not report the scan fallback")
+	}
+	if res.Count != oracle[crashQueries[1]] {
+		t.Errorf("fallback count %d, oracle %d", res.Count, oracle[crashQueries[1]])
+	}
+	health := re.Health()
+	if health == nil || !errors.Is(health, ErrCorrupt) || !errors.Is(health, ErrDegraded) {
+		t.Fatalf("health after corrupt read = %v, want ErrDegraded wrapping ErrCorrupt", health)
+	}
+	checkOracle(t, re, oracle, "degraded")
+	if err := re.Verify(); err == nil {
+		t.Error("Verify passed on a corrupt index")
+	}
+	if err := re.Save(); err == nil {
+		t.Error("Save succeeded on a degraded index")
+	}
+	if err := re.InsertDocument(0); err == nil {
+		t.Error("InsertDocument succeeded on a degraded index")
+	}
+
+	// Rebuild repairs: same options, fresh files.
+	reopts := re.Options()
+	ix2, err := Build(st, reopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Health() != nil {
+		t.Fatalf("rebuilt index unhealthy: %v", re2.Health())
+	}
+	if err := re2.Verify(); err != nil {
+		t.Fatalf("rebuilt index fails verify: %v", err)
+	}
+	res, err = re2.Query(xpath.MustParse(crashQueries[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback {
+		t.Error("rebuilt index still using the scan fallback")
+	}
+	checkOracle(t, re2, oracle, "rebuilt")
+}
+
+// TestStaleIndexDegrades grows the store after the index was committed
+// (a crash between the heap append and the index save) and checks the
+// reopened index refuses to serve potentially false-negative answers.
+func TestStaleIndexDegrades(t *testing.T) {
+	st := memStoreFromDocs(t, bibDocs)
+	dir := t.TempDir()
+	ix, err := Build(st, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := xmltree.ParseString(`<book><author><email>new</email></author></book>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTree(n); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Health() == nil {
+		t.Fatal("stale index opened healthy")
+	}
+	oracle := oracleCounts(t, st, crashQueries)
+	checkOracle(t, re, oracle, "stale")
+	res, err := re.Query(xpath.MustParse("//author[email]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback {
+		t.Error("stale index did not fall back to scanning")
+	}
+}
+
+// TestOpenRejectsInvalidMeta checks that damaged metadata fails loudly
+// with a descriptive error instead of constructing a broken index.
+func TestOpenRejectsInvalidMeta(t *testing.T) {
+	st := memStoreFromDocs(t, bibDocs)
+	dir := t.TempDir()
+	ix, err := Build(st, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fix.meta")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ old, bad, want string }{
+		{"depthlimit 0", "depthlimit -3", "depthlimit"},
+		{"beta 10", "beta 0", "beta"},
+		{"edgebudget 3000", "edgebudget -1", "edgebudget"},
+		{"spectrumk 0", "spectrumk 99", "spectrumk"},
+		{"alpha ", "alpha 4000000000x", "alpha"}, // see below: value replaced wholesale
+	} {
+		text := string(good)
+		if tc.old == "alpha " {
+			// Replace the whole alpha line with an out-of-range id.
+			lines := strings.Split(text, "\n")
+			for i, l := range lines {
+				if strings.HasPrefix(l, "alpha ") {
+					lines[i] = "alpha 4000000000"
+				}
+			}
+			text = strings.Join(lines, "\n")
+		} else {
+			if !strings.Contains(text, tc.old) {
+				t.Fatalf("meta does not contain %q:\n%s", tc.old, text)
+			}
+			text = strings.Replace(text, tc.old, tc.bad, 1)
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(st, dir); err == nil {
+			t.Errorf("%s: Open accepted invalid meta", tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the field", tc.want, err)
+		}
+	}
+}

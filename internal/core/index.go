@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/fix-index/fix/internal/bisim"
@@ -21,6 +22,15 @@ import (
 // ErrNotCovered reports that a query is deeper than the index's depth
 // limit, so the index cannot be used for it (paper §4.4).
 var ErrNotCovered = errors.New("core: query deeper than index depth limit")
+
+// ErrCorrupt is the B-tree's corruption error, re-exported so callers of
+// the core package can test for it without importing internal/btree.
+var ErrCorrupt = btree.ErrCorrupt
+
+// ErrDegraded reports that the index cannot be trusted — corruption was
+// detected, or the index is stale relative to the primary store — and
+// queries are being served by the scan fallback until a rebuild.
+var ErrDegraded = errors.New("core: index degraded")
 
 // Options configures index construction.
 type Options struct {
@@ -72,6 +82,17 @@ type Options struct {
 	// files under this directory; otherwise everything index-side lives
 	// in memory files.
 	Dir string
+	// fs overrides how the index creates and opens its own files; the
+	// crash tests inject storage faults through it. Nil means the real
+	// filesystem.
+	fs *indexFS
+}
+
+func (o *Options) filesystem() *indexFS {
+	if o.fs != nil {
+		return o.fs
+	}
+	return osFS
 }
 
 func (o *Options) setDefaults() {
@@ -103,6 +124,33 @@ type Index struct {
 	oversize    int
 	maxDocDepth int
 	buildTime   time.Duration
+
+	// health is the first corruption or staleness problem observed, set
+	// at Open time or by a query-time page read; nil means healthy. Once
+	// set, queries answer from the scan fallback. Guarded by healthMu
+	// because concurrent queries may detect corruption simultaneously.
+	healthMu sync.Mutex
+	health   error
+}
+
+// Health returns nil for a healthy index, or an error (wrapping
+// ErrDegraded, and ErrCorrupt when the cause was corruption) describing
+// why the index has been taken out of the query path. A degraded index
+// still answers queries correctly via the scan fallback; RebuildIndex
+// restores it.
+func (ix *Index) Health() error {
+	ix.healthMu.Lock()
+	defer ix.healthMu.Unlock()
+	return ix.health
+}
+
+// setHealth records the first problem that degrades the index.
+func (ix *Index) setHealth(err error) {
+	ix.healthMu.Lock()
+	defer ix.healthMu.Unlock()
+	if ix.health == nil {
+		ix.health = fmt.Errorf("%w: %w", ErrDegraded, err)
+	}
 }
 
 // Candidate is one index hit: the pruning phase returns these and the
@@ -121,13 +169,17 @@ type Result struct {
 	Candidates int // entries surviving the feature filter (cdt)
 	Matched    int // candidates producing at least one result (rst)
 	Count      int // total output-node matches
+	// Fallback reports that the index was degraded (see Health) and the
+	// result came from a full sequential scan of the primary store. The
+	// counts are exact; the pruning statistics are zero.
+	Fallback bool
 }
 
 // Build constructs a FIX index over every document in st.
 func Build(st *storage.Store, opts Options) (*Index, error) {
 	opts.setDefaults()
 	start := time.Now()
-	btFile, err := indexFile(opts.Dir, "fix.btree")
+	btFile, err := indexFile(opts, "fix.btree")
 	if err != nil {
 		return nil, err
 	}
@@ -215,14 +267,14 @@ func Build(st *storage.Store, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-func indexFile(dir, name string) (storage.File, error) {
-	if dir == "" {
+func indexFile(opts Options, name string) (storage.File, error) {
+	if opts.Dir == "" {
 		return storage.NewMemFile(), nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	return storage.Create(filepath.Join(dir, name))
+	return opts.filesystem().create(filepath.Join(opts.Dir, name))
 }
 
 func (ix *Index) insert(label uint32, f Features, spectrum []float64, ptr storage.Pointer) error {
@@ -250,7 +302,7 @@ func (ix *Index) buildClustered() error {
 	if err != nil {
 		return err
 	}
-	cf, err := indexFile(ix.opts.Dir, "fix.clustered")
+	cf, err := indexFile(ix.opts, "fix.clustered")
 	if err != nil {
 		return err
 	}
@@ -277,8 +329,13 @@ func (ix *Index) buildClustered() error {
 }
 
 // Entries returns the number of index entries (ent in the paper's
-// metrics).
-func (ix *Index) Entries() int { return ix.bt.Len() }
+// metrics), or 0 when the B-tree is unavailable.
+func (ix *Index) Entries() int {
+	if ix.bt == nil {
+		return 0
+	}
+	return ix.bt.Len()
+}
 
 // OversizeEntries returns how many entries use the artificial range.
 func (ix *Index) OversizeEntries() int { return ix.oversize }
@@ -292,8 +349,47 @@ func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
 // Options returns the options the index was built with.
 func (ix *Index) Options() Options { return ix.opts }
 
-// BTree exposes the underlying B-tree (for stats and experiments).
+// BTree exposes the underlying B-tree (for stats and experiments). It is
+// nil when the index is degraded because the tree could not be opened.
 func (ix *Index) BTree() *btree.Tree { return ix.bt }
+
+// Verify checks the on-disk integrity of the index: every B-tree page's
+// checksum and structure, the meta/leaf entry-count agreement, and that
+// every entry's primary pointer addresses an existing record. Problems
+// are recorded in the health status and returned.
+func (ix *Index) Verify() error {
+	if err := ix.Health(); err != nil {
+		return err
+	}
+	if err := ix.verify(); err != nil {
+		ix.setHealth(err)
+		return err
+	}
+	return nil
+}
+
+func (ix *Index) verify() error {
+	if ix.bt == nil {
+		return fmt.Errorf("%w: B-tree unavailable", ErrCorrupt)
+	}
+	if err := ix.bt.Verify(); err != nil {
+		return err
+	}
+	nrec := uint32(ix.store.NumRecords())
+	var bad error
+	err := ix.bt.Scan(nil, nil, func(k, v []byte) bool {
+		p := storage.Pointer(decodeValue(v).primary)
+		if p.Rec() >= nrec {
+			bad = fmt.Errorf("%w: entry points at record %d but the store holds %d", ErrCorrupt, p.Rec(), nrec)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bad
+}
 
 // Store returns the primary store the index was built over.
 func (ix *Index) Store() *storage.Store { return ix.store }
@@ -304,7 +400,10 @@ func (ix *Index) ClusteredStore() *storage.Store { return ix.clustered }
 
 // SizeBytes returns the index size: B-tree pages plus the clustered heap.
 func (ix *Index) SizeBytes() int64 {
-	size := ix.bt.Size()
+	var size int64
+	if ix.bt != nil {
+		size = ix.bt.Size()
+	}
 	if ix.clustered != nil {
 		size += ix.clustered.Size()
 	}
@@ -453,8 +552,13 @@ func (s *eventSlice) Next() (bisim.Event, error) {
 // Candidates runs the pruning phase: a B-tree range scan over the feature
 // keys, keeping entries whose eigenvalue range contains every twig's range
 // (and whose root label matches, when applicable). scanned reports how
-// many entries the scan touched.
+// many entries the scan touched. On a degraded index Candidates returns
+// the health error (wrapping ErrDegraded): its pruning promise — no false
+// negatives — cannot be kept, so callers must scan instead.
 func (ix *Index) Candidates(path *xpath.Path) (cands []Candidate, scanned int, err error) {
+	if err := ix.Health(); err != nil {
+		return nil, 0, err
+	}
 	p, err := ix.plan(path)
 	if err != nil {
 		return nil, 0, err
@@ -465,6 +569,9 @@ func (ix *Index) Candidates(path *xpath.Path) (cands []Candidate, scanned int, e
 func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
 	if p.empty {
 		return nil, 0, nil
+	}
+	if ix.bt == nil {
+		return nil, 0, fmt.Errorf("%w: B-tree unavailable", ErrCorrupt)
 	}
 	var from, to []byte
 	if p.labelOK {
@@ -506,13 +613,26 @@ func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
 // Query runs the full pruning + refinement pipeline and returns result
 // statistics. Refinement reads the clustered heap when present, otherwise
 // it follows primary pointers.
+//
+// When the index is degraded — marked unhealthy at Open, or a page read
+// during this very query detects corruption — Query falls back to a full
+// sequential scan of the primary store. The fallback is semantically
+// safe: refinement over every record can never miss a match, so the
+// result set is exactly correct, only slower.
 func (ix *Index) Query(path *xpath.Path) (Result, error) {
 	p, err := ix.plan(path)
 	if err != nil {
 		return Result{}, err
 	}
+	if ix.Health() != nil {
+		return ix.scanFallback(p.tree)
+	}
 	cands, scanned, err := ix.candidatesForPlan(p)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			ix.setHealth(err)
+			return ix.scanFallback(p.tree)
+		}
 		return Result{}, err
 	}
 	res := Result{Entries: ix.bt.Len(), Scanned: scanned, Candidates: len(cands)}
@@ -539,14 +659,22 @@ func (ix *Index) Query(path *xpath.Path) (Result, error) {
 }
 
 // Exists reports whether the query has at least one result, refining
-// candidates lazily and stopping at the first hit.
+// candidates lazily and stopping at the first hit. Like Query, it falls
+// back to a full scan when the index is degraded.
 func (ix *Index) Exists(path *xpath.Path) (bool, error) {
 	p, err := ix.plan(path)
 	if err != nil {
 		return false, err
 	}
+	if ix.Health() != nil {
+		return ix.existsFallback(p.tree)
+	}
 	cands, _, err := ix.candidatesForPlan(p)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			ix.setHealth(err)
+			return ix.existsFallback(p.tree)
+		}
 		return false, err
 	}
 	rq, rootAnchored := ix.refinementQuery(p.tree)
@@ -582,6 +710,47 @@ func (ix *Index) refinementQuery(qt *xpath.QNode) (*xpath.QNode, bool) {
 	rootAnchored := rq.Axis == xpath.Child
 	rq.Axis = xpath.Child
 	return rq, rootAnchored
+}
+
+// scanFallback answers a query without the index: it compiles the
+// original query tree and refines every record of the primary store.
+// Because a full refinement pass cannot produce false negatives, the
+// counts are exact regardless of what happened to the index.
+func (ix *Index) scanFallback(qt *xpath.QNode) (Result, error) {
+	nq, err := nok.Compile(qt, ix.dict)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Fallback: true}
+	for rec := 0; rec < ix.store.NumRecords(); rec++ {
+		cur, err := ix.store.Cursor(uint32(rec))
+		if err != nil {
+			return Result{}, err
+		}
+		if n := nq.Count(cur, 0); n > 0 {
+			res.Matched++
+			res.Count += n
+		}
+	}
+	return res, nil
+}
+
+// existsFallback is the Exists counterpart of scanFallback.
+func (ix *Index) existsFallback(qt *xpath.QNode) (bool, error) {
+	nq, err := nok.Compile(qt, ix.dict)
+	if err != nil {
+		return false, err
+	}
+	for rec := 0; rec < ix.store.NumRecords(); rec++ {
+		cur, err := ix.store.Cursor(uint32(rec))
+		if err != nil {
+			return false, err
+		}
+		if nq.Exists(cur, 0) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 func (ix *Index) candidateCursor(c Candidate) (xmltree.Cursor, xmltree.Ref, error) {

@@ -19,6 +19,9 @@ import (
 // refinement reads lose the perfect key ordering until the next rebuild
 // (query results are unaffected).
 func (ix *Index) InsertDocument(rec uint32) error {
+	if err := ix.Health(); err != nil {
+		return fmt.Errorf("core: cannot index into a degraded index (rebuild required): %w", err)
+	}
 	if ix.opts.Values && ix.dict.MaxID() > ix.vh.alpha {
 		// New element labels would collide with the value-hash range
 		// (α, α+β] fixed at build time.
@@ -107,6 +110,9 @@ func (ix *Index) InsertDocument(rec uint32) error {
 // clustered copies are only reclaimed by a rebuild. The scan is O(index);
 // deletion is a maintenance operation, not a hot path.
 func (ix *Index) DeleteDocument(rec uint32) (int, error) {
+	if err := ix.Health(); err != nil {
+		return 0, fmt.Errorf("core: cannot delete from a degraded index (rebuild required): %w", err)
+	}
 	var keys [][]byte
 	err := ix.bt.Scan(nil, nil, func(k, v []byte) bool {
 		if storage.Pointer(decodeValue(v).primary).Rec() == rec {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,71 +15,127 @@ import (
 
 // On-disk index layout under Options.Dir:
 //
-//	fix.btree      B-tree of feature keys
+//	fix.btree      B-tree of feature keys (checksummed 4 KiB pages)
 //	fix.clustered  key-ordered subtree heap (clustered indexes only)
 //	fix.edges      edge-label encoder
 //	fix.meta       options and counters, line-oriented
+//	fix.journal    shadow-commit journal, present only mid-Save or after
+//	               a crash; see journal.go
 //
 // The primary store and label dictionary belong to the database layer and
 // are persisted by it; the index only records the parameters needed to
 // interpret its keys against them.
 
-const metaVersion = 1
+// metaVersion 2 adds the records field, which ties the committed index to
+// the number of primary-store records it covers.
+const metaVersion = 2
 
-// Save persists the index metadata and flushes the B-tree. It is a no-op
-// beyond the flush for in-memory indexes (empty Dir).
+// encodeMeta renders the fix.meta payload.
+func (ix *Index) encodeMeta() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "version %d\n", metaVersion)
+	fmt.Fprintf(&b, "depthlimit %d\n", ix.opts.DepthLimit)
+	fmt.Fprintf(&b, "clustered %t\n", ix.opts.Clustered)
+	fmt.Fprintf(&b, "values %t\n", ix.opts.Values)
+	fmt.Fprintf(&b, "beta %d\n", ix.opts.Beta)
+	fmt.Fprintf(&b, "edgebudget %d\n", ix.opts.EdgeBudget)
+	fmt.Fprintf(&b, "spectrumk %d\n", ix.opts.SpectrumK)
+	fmt.Fprintf(&b, "paperpruning %t\n", ix.opts.PaperPruning)
+	fmt.Fprintf(&b, "norootlabel %t\n", ix.opts.NoRootLabel)
+	fmt.Fprintf(&b, "alpha %d\n", ix.vh.alpha)
+	fmt.Fprintf(&b, "seq %d\n", ix.seq)
+	fmt.Fprintf(&b, "oversize %d\n", ix.oversize)
+	fmt.Fprintf(&b, "maxdocdepth %d\n", ix.maxDocDepth)
+	fmt.Fprintf(&b, "records %d\n", ix.store.NumRecords())
+	return b.Bytes()
+}
+
+// Save commits the index durably using the shadow-commit protocol: the
+// dirty B-tree pages and the new fix.meta/fix.edges contents are first
+// written and fsynced to fix.journal, then applied to the real files, and
+// the journal is removed. A crash at any point leaves a state that Open
+// (via Recover) resolves to exactly the previous or the new commit. For
+// in-memory indexes (empty Dir) Save reduces to a flush.
 func (ix *Index) Save() error {
-	if err := ix.bt.Flush(); err != nil {
-		return err
+	if err := ix.Health(); err != nil {
+		return fmt.Errorf("core: refusing to save a degraded index: %w", err)
 	}
+	if ix.opts.Dir == "" {
+		if err := ix.bt.Flush(); err != nil {
+			return err
+		}
+		if ix.clustered != nil {
+			return ix.clustered.Sync()
+		}
+		return nil
+	}
+	// The clustered heap is append-only and not journaled; sync it first
+	// so every subtree copy the new commit references is durable before
+	// the commit point.
 	if ix.clustered != nil {
 		if err := ix.clustered.Sync(); err != nil {
 			return err
 		}
 	}
-	if ix.opts.Dir == "" {
-		return nil
-	}
-	ef, err := os.Create(filepath.Join(ix.opts.Dir, "fix.edges"))
+	pages, err := ix.bt.DirtyPages()
 	if err != nil {
 		return err
 	}
-	if _, err := ix.enc.WriteTo(ef); err != nil {
-		ef.Close()
+	var eb bytes.Buffer
+	if _, err := ix.enc.WriteTo(&eb); err != nil {
 		return err
 	}
-	if err := ef.Close(); err != nil {
-		return err
+	j := journal{
+		pageSize: ix.bt.PageSize(),
+		pages:    pages,
+		meta:     ix.encodeMeta(),
+		edges:    eb.Bytes(),
 	}
-	mf, err := os.Create(filepath.Join(ix.opts.Dir, "fix.meta"))
+	fsys := ix.opts.filesystem()
+	jpath := filepath.Join(ix.opts.Dir, journalName)
+	jf, err := fsys.create(jpath)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(mf)
-	fmt.Fprintf(w, "version %d\n", metaVersion)
-	fmt.Fprintf(w, "depthlimit %d\n", ix.opts.DepthLimit)
-	fmt.Fprintf(w, "clustered %t\n", ix.opts.Clustered)
-	fmt.Fprintf(w, "values %t\n", ix.opts.Values)
-	fmt.Fprintf(w, "beta %d\n", ix.opts.Beta)
-	fmt.Fprintf(w, "edgebudget %d\n", ix.opts.EdgeBudget)
-	fmt.Fprintf(w, "spectrumk %d\n", ix.opts.SpectrumK)
-	fmt.Fprintf(w, "paperpruning %t\n", ix.opts.PaperPruning)
-	fmt.Fprintf(w, "norootlabel %t\n", ix.opts.NoRootLabel)
-	fmt.Fprintf(w, "alpha %d\n", ix.vh.alpha)
-	fmt.Fprintf(w, "seq %d\n", ix.seq)
-	fmt.Fprintf(w, "oversize %d\n", ix.oversize)
-	fmt.Fprintf(w, "maxdocdepth %d\n", ix.maxDocDepth)
-	if err := w.Flush(); err != nil {
-		mf.Close()
+	if _, err := jf.WriteAt(j.encode(), 0); err != nil {
+		jf.Close()
 		return err
 	}
-	return mf.Close()
+	if err := jf.Sync(); err != nil { // commit point
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	// Apply. Any failure from here on leaves the valid journal in place;
+	// the next Open replays it.
+	if err := ix.bt.Flush(); err != nil {
+		return err
+	}
+	if err := atomicWrite(fsys, filepath.Join(ix.opts.Dir, "fix.edges"), j.edges); err != nil {
+		return err
+	}
+	if err := atomicWrite(fsys, filepath.Join(ix.opts.Dir, "fix.meta"), j.meta); err != nil {
+		return err
+	}
+	return os.Remove(jpath)
 }
 
 // Open loads a persisted index from dir and attaches it to the primary
 // store it was built over. The store must carry the same dictionary as at
 // build time (the database layer guarantees this).
+//
+// Open first lets Recover resolve any half-finished commit, then
+// validates the metadata. Detectable damage that does not compromise
+// query correctness — a corrupt B-tree, a damaged clustered heap, or an
+// index that is stale relative to the store — degrades the index instead
+// of failing: Health reports the cause and queries fall back to a full
+// scan of the primary store until RebuildIndex runs.
 func Open(st *storage.Store, dir string) (*Index, error) {
+	if err := Recover(dir); err != nil {
+		return nil, err
+	}
 	mf, err := os.Open(filepath.Join(dir, "fix.meta"))
 	if err != nil {
 		return nil, err
@@ -87,12 +145,28 @@ func Open(st *storage.Store, dir string) (*Index, error) {
 	ix.opts.Dir = dir
 	var version int
 	var alpha uint32
+	var records int
 	r := bufio.NewReader(mf)
+	readField := func(name string, dst interface{}) error {
+		var got string
+		if _, err := fmt.Fscan(r, &got, dst); err != nil {
+			return fmt.Errorf("core: reading meta field %s: %w", name, err)
+		}
+		if got != name {
+			return fmt.Errorf("core: meta field %q, want %q", got, name)
+		}
+		return nil
+	}
+	if err := readField("version", &version); err != nil {
+		return nil, err
+	}
+	if version != metaVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d (want %d)", version, metaVersion)
+	}
 	fields := []struct {
 		name string
 		dst  interface{}
 	}{
-		{"version", &version},
 		{"depthlimit", &ix.opts.DepthLimit},
 		{"clustered", &ix.opts.Clustered},
 		{"values", &ix.opts.Values},
@@ -105,18 +179,15 @@ func Open(st *storage.Store, dir string) (*Index, error) {
 		{"seq", &ix.seq},
 		{"oversize", &ix.oversize},
 		{"maxdocdepth", &ix.maxDocDepth},
+		{"records", &records},
 	}
 	for _, f := range fields {
-		var name string
-		if _, err := fmt.Fscan(r, &name, f.dst); err != nil {
-			return nil, fmt.Errorf("core: reading meta field %s: %w", f.name, err)
-		}
-		if name != f.name {
-			return nil, fmt.Errorf("core: meta field %q, want %q", name, f.name)
+		if err := readField(f.name, f.dst); err != nil {
+			return nil, err
 		}
 	}
-	if version != metaVersion {
-		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	if err := validateMeta(ix, alpha, records); err != nil {
+		return nil, err
 	}
 	ix.vh = valueHasher{alpha: alpha, beta: ix.opts.Beta}
 
@@ -130,23 +201,76 @@ func Open(st *storage.Store, dir string) (*Index, error) {
 		return nil, err
 	}
 
+	// A store that grew or shrank since the commit means the index no
+	// longer covers it: entries could dangle, and newer documents would be
+	// invisible to the range scan (a false negative). Degrade rather than
+	// serve wrong answers.
+	if records != st.NumRecords() {
+		ix.setHealth(fmt.Errorf("index covers %d records but the store holds %d", records, st.NumRecords()))
+	}
+
 	bf, err := storage.Open(filepath.Join(dir, "fix.btree"))
 	if err != nil {
-		return nil, err
-	}
-	ix.bt, err = btree.Open(bf, ix.opts.CacheSize)
-	if err != nil {
-		return nil, err
-	}
-	if ix.opts.Clustered {
-		cf, err := storage.Open(filepath.Join(dir, "fix.clustered"))
-		if err != nil {
-			return nil, err
+		if os.IsNotExist(err) {
+			ix.setHealth(fmt.Errorf("%w: fix.btree is missing", ErrCorrupt))
+			return ix, nil
 		}
-		ix.clustered, err = storage.OpenStore(cf, ix.dict)
-		if err != nil {
-			return nil, err
+		return nil, err
+	}
+	bt, err := btree.Open(bf, ix.opts.CacheSize)
+	if err != nil {
+		bf.Close()
+		if errors.Is(err, ErrCorrupt) {
+			ix.setHealth(err)
+			return ix, nil
+		}
+		return nil, err
+	}
+	ix.bt = bt
+	if ix.opts.Clustered {
+		if err := ix.openClustered(dir); err != nil {
+			// Clustered copies are an optimization; refinement falls back
+			// to the primary pointers each entry also carries.
+			ix.clustered = nil
+			ix.setHealth(err)
 		}
 	}
 	return ix, nil
+}
+
+func (ix *Index) openClustered(dir string) error {
+	cf, err := storage.Open(filepath.Join(dir, "fix.clustered"))
+	if err != nil {
+		return err
+	}
+	ix.clustered, err = storage.OpenStore(cf, ix.dict)
+	if err != nil {
+		cf.Close()
+	}
+	return err
+}
+
+// validateMeta rejects metadata that cannot describe a working index, so
+// a damaged or hand-edited fix.meta fails loudly instead of constructing
+// an index that misbehaves later.
+func validateMeta(ix *Index, alpha uint32, records int) error {
+	if ix.opts.DepthLimit < 0 {
+		return fmt.Errorf("core: invalid meta: depthlimit %d is negative", ix.opts.DepthLimit)
+	}
+	if ix.opts.Beta == 0 {
+		return fmt.Errorf("core: invalid meta: beta must be positive")
+	}
+	if ix.opts.EdgeBudget < 0 {
+		return fmt.Errorf("core: invalid meta: edgebudget %d is negative", ix.opts.EdgeBudget)
+	}
+	if ix.opts.SpectrumK < 0 || ix.opts.SpectrumK > 8 {
+		return fmt.Errorf("core: invalid meta: spectrumk %d outside [0, 8]", ix.opts.SpectrumK)
+	}
+	if alpha > ix.dict.MaxID() {
+		return fmt.Errorf("core: invalid meta: alpha %d exceeds the dictionary's max label id %d", alpha, ix.dict.MaxID())
+	}
+	if records < 0 {
+		return fmt.Errorf("core: invalid meta: records %d is negative", records)
+	}
+	return nil
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/fix-index/fix/internal/core"
@@ -129,6 +130,29 @@ func (e *Env) FB() (*fbindex.Index, error) {
 	}
 	e.fb, e.fbTime = ix, time.Since(start)
 	return ix, nil
+}
+
+// VerifyIndexes runs the integrity check over every FIX index the
+// environment has built so far. A benchmark run can use it (fixbench
+// -verify) to assert the structures it measured were sound.
+func (e *Env) VerifyIndexes() error {
+	for _, ix := range []struct {
+		name string
+		idx  *core.Index
+	}{
+		{"unclustered", e.uidx},
+		{"clustered", e.cidx},
+		{"values", e.vidx},
+		{"sound", e.sound},
+	} {
+		if ix.idx == nil {
+			continue
+		}
+		if err := ix.idx.Verify(); err != nil {
+			return fmt.Errorf("experiments: %s index failed verification: %w", ix.name, err)
+		}
+	}
+	return nil
 }
 
 // NoKScan evaluates the query over the whole store with the bare
