@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check
+.PHONY: build vet test race check bench-parallel
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,8 @@ race:
 # and crash-recovery suites run as part of the default test set), then the
 # race detector.
 check: vet build test race
+
+# bench-parallel regenerates the committed parallel-construction sweep
+# (1/2/4/NumCPU workers; asserts byte-identical indexes).
+bench-parallel:
+	$(GO) run ./cmd/fixbench -exp parallel -scale 0.2 -json BENCH_parallel.json

@@ -8,6 +8,7 @@
 package fix_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -237,6 +238,31 @@ func BenchmarkEigenSparsePower(b *testing.B) {
 		if eigen.SkewMaxSparse(n, edges) <= 0 {
 			b.Fatal("degenerate result")
 		}
+	}
+}
+
+// BenchmarkParallelBuild measures index construction across worker
+// counts (the fixbench -exp parallel sweep as a testing.B target). The
+// built index is identical for every worker count; only the wall time
+// should move.
+func BenchmarkParallelBuild(b *testing.B) {
+	env := benchEnv(b, datagen.XMarkDataset)
+	for _, w := range experiments.SweepWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := core.Build(env.Store, core.Options{
+					DepthLimit:   env.DepthLimit(),
+					PaperPruning: true,
+					Workers:      w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ix.Entries() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
 	}
 }
 

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/fix-index/fix/internal/datagen"
@@ -22,14 +24,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|all")
-		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ one tenth of the paper's element counts)")
-		seed    = flag.Int64("seed", 42, "generator seed")
-		queries = flag.Int("queries", 200, "random queries per dataset for fig5 (paper: 1000)")
-		verify  = flag.Bool("verify", false, "verify the integrity of every index built during the run")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|parallel|all")
+		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ one tenth of the paper's element counts)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		queries  = flag.Int("queries", 200, "random queries per dataset for fig5 (paper: 1000)")
+		verify   = flag.Bool("verify", false, "verify the integrity of every index built during the run")
+		workers  = flag.Int("workers", 0, "worker pool bound for every index build (0 = one per CPU)")
+		jsonPath = flag.String("json", "", "also write the parallel sweep rows as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *seed, *queries, *verify); err != nil {
+	if err := run(*exp, *scale, *seed, *queries, *verify, *workers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "fixbench:", err)
 		os.Exit(1)
 	}
@@ -37,8 +41,9 @@ func main() {
 
 // envs caches one Env per dataset across experiments.
 type envs struct {
-	cfg   datagen.Config
-	cache map[datagen.Dataset]*experiments.Env
+	cfg     datagen.Config
+	workers int
+	cache   map[datagen.Dataset]*experiments.Env
 }
 
 func (e *envs) get(ds datagen.Dataset) (*experiments.Env, error) {
@@ -50,16 +55,18 @@ func (e *envs) get(ds datagen.Dataset) (*experiments.Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.Workers = e.workers
 	fmt.Printf("[setup] %s: %d documents, %d elements (%s)\n",
 		ds, env.Store.NumRecords(), env.Elements(), time.Since(start).Round(time.Millisecond))
 	e.cache[ds] = env
 	return env, nil
 }
 
-func run(exp string, scale float64, seed int64, queries int, verify bool) error {
+func run(exp string, scale float64, seed int64, queries int, verify bool, workers int, jsonPath string) error {
 	e := &envs{
-		cfg:   datagen.Config{Seed: seed, Scale: scale},
-		cache: make(map[datagen.Dataset]*experiments.Env),
+		cfg:     datagen.Config{Seed: seed, Scale: scale},
+		workers: workers,
+		cache:   make(map[datagen.Dataset]*experiments.Env),
 	}
 	all := exp == "all"
 	ran := false
@@ -237,6 +244,41 @@ func run(exp string, scale float64, seed int64, queries int, verify bool) error 
 			experiments.PrintEvaluators(w, rows)
 		}
 		fmt.Fprintln(w)
+	}
+	if all || exp == "parallel" {
+		ran = true
+		var rows []experiments.ParallelRow
+		counts := experiments.SweepWorkerCounts()
+		for _, ds := range datagen.AllDatasets {
+			env, err := e.get(ds)
+			if err != nil {
+				return err
+			}
+			dsRows, err := experiments.ParallelSweep(env, counts)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, dsRows...)
+		}
+		experiments.PrintParallelSweep(w, rows)
+		fmt.Fprintln(w)
+		if jsonPath != "" {
+			out := struct {
+				NumCPU  int                       `json:"num_cpu"`
+				Scale   float64                   `json:"scale"`
+				Seed    int64                     `json:"seed"`
+				Workers []int                     `json:"worker_counts"`
+				Rows    []experiments.ParallelRow `json:"rows"`
+			}{NumCPU: runtime.NumCPU(), Scale: scale, Seed: seed, Workers: counts, Rows: rows}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "[json] wrote %s\n", jsonPath)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)

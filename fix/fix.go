@@ -19,19 +19,45 @@
 //	db.AddDocumentString(`<article><author><email>x</email></author></article>`)
 //	db.BuildIndex(fix.IndexOptions{})
 //	res, _ := db.Query(`//article[author]`)
+//
+// # Concurrency and cancellation
+//
+// Index construction and candidate refinement fan out over a bounded
+// worker pool (IndexOptions.Workers; zero means one worker per CPU). The
+// index bytes produced are identical for every worker count. Every
+// potentially long-running operation has a context-aware form —
+// BuildIndexCtx, QueryCtx, ExistsCtx, QueryDocumentsCtx, RebuildIndexCtx
+// — that observes cancellation promptly and returns ctx.Err(); the
+// context-free methods are shorthands delegating with context.Background.
+//
+// # Configuring builds
+//
+// IndexOptions remains the stable struct form. New code should prefer
+// BuildIndexWith and the functional options, which cannot break at
+// compile time when option fields are added:
+//
+//	err := db.BuildIndexWith(ctx, fix.Workers(8), fix.DepthLimit(6))
+//
+// Migrating is mechanical: BuildIndex(IndexOptions{DepthLimit: 6,
+// Clustered: true}) becomes BuildIndexWith(ctx, fix.DepthLimit(6),
+// fix.Clustered()); a zero-value IndexOptions{} becomes
+// BuildIndexWith(ctx) with no options.
 package fix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/fix-index/fix/internal/core"
 	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
 	"github.com/fix-index/fix/internal/xpath"
@@ -81,6 +107,29 @@ type IndexOptions struct {
 	// PaperPruning selects the paper's literal pruning bound instead of
 	// the provably complete default; see DESIGN.md before enabling.
 	PaperPruning bool
+	// Workers bounds the worker pool used by index construction and by
+	// candidate refinement at query time. Zero means one worker per
+	// available CPU (GOMAXPROCS); 1 forces sequential execution. The
+	// index bytes produced are identical for every value.
+	Workers int
+}
+
+// BuildStats reports where the last BuildIndex spent its time. Parse,
+// Bisim and Eigen are summed across workers, so on a multi-core build
+// they can exceed Wall; Insert is the sequential merge into the B-tree.
+type BuildStats struct {
+	Workers                     int
+	Records, Units              int
+	Parse, Bisim, Eigen, Insert time.Duration
+	Wall                        time.Duration
+}
+
+// UnitsPerSec returns indexing throughput in units per wall-clock second.
+func (s BuildStats) UnitsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Units) / s.Wall.Seconds()
 }
 
 // Result reports the outcome and the pruning statistics of one query.
@@ -169,7 +218,10 @@ func Open(dir string) (*DB, error) {
 }
 
 // Save flushes the database (and index, if built) to disk. It is an
-// error on in-memory databases.
+// error on in-memory databases. Every file is committed atomically —
+// labels.dict through a fsynced temp file renamed into place, the index
+// through its shadow-commit journal — so a crash during Save leaves
+// either the previous or the new state, never a torn file.
 func (db *DB) Save() error {
 	if db.dir == "" {
 		return fmt.Errorf("fix: Save on an in-memory database")
@@ -177,21 +229,41 @@ func (db *DB) Save() error {
 	if err := db.store.Sync(); err != nil {
 		return err
 	}
-	df, err := os.Create(filepath.Join(db.dir, "labels.dict"))
-	if err != nil {
-		return err
-	}
-	if _, err := db.dict.WriteTo(df); err != nil {
-		df.Close()
-		return err
-	}
-	if err := df.Close(); err != nil {
+	if err := db.saveDict(); err != nil {
 		return err
 	}
 	if db.index != nil {
 		return db.index.Save()
 	}
 	return nil
+}
+
+// saveDict writes labels.dict atomically: temp file, fsync, rename. The
+// dictionary maps every stored record's label IDs, so a torn write here
+// would make the whole database unreadable — the same crash-safety bar
+// as fix.meta applies.
+func (db *DB) saveDict() error {
+	path := filepath.Join(db.dir, "labels.dict")
+	tmp := path + ".tmp"
+	df, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := db.dict.WriteTo(df); err != nil {
+		df.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := df.Sync(); err != nil {
+		df.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := df.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Close releases the underlying files.
@@ -240,9 +312,21 @@ func (db *DB) Document(id uint32) (string, error) {
 }
 
 // BuildIndex constructs the FIX index over all stored documents,
-// replacing any previous index.
+// replacing any previous index. It is BuildIndexCtx with
+// context.Background().
 func (db *DB) BuildIndex(opts IndexOptions) error {
-	ix, err := core.Build(db.store, core.Options{
+	return db.BuildIndexCtx(context.Background(), opts)
+}
+
+// BuildIndexCtx constructs the FIX index over all stored documents,
+// replacing any previous index. Construction fans out over
+// opts.Workers goroutines (0 = one per CPU) and observes ctx: a
+// cancelled build stops promptly, returns ctx.Err(), and leaves the
+// database consistent — the previous index commit (or its absence)
+// still governs what a reopened database sees, and BuildIndexCtx can
+// simply be run again.
+func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) error {
+	ix, err := core.BuildCtx(ctx, db.store, core.Options{
 		DepthLimit:   opts.DepthLimit,
 		Clustered:    opts.Clustered,
 		Values:       opts.Values,
@@ -250,6 +334,7 @@ func (db *DB) BuildIndex(opts IndexOptions) error {
 		EdgeBudget:   opts.EdgeBudget,
 		SpectrumK:    opts.SpectrumK,
 		PaperPruning: opts.PaperPruning,
+		Workers:      opts.Workers,
 		Dir:          db.dir,
 	})
 	if err != nil {
@@ -288,10 +373,16 @@ func (db *DB) VerifyIndex() error {
 // options it was built with, replacing the B-tree (and clustered heap)
 // files. It is the repair path for a corrupt or stale index.
 func (db *DB) RebuildIndex() error {
+	return db.RebuildIndexCtx(context.Background())
+}
+
+// RebuildIndexCtx is RebuildIndex with cancellation; see BuildIndexCtx
+// for the semantics of an interrupted build.
+func (db *DB) RebuildIndexCtx(ctx context.Context) error {
 	if db.index == nil {
 		return fmt.Errorf("fix: no index to rebuild")
 	}
-	ix, err := core.Build(db.store, db.index.Options())
+	ix, err := core.BuildCtx(ctx, db.store, db.index.Options())
 	if err != nil {
 		return err
 	}
@@ -327,16 +418,53 @@ func (db *DB) IndexBuildTime() time.Duration {
 	return db.index.BuildTime()
 }
 
+// IndexBuildStats returns the per-phase timing breakdown of the last
+// BuildIndex in this process. It is the zero value without an index or
+// for an index loaded from disk.
+func (db *DB) IndexBuildStats() BuildStats {
+	if db.index == nil {
+		return BuildStats{}
+	}
+	s := db.index.Stats()
+	return BuildStats{
+		Workers: s.Workers,
+		Records: s.Records,
+		Units:   s.Units,
+		Parse:   s.Parse,
+		Bisim:   s.Bisim,
+		Eigen:   s.Eigen,
+		Insert:  s.Insert,
+		Wall:    s.Wall,
+	}
+}
+
+// workers returns the worker-pool bound queries should use: the indexed
+// setting when an index exists, otherwise the default (one per CPU).
+func (db *DB) workers() int {
+	if db.index == nil {
+		return 0
+	}
+	return db.index.Options().Workers
+}
+
 // Query evaluates the XPath expression. With an index it runs the
 // pruning + refinement pipeline; without one it falls back to a full
-// navigational scan (Candidates and Entries are then zero).
+// navigational scan (Candidates and Entries are then zero). It is
+// QueryCtx with context.Background().
 func (db *DB) Query(expr string) (Result, error) {
+	return db.QueryCtx(context.Background(), expr)
+}
+
+// QueryCtx is Query with cancellation: candidate refinement (and the
+// scan fallback) fans records out over the worker pool and observes ctx,
+// returning ctx.Err() promptly once it is cancelled.
+func (db *DB) QueryCtx(ctx context.Context, expr string) (Result, error) {
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return Result{}, err
 	}
 	if db.index != nil && db.index.Covered(q) {
-		res, err := db.index.Query(q)
+		res, err := db.index.QueryCtx(ctx, q)
 		if err != nil {
 			return Result{}, err
 		}
@@ -348,41 +476,69 @@ func (db *DB) Query(expr string) (Result, error) {
 			ScanFallback:   res.Fallback,
 		}, nil
 	}
-	count, err := db.scanCount(q)
+	count, err := db.scanCount(ctx, q)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{Count: count}, nil
 }
 
-// Exists reports whether the query has at least one match.
+// Exists reports whether the query has at least one match. It is
+// ExistsCtx with context.Background().
 func (db *DB) Exists(expr string) (bool, error) {
-	q, err := xpath.Parse(expr)
-	if err != nil {
-		return false, err
-	}
-	if db.index != nil && db.index.Covered(q) {
-		return db.index.Exists(q)
-	}
-	nq, err := nok.Compile(q.Tree(), db.dict)
-	if err != nil {
-		return false, err
-	}
-	for rec := 0; rec < db.store.NumRecords(); rec++ {
-		cur, err := db.store.Cursor(uint32(rec))
-		if err != nil {
-			return false, err
-		}
-		if nq.Exists(cur, 0) {
-			return true, nil
-		}
-	}
-	return false, nil
+	return db.ExistsCtx(context.Background(), expr)
 }
 
+// ExistsCtx is Exists with cancellation; verification fans out over the
+// worker pool and the first match stops the remaining workers.
+func (db *DB) ExistsCtx(ctx context.Context, expr string) (bool, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return false, err
+	}
+	if db.index != nil && db.index.Covered(q) {
+		return db.index.ExistsCtx(ctx, q)
+	}
+	nq, err := nok.Compile(q.Tree(), db.dict)
+	if err != nil {
+		return false, err
+	}
+	var found atomic.Bool
+	err = par.Do(ctx, db.workers(), db.store.NumRecords(), func(i int) error {
+		if found.Load() {
+			return nil
+		}
+		cur, err := db.store.Cursor(uint32(i))
+		if err != nil {
+			return err
+		}
+		if nq.Exists(cur, 0) {
+			found.Store(true)
+			return errStopScan
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return false, err
+	}
+	return found.Load(), nil
+}
+
+// errStopScan is the sentinel the parallel scan paths use to stop the
+// worker pool early once the answer is known.
+var errStopScan = errors.New("fix: scan satisfied")
+
 // QueryDocuments returns the IDs of documents containing at least one
-// match, in document order.
+// match, in document order. It is QueryDocumentsCtx with
+// context.Background().
 func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
+	return db.QueryDocumentsCtx(context.Background(), expr)
+}
+
+// QueryDocumentsCtx is QueryDocuments with cancellation. Documents are
+// verified in parallel over the worker pool; the result order is still
+// document order regardless of the worker count.
+func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) ([]uint32, error) {
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -391,48 +547,41 @@ func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	var scan func(rec uint32) (bool, error)
+	var candDocs map[uint32]bool
 	if db.index != nil && db.index.Covered(q) {
-		cands, _, err := db.index.Candidates(q)
+		cands, _, err := db.index.CandidatesCtx(ctx, q)
 		switch {
 		case errors.Is(err, core.ErrDegraded):
 			// The index cannot be trusted; scan every document instead.
-			break
 		case err != nil:
 			return nil, err
 		default:
-			candDocs := make(map[uint32]bool, len(cands))
+			candDocs = make(map[uint32]bool, len(cands))
 			for _, c := range cands {
 				candDocs[c.Primary.Rec()] = true
 			}
-			scan = func(rec uint32) (bool, error) {
-				if !candDocs[rec] {
-					return false, nil
-				}
-				cur, err := db.store.Cursor(rec)
-				if err != nil {
-					return false, err
-				}
-				return nq.Exists(cur, 0), nil
-			}
 		}
 	}
-	if scan == nil {
-		scan = func(rec uint32) (bool, error) {
-			cur, err := db.store.Cursor(rec)
-			if err != nil {
-				return false, err
-			}
-			return nq.Exists(cur, 0), nil
+	nrec := db.store.NumRecords()
+	hits := make([]bool, nrec)
+	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
+		rec := uint32(i)
+		if candDocs != nil && !candDocs[rec] {
+			return nil
 		}
+		cur, err := db.store.Cursor(rec)
+		if err != nil {
+			return err
+		}
+		hits[i] = nq.Exists(cur, 0)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []uint32
-	for rec := 0; rec < db.store.NumRecords(); rec++ {
-		ok, err := scan(uint32(rec))
-		if err != nil {
-			return nil, err
-		}
-		if ok {
+	for rec, hit := range hits {
+		if hit {
 			out = append(out, uint32(rec))
 		}
 	}
@@ -457,18 +606,30 @@ func (db *DB) Metrics(expr string) (Metrics, error) {
 	return Metrics{Selectivity: m.Sel, PruningPower: m.PP, FalsePosRatio: m.FPR}, nil
 }
 
-func (db *DB) scanCount(q *xpath.Path) (int, error) {
+// scanCount counts matches by navigational refinement of every record,
+// fanned out over the worker pool with per-record result slots, so the
+// total is deterministic for any worker count.
+func (db *DB) scanCount(ctx context.Context, q *xpath.Path) (int, error) {
 	nq, err := nok.Compile(q.Tree(), db.dict)
 	if err != nil {
 		return 0, err
 	}
-	total := 0
-	for rec := 0; rec < db.store.NumRecords(); rec++ {
-		cur, err := db.store.Cursor(uint32(rec))
+	nrec := db.store.NumRecords()
+	counts := make([]int, nrec)
+	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
+		cur, err := db.store.Cursor(uint32(i))
 		if err != nil {
-			return 0, err
+			return err
 		}
-		total += nq.Count(cur, 0)
+		counts[i] = nq.Count(cur, 0)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
 	}
 	return total, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"github.com/fix-index/fix/internal/storage"
 )
@@ -20,8 +21,12 @@ const (
 // unique; Put overwrites. Keys and values must individually fit in a
 // quarter page so that splits always succeed.
 //
-// Tree is not safe for concurrent use; the FIX index serializes access.
+// Every exported operation takes an internal mutex, so a Tree is safe for
+// concurrent use; even read-only operations need the exclusion because
+// they move pages through the LRU cache. Scan holds the lock for the
+// whole pass, so scan callbacks must not call back into the same Tree.
 type Tree struct {
+	mu     sync.Mutex
 	p      *pager
 	root   uint32
 	height uint32
@@ -114,22 +119,48 @@ func (t *Tree) writeMeta() error {
 }
 
 // Len returns the number of entries.
-func (t *Tree) Len() int { return int(t.count) }
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.count)
+}
 
 // Height returns the height of the tree (1 = a single leaf).
-func (t *Tree) Height() int { return int(t.height) }
+func (t *Tree) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(t.height)
+}
 
 // Size returns the file size in bytes (pages allocated × page size).
-func (t *Tree) Size() int64 { return int64(t.p.npages) * int64(t.p.pageSize) }
+func (t *Tree) Size() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(t.p.npages) * int64(t.p.pageSize)
+}
 
 // Stats returns a snapshot of pager I/O counters.
-func (t *Tree) Stats() Stats { return t.p.stats }
+func (t *Tree) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p.stats
+}
 
 // ResetStats zeroes the pager counters.
-func (t *Tree) ResetStats() { t.p.stats = Stats{} }
+func (t *Tree) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.stats = Stats{}
+}
 
 // Flush writes all dirty pages and the meta page.
 func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flush()
+}
+
+func (t *Tree) flush() error {
 	if err := t.writeMeta(); err != nil {
 		return err
 	}
@@ -161,6 +192,8 @@ func (t *Tree) storeNode(n *node) error {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n, err := t.findLeaf(key)
 	if err != nil {
 		return nil, false, err
@@ -188,6 +221,8 @@ func (t *Tree) findLeaf(key []byte) (*node, error) {
 
 // Put inserts or overwrites the entry for key.
 func (t *Tree) Put(key, val []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(key)+len(val)+8 > t.maxEntry() {
 		return fmt.Errorf("btree: entry of %d bytes exceeds max %d", len(key)+len(val), t.maxEntry())
 	}
@@ -327,6 +362,8 @@ func (t *Tree) splitInternal(n *node) ([]byte, uint32, error) {
 // are allowed to underflow (no rebalancing); space is reclaimed only by
 // rebuilding, which matches the build-once workload of the FIX index.
 func (t *Tree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n, err := t.findLeaf(key)
 	if err != nil {
 		return false, err
@@ -346,8 +383,15 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 
 // Scan calls fn for every entry with from <= key < to in key order. A nil
 // to scans to the end; a nil from starts at the beginning. fn returning
-// false stops the scan.
+// false stops the scan. The tree lock is held for the whole scan, so fn
+// must not call back into the Tree.
 func (t *Tree) Scan(from, to []byte, fn func(key, val []byte) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.scan(from, to, fn)
+}
+
+func (t *Tree) scan(from, to []byte, fn func(key, val []byte) bool) error {
 	if from == nil {
 		from = []byte{}
 	}
@@ -379,7 +423,9 @@ func (t *Tree) Scan(from, to []byte, fn func(key, val []byte) bool) error {
 // ClearCache flushes dirty pages and drops the page cache, so a following
 // operation measures cold I/O.
 func (t *Tree) ClearCache() error {
-	if err := t.Flush(); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flush(); err != nil {
 		return err
 	}
 	t.p.cache = make(map[uint32]*page, t.p.cap)
@@ -402,6 +448,8 @@ type DirtyPage struct {
 // writes byte-identical pages in place, so a journal built from this
 // snapshot replays to exactly the committed state.
 func (t *Tree) DirtyPages() ([]DirtyPage, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.writeMeta(); err != nil {
 		return nil, err
 	}
@@ -420,6 +468,8 @@ func (t *Tree) DirtyPages() ([]DirtyPage, error) {
 // number of entries the meta page claims. It returns the first problem
 // found, wrapping ErrCorrupt for validation failures.
 func (t *Tree) Verify() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for id := uint32(1); id < t.p.npages; id++ {
 		pg, err := t.p.read(id)
 		if err != nil {
@@ -430,7 +480,7 @@ func (t *Tree) Verify() error {
 		}
 	}
 	n := 0
-	err := t.Scan(nil, nil, func(k, v []byte) bool { n++; return true })
+	err := t.scan(nil, nil, func(k, v []byte) bool { n++; return true })
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"github.com/fix-index/fix/internal/bisim"
+	"github.com/fix-index/fix/internal/btree"
+	"github.com/fix-index/fix/internal/matrix"
+	"github.com/fix-index/fix/internal/par"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Parallel index construction.
+//
+// The per-record work of Algorithm 1 — parsing the stored document,
+// reducing it to its bisimulation graph, translating to an anti-symmetric
+// matrix, and computing extreme eigenvalues — is independent across
+// records, so Build fans it out over a bounded worker pool. The one piece
+// of shared state, the edge-label encoder (whose pair→weight assignment
+// feeds the matrices and therefore the eigenvalues), is only ever mutated
+// at a sequential merge point that walks records in record order.
+// Records flow through the pipeline in batches of four phases:
+//
+//	1. parse + bisimulation     parallel; no shared writes
+//	2. edge-pair assignment     sequential, in record order
+//	3. matrix + eigenvalues     parallel; encoder is read-only
+//	4. B-tree merge             sequential, in record order
+//
+// Because phases 2 and 4 see records in record order whatever the worker
+// count, and phases 1 and 3 write only to per-record slots, the index
+// bytes produced are identical for any Workers setting (including the
+// batch size, which only bounds memory). BuildStats reports where the
+// time went.
+
+// BuildStats reports where one index construction spent its time. The
+// per-phase durations are summed across workers, so on a multi-core build
+// they can exceed Wall; comparing a phase across worker counts shows
+// whether it scaled.
+type BuildStats struct {
+	// Workers is the effective worker-pool size used.
+	Workers int
+	// Records is the number of primary-store records indexed; Units the
+	// number of indexable units (records, or elements when a depth limit
+	// enumerates one subpattern per element).
+	Records, Units int
+	// Parse covers reading records and adapting them to structural event
+	// streams; Bisim the bisimulation reduction; Eigen the matrix
+	// translation and eigenvalue computation; Insert the sequential
+	// B-tree merge. Parse, Bisim and Eigen are cumulative across workers.
+	Parse, Bisim, Eigen, Insert time.Duration
+	// Wall is the end-to-end construction time (BuildTime reports the
+	// same value).
+	Wall time.Duration
+}
+
+// UnitsPerSec returns indexing throughput in units per wall-clock second.
+func (s BuildStats) UnitsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Units) / s.Wall.Seconds()
+}
+
+// phaseTimers accumulates per-phase nanoseconds from concurrent workers.
+type phaseTimers struct {
+	parse, bisim, eigen atomic.Int64
+}
+
+// graphElem is one element vertex reported by the bisimulation pass,
+// paired with its storage pointer.
+type graphElem struct {
+	v   *bisim.Vertex
+	ptr uint64
+}
+
+// pendingEntry is one computed index entry awaiting its in-order B-tree
+// insert.
+type pendingEntry struct {
+	label uint32
+	f     Features
+	spec  []float64
+	ptr   storage.Pointer
+}
+
+// buildUnit carries one record through the pipeline.
+type buildUnit struct {
+	rec     uint32
+	graph   *bisim.Graph
+	elems   []graphElem
+	pairs   []matrix.LabelPair // first-seen order, deterministic
+	depth   int
+	entries []pendingEntry
+}
+
+// Build constructs a FIX index over every document in st.
+func Build(st *storage.Store, opts Options) (*Index, error) {
+	return BuildCtx(context.Background(), st, opts)
+}
+
+// BuildCtx is Build with cancellation: workers observe ctx between units
+// and the sequential merge observes it between records, so a cancelled
+// build returns ctx.Err() promptly. A cancelled on-disk build may leave a
+// partially written fix.btree behind; it is harmless — the committed
+// fix.meta still describes the previous index (or none), so a later Open
+// either loads the old commit or degrades to the scan fallback, and
+// rebuilding replaces the partial file.
+func BuildCtx(ctx context.Context, st *storage.Store, opts Options) (*Index, error) {
+	opts.setDefaults()
+	workers := par.Workers(opts.Workers)
+	start := time.Now()
+	btFile, err := indexFile(opts, "fix.btree")
+	if err != nil {
+		return nil, err
+	}
+	bt, err := btree.Create(btFile, opts.PageSize, opts.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		opts:  opts,
+		store: st,
+		dict:  st.Dict(),
+		bt:    bt,
+		enc:   matrix.NewEdgeEncoder(),
+	}
+	ix.vh = valueHasher{alpha: ix.dict.MaxID(), beta: opts.Beta}
+	var vh bisim.ValueHash
+	if opts.Values {
+		vh = ix.vh.hash
+	}
+
+	timers := &phaseTimers{}
+	nrec := st.NumRecords()
+	units := 0
+	var insertTime time.Duration
+	// The batch size bounds how many decoded graphs are in flight at
+	// once; it does not affect the output (see the pipeline comment).
+	batch := 4 * workers
+	if batch < 64 {
+		batch = 64
+	}
+	window := make([]*buildUnit, batch)
+	for lo := 0; lo < nrec; lo += batch {
+		hi := lo + batch
+		if hi > nrec {
+			hi = nrec
+		}
+		n := hi - lo
+		// Phase 1: parse records and build bisimulation graphs.
+		err := par.Do(ctx, workers, n, func(i int) error {
+			u, err := ix.buildUnitGraph(uint32(lo+i), vh, timers)
+			if err != nil {
+				return err
+			}
+			window[i] = u
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Phase 2 — the deterministic merge point: assign edge-pair
+		// weights in record order, so the encoder (and everything
+		// derived from it) is identical for any worker count.
+		for i := 0; i < n; i++ {
+			if window[i] == nil {
+				continue
+			}
+			for _, p := range window[i].pairs {
+				ix.enc.Encode(p.Parent, p.Child)
+			}
+		}
+		// Phase 3: matrices and eigenvalues; the encoder is read-only.
+		err = par.Do(ctx, workers, n, func(i int) error {
+			if window[i] == nil {
+				return nil
+			}
+			return ix.buildUnitFeatures(window[i], timers)
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Phase 4: merge into the B-tree in record order.
+		insStart := time.Now()
+		for i := 0; i < n; i++ {
+			u := window[i]
+			window[i] = nil
+			if u == nil {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if u.depth > ix.maxDocDepth {
+				ix.maxDocDepth = u.depth
+			}
+			for _, e := range u.entries {
+				if err := ix.insert(e.label, e.f, e.spec, e.ptr); err != nil {
+					return nil, err
+				}
+			}
+			units += len(u.entries)
+		}
+		insertTime += time.Since(insStart)
+	}
+	if opts.Clustered {
+		if err := ix.buildClustered(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if err := ix.bt.Flush(); err != nil {
+		return nil, err
+	}
+	ix.buildTime = time.Since(start)
+	ix.buildStats = BuildStats{
+		Workers: workers,
+		Records: nrec,
+		Units:   units,
+		Parse:   time.Duration(timers.parse.Load()),
+		Bisim:   time.Duration(timers.bisim.Load()),
+		Eigen:   time.Duration(timers.eigen.Load()),
+		Insert:  insertTime,
+		Wall:    ix.buildTime,
+	}
+	return ix, nil
+}
+
+// buildUnitGraph runs the parallel-safe front half of the pipeline for
+// one record: parse, bisimulation reduction, and the deterministic list
+// of edge-label pairs the record contributes. It returns nil for records
+// without a root element.
+func (ix *Index) buildUnitGraph(rec uint32, vh bisim.ValueHash, timers *phaseTimers) (*buildUnit, error) {
+	parseStart := time.Now()
+	cur, err := ix.store.Cursor(rec)
+	if err != nil {
+		return nil, err
+	}
+	base := uint64(storage.MakePointer(rec, 0))
+	events, err := collectEvents(bisim.FromXML(xmltree.NewCursorStream(cur, 0, base), ix.dict, vh))
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing record %d: %w", rec, err)
+	}
+	bisimStart := time.Now()
+	timers.parse.Add(int64(bisimStart.Sub(parseStart)))
+	u := &buildUnit{rec: rec}
+	g, err := bisim.Build(&eventSlice{events: events}, func(v *bisim.Vertex, ptr uint64) {
+		u.elems = append(u.elems, graphElem{v, ptr})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building bisimulation graph of record %d: %w", rec, err)
+	}
+	if g.Root == nil {
+		timers.bisim.Add(int64(time.Since(bisimStart)))
+		return nil, nil
+	}
+	u.graph = g
+	u.depth = g.MaxDepth()
+	u.pairs = graphPairs(g)
+	timers.bisim.Add(int64(time.Since(bisimStart)))
+	return u, nil
+}
+
+// buildUnitFeatures computes the unit's index entries: features (and
+// spectrum tails) for the whole document, or one per element under a
+// depth limit. All edge pairs were assigned at the merge point, so the
+// encoder is only read here.
+func (ix *Index) buildUnitFeatures(u *buildUnit, timers *phaseTimers) error {
+	eigenStart := time.Now()
+	defer func() { timers.eigen.Add(int64(time.Since(eigenStart))) }()
+	g := u.graph
+	if ix.opts.DepthLimit == 0 {
+		// The whole document is one indexable unit.
+		var f Features
+		var spec []float64
+		if ix.opts.EdgeBudget > 0 && g.NumEdges() > ix.opts.EdgeBudget {
+			f = oversizeFeatures()
+		} else {
+			var ok bool
+			var err error
+			f, ok, err = graphFeatures(g, ix.enc, false)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("core: internal: record %d uses an edge pair missing after pre-assignment", u.rec)
+			}
+			spec = graphSpectrumTail(g, ix.enc, ix.opts.SpectrumK)
+		}
+		base := storage.MakePointer(u.rec, 0)
+		u.entries = []pendingEntry{{label: g.Root.Label, f: f, spec: spec, ptr: base}}
+		return nil
+	}
+	// Enumerate one depth-limited subpattern per element (Theorem 4: with
+	// a positive depth limit the number of entries equals the number of
+	// elements).
+	u.entries = make([]pendingEntry, 0, len(u.elems))
+	for _, e := range u.elems {
+		f, spec, err := subpatternFeatures(e.v, ix.opts.DepthLimit, ix.opts.EdgeBudget, ix.enc, ix.opts.SpectrumK, false)
+		if err != nil {
+			return err
+		}
+		u.entries = append(u.entries, pendingEntry{label: e.v.Label, f: f, spec: spec, ptr: storage.Pointer(e.ptr)})
+	}
+	return nil
+}
+
+// graphPairs lists the distinct (parent label, child label) pairs of g in
+// a deterministic first-seen order: vertices in creation order, children
+// in ID order. Every depth-limited unfolding of g uses only edges of g,
+// so pre-assigning exactly these pairs covers all feature computations
+// the record needs.
+func graphPairs(g *bisim.Graph) []matrix.LabelPair {
+	seen := make(map[matrix.LabelPair]struct{})
+	var pairs []matrix.LabelPair
+	for _, v := range g.Vertices {
+		for _, c := range v.Children {
+			p := matrix.LabelPair{Parent: v.Label, Child: c.Label}
+			if _, ok := seen[p]; !ok {
+				seen[p] = struct{}{}
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	return pairs
+}
+
+// collectEvents drains a bisimulation event stream into a slice, so the
+// parse cost can be measured apart from the reduction.
+func collectEvents(s bisim.EventStream) ([]bisim.Event, error) {
+	var events []bisim.Event
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+}

@@ -117,8 +117,13 @@ func spectrumContains(entry []float64, queries [][]float64) bool {
 // subpatternFeatures returns the (memoized) features of the depth-limited
 // subpattern rooted at vertex v, falling back to the artificial range when
 // the unfolding exceeds the edge budget. When spectrumK > 0 it also
-// returns (and caches) the entry's spectrum tail.
-func subpatternFeatures(v *bisim.Vertex, depthLimit, budget int, enc *matrix.EdgeEncoder, spectrumK int) (Features, []float64, error) {
+// returns (and caches) the entry's spectrum tail. With assign=true unseen
+// edge pairs are added to the encoder (the sequential incremental-insert
+// path); the parallel build passes assign=false because every pair of the
+// record's graph was assigned at the pipeline's merge point, keeping the
+// encoder read-only across workers — a missing pair then is an internal
+// invariant violation, not a data property.
+func subpatternFeatures(v *bisim.Vertex, depthLimit, budget int, enc *matrix.EdgeEncoder, spectrumK int, assign bool) (Features, []float64, error) {
 	if v.Feats.Set {
 		if v.Feats.Oversize {
 			return oversizeFeatures(), nil, nil
@@ -134,9 +139,12 @@ func subpatternFeatures(v *bisim.Vertex, depthLimit, budget int, enc *matrix.Edg
 	if !ok {
 		f = oversizeFeatures()
 	} else {
-		f, _, err = graphFeatures(g, enc, true)
+		f, ok, err = graphFeatures(g, enc, assign)
 		if err != nil {
 			return Features{}, nil, err
+		}
+		if !ok {
+			return Features{}, nil, fmt.Errorf("core: internal: subpattern uses an edge pair missing after pre-assignment")
 		}
 		spec = graphSpectrumTail(g, enc, spectrumK)
 	}

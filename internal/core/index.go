@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,12 +9,14 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fix-index/fix/internal/bisim"
 	"github.com/fix-index/fix/internal/btree"
 	"github.com/fix-index/fix/internal/matrix"
 	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
 	"github.com/fix-index/fix/internal/xpath"
@@ -68,6 +71,14 @@ type Options struct {
 	// pattern's spectrum, so Cauchy interlacing makes the filter
 	// complete. 0 disables it; values are capped at 8.
 	SpectrumK int
+	// Workers bounds the worker pool that parallelizes per-record feature
+	// extraction during Build and candidate refinement during queries.
+	// Zero (the default) means one worker per available CPU (GOMAXPROCS);
+	// 1 forces fully sequential execution. The index bytes produced by
+	// Build are identical for every Workers value. Workers is a runtime
+	// tuning knob: it is not persisted with the index, so a reopened
+	// index runs with the default until set again.
+	Workers int
 	// PaperPruning selects the paper's literal pruning bound: the σmax
 	// of the (canonicalized) query pattern. That bound can produce rare
 	// false negatives — a match is a homomorphism, and even injective
@@ -124,6 +135,7 @@ type Index struct {
 	oversize    int
 	maxDocDepth int
 	buildTime   time.Duration
+	buildStats  BuildStats
 
 	// health is the first corruption or staleness problem observed, set
 	// at Open time or by a query-time page read; nil means healthy. Once
@@ -175,98 +187,6 @@ type Result struct {
 	Fallback bool
 }
 
-// Build constructs a FIX index over every document in st.
-func Build(st *storage.Store, opts Options) (*Index, error) {
-	opts.setDefaults()
-	start := time.Now()
-	btFile, err := indexFile(opts, "fix.btree")
-	if err != nil {
-		return nil, err
-	}
-	bt, err := btree.Create(btFile, opts.PageSize, opts.CacheSize)
-	if err != nil {
-		return nil, err
-	}
-	ix := &Index{
-		opts:  opts,
-		store: st,
-		dict:  st.Dict(),
-		bt:    bt,
-		enc:   matrix.NewEdgeEncoder(),
-	}
-	ix.vh = valueHasher{alpha: ix.dict.MaxID(), beta: opts.Beta}
-	var vh bisim.ValueHash
-	if opts.Values {
-		vh = ix.vh.hash
-	}
-
-	type elem struct {
-		v   *bisim.Vertex
-		ptr uint64
-	}
-	for rec := 0; rec < st.NumRecords(); rec++ {
-		cur, err := st.Cursor(uint32(rec))
-		if err != nil {
-			return nil, err
-		}
-		base := uint64(storage.MakePointer(uint32(rec), 0))
-		stream := bisim.FromXML(xmltree.NewCursorStream(cur, 0, base), ix.dict, vh)
-		var elems []elem
-		g, err := bisim.Build(stream, func(v *bisim.Vertex, ptr uint64) {
-			elems = append(elems, elem{v, ptr})
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: building bisimulation graph of record %d: %w", rec, err)
-		}
-		if g.Root == nil {
-			continue
-		}
-		if d := g.MaxDepth(); d > ix.maxDocDepth {
-			ix.maxDocDepth = d
-		}
-		if opts.DepthLimit == 0 {
-			// The whole document is one indexable unit.
-			f, ok, err := graphFeatures(g, ix.enc, true)
-			if err != nil {
-				return nil, err
-			}
-			if !ok || (opts.EdgeBudget > 0 && g.NumEdges() > opts.EdgeBudget) {
-				f = oversizeFeatures()
-			}
-			var spec []float64
-			if !f.Oversize {
-				spec = graphSpectrumTail(g, ix.enc, opts.SpectrumK)
-			}
-			if err := ix.insert(g.Root.Label, f, spec, storage.Pointer(base)); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		// Enumerate one depth-limited subpattern per element (Theorem 4:
-		// with a positive depth limit the number of entries equals the
-		// number of elements).
-		for _, e := range elems {
-			f, spec, err := subpatternFeatures(e.v, opts.DepthLimit, opts.EdgeBudget, ix.enc, opts.SpectrumK)
-			if err != nil {
-				return nil, err
-			}
-			if err := ix.insert(e.v.Label, f, spec, storage.Pointer(e.ptr)); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if opts.Clustered {
-		if err := ix.buildClustered(); err != nil {
-			return nil, err
-		}
-	}
-	if err := ix.bt.Flush(); err != nil {
-		return nil, err
-	}
-	ix.buildTime = time.Since(start)
-	return ix, nil
-}
-
 func indexFile(opts Options, name string) (storage.File, error) {
 	if opts.Dir == "" {
 		return storage.NewMemFile(), nil
@@ -288,8 +208,10 @@ func (ix *Index) insert(label uint32, f Features, spectrum []float64, ptr storag
 }
 
 // buildClustered copies every entry's subtree into a fresh heap in key
-// order and rewrites the B-tree values to carry both pointers.
-func (ix *Index) buildClustered() error {
+// order and rewrites the B-tree values to carry both pointers. The copy
+// order is the key order, so the heap stays sequential-read friendly;
+// the loop observes ctx between entries.
+func (ix *Index) buildClustered(ctx context.Context) error {
 	type kv struct {
 		key []byte
 		val entryValue
@@ -311,6 +233,9 @@ func (ix *Index) buildClustered() error {
 		return err
 	}
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cur, ref, err := ix.store.ReadSubtree(storage.Pointer(e.val.primary))
 		if err != nil {
 			return err
@@ -345,6 +270,10 @@ func (ix *Index) MaxDocDepth() int { return ix.maxDocDepth }
 
 // BuildTime returns the wall-clock construction time.
 func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Stats returns the per-phase timing breakdown of the last Build. It is
+// the zero value for indexes loaded from disk.
+func (ix *Index) Stats() BuildStats { return ix.buildStats }
 
 // Options returns the options the index was built with.
 func (ix *Index) Options() Options { return ix.opts }
@@ -556,6 +485,12 @@ func (s *eventSlice) Next() (bisim.Event, error) {
 // the health error (wrapping ErrDegraded): its pruning promise — no false
 // negatives — cannot be kept, so callers must scan instead.
 func (ix *Index) Candidates(path *xpath.Path) (cands []Candidate, scanned int, err error) {
+	return ix.CandidatesCtx(context.Background(), path)
+}
+
+// CandidatesCtx is Candidates with cancellation: the range scan observes
+// ctx periodically and returns ctx.Err() promptly once it is cancelled.
+func (ix *Index) CandidatesCtx(ctx context.Context, path *xpath.Path) (cands []Candidate, scanned int, err error) {
 	if err := ix.Health(); err != nil {
 		return nil, 0, err
 	}
@@ -563,10 +498,10 @@ func (ix *Index) Candidates(path *xpath.Path) (cands []Candidate, scanned int, e
 	if err != nil {
 		return nil, 0, err
 	}
-	return ix.candidatesForPlan(p)
+	return ix.candidatesForPlan(ctx, p)
 }
 
-func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
+func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan) ([]Candidate, int, error) {
 	if p.empty {
 		return nil, 0, nil
 	}
@@ -583,8 +518,13 @@ func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
 	}
 	var cands []Candidate
 	scanned := 0
+	cancelled := false
 	err := ix.bt.Scan(from, to, func(k, v []byte) bool {
 		scanned++
+		if scanned%1024 == 0 && ctx.Err() != nil {
+			cancelled = true
+			return false
+		}
 		ek := decodeKey(k)
 		entry := Features{Min: ek.min, Max: ek.max}
 		for _, f := range p.feats {
@@ -607,6 +547,9 @@ func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if cancelled {
+		return nil, 0, ctx.Err()
+	}
 	return cands, scanned, nil
 }
 
@@ -620,18 +563,26 @@ func (ix *Index) candidatesForPlan(p *queryPlan) ([]Candidate, int, error) {
 // safe: refinement over every record can never miss a match, so the
 // result set is exactly correct, only slower.
 func (ix *Index) Query(path *xpath.Path) (Result, error) {
+	return ix.QueryCtx(context.Background(), path)
+}
+
+// QueryCtx is Query with cancellation and parallel refinement: candidate
+// verification fans out over the worker pool sized by Options.Workers
+// (0 = GOMAXPROCS), with per-candidate results merged in candidate order
+// so the statistics are deterministic.
+func (ix *Index) QueryCtx(ctx context.Context, path *xpath.Path) (Result, error) {
 	p, err := ix.plan(path)
 	if err != nil {
 		return Result{}, err
 	}
 	if ix.Health() != nil {
-		return ix.scanFallback(p.tree)
+		return ix.scanFallback(ctx, p.tree)
 	}
-	cands, scanned, err := ix.candidatesForPlan(p)
+	cands, scanned, err := ix.candidatesForPlan(ctx, p)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
-			return ix.scanFallback(p.tree)
+			return ix.scanFallback(ctx, p.tree)
 		}
 		return Result{}, err
 	}
@@ -641,15 +592,23 @@ func (ix *Index) Query(path *xpath.Path) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	for _, c := range cands {
+	counts := make([]int, len(cands))
+	err = par.Do(ctx, ix.opts.Workers, len(cands), func(i int) error {
+		c := cands[i]
 		if rootAnchored && c.Primary.Off() != 0 {
-			continue // a /-anchored query only matches document roots
+			return nil // a /-anchored query only matches document roots
 		}
 		cur, ref, err := ix.candidateCursor(c)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		n := nq.Count(cur, ref)
+		counts[i] = nq.Count(cur, ref)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for _, n := range counts {
 		if n > 0 {
 			res.Matched++
 			res.Count += n
@@ -662,18 +621,24 @@ func (ix *Index) Query(path *xpath.Path) (Result, error) {
 // candidates lazily and stopping at the first hit. Like Query, it falls
 // back to a full scan when the index is degraded.
 func (ix *Index) Exists(path *xpath.Path) (bool, error) {
+	return ix.ExistsCtx(context.Background(), path)
+}
+
+// ExistsCtx is Exists with cancellation and parallel refinement; the
+// first verified candidate stops the remaining workers.
+func (ix *Index) ExistsCtx(ctx context.Context, path *xpath.Path) (bool, error) {
 	p, err := ix.plan(path)
 	if err != nil {
 		return false, err
 	}
 	if ix.Health() != nil {
-		return ix.existsFallback(p.tree)
+		return ix.existsFallback(ctx, p.tree)
 	}
-	cands, _, err := ix.candidatesForPlan(p)
+	cands, _, err := ix.candidatesForPlan(ctx, p)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
-			return ix.existsFallback(p.tree)
+			return ix.existsFallback(ctx, p.tree)
 		}
 		return false, err
 	}
@@ -682,20 +647,34 @@ func (ix *Index) Exists(path *xpath.Path) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	for _, c := range cands {
+	var found atomic.Bool
+	err = par.Do(ctx, ix.opts.Workers, len(cands), func(i int) error {
+		if found.Load() {
+			return nil
+		}
+		c := cands[i]
 		if rootAnchored && c.Primary.Off() != 0 {
-			continue
+			return nil
 		}
 		cur, ref, err := ix.candidateCursor(c)
 		if err != nil {
-			return false, err
+			return err
 		}
 		if nq.Exists(cur, ref) {
-			return true, nil
+			found.Store(true)
+			return errFoundMatch
 		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errFoundMatch) {
+		return false, err
 	}
-	return false, nil
+	return found.Load(), nil
 }
+
+// errFoundMatch is the internal sentinel Exists-style searches use to
+// stop the worker pool after the first hit.
+var errFoundMatch = errors.New("core: match found")
 
 // refinementQuery adapts the original query for per-candidate refinement:
 // for depth-limited indexes the leading // becomes / because every
@@ -713,21 +692,31 @@ func (ix *Index) refinementQuery(qt *xpath.QNode) (*xpath.QNode, bool) {
 }
 
 // scanFallback answers a query without the index: it compiles the
-// original query tree and refines every record of the primary store.
-// Because a full refinement pass cannot produce false negatives, the
-// counts are exact regardless of what happened to the index.
-func (ix *Index) scanFallback(qt *xpath.QNode) (Result, error) {
+// original query tree and refines every record of the primary store,
+// fanning the records out over the worker pool. Because a full
+// refinement pass cannot produce false negatives, the counts are exact
+// regardless of what happened to the index.
+func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode) (Result, error) {
 	nq, err := nok.Compile(qt, ix.dict)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Fallback: true}
-	for rec := 0; rec < ix.store.NumRecords(); rec++ {
-		cur, err := ix.store.Cursor(uint32(rec))
+	nrec := ix.store.NumRecords()
+	counts := make([]int, nrec)
+	err = par.Do(ctx, ix.opts.Workers, nrec, func(i int) error {
+		cur, err := ix.store.Cursor(uint32(i))
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		if n := nq.Count(cur, 0); n > 0 {
+		counts[i] = nq.Count(cur, 0)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Fallback: true}
+	for _, n := range counts {
+		if n > 0 {
 			res.Matched++
 			res.Count += n
 		}
@@ -736,21 +725,30 @@ func (ix *Index) scanFallback(qt *xpath.QNode) (Result, error) {
 }
 
 // existsFallback is the Exists counterpart of scanFallback.
-func (ix *Index) existsFallback(qt *xpath.QNode) (bool, error) {
+func (ix *Index) existsFallback(ctx context.Context, qt *xpath.QNode) (bool, error) {
 	nq, err := nok.Compile(qt, ix.dict)
 	if err != nil {
 		return false, err
 	}
-	for rec := 0; rec < ix.store.NumRecords(); rec++ {
-		cur, err := ix.store.Cursor(uint32(rec))
+	var found atomic.Bool
+	err = par.Do(ctx, ix.opts.Workers, ix.store.NumRecords(), func(i int) error {
+		if found.Load() {
+			return nil
+		}
+		cur, err := ix.store.Cursor(uint32(i))
 		if err != nil {
-			return false, err
+			return err
 		}
 		if nq.Exists(cur, 0) {
-			return true, nil
+			found.Store(true)
+			return errFoundMatch
 		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errFoundMatch) {
+		return false, err
 	}
-	return false, nil
+	return found.Load(), nil
 }
 
 func (ix *Index) candidateCursor(c Candidate) (xmltree.Cursor, xmltree.Ref, error) {

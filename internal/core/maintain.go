@@ -94,7 +94,7 @@ func (ix *Index) InsertDocument(rec uint32) error {
 		return insert(g.Root.Label, f, spec, storage.Pointer(base))
 	}
 	for _, e := range elems {
-		f, spec, err := subpatternFeatures(e.v, ix.opts.DepthLimit, ix.opts.EdgeBudget, ix.enc, ix.opts.SpectrumK)
+		f, spec, err := subpatternFeatures(e.v, ix.opts.DepthLimit, ix.opts.EdgeBudget, ix.enc, ix.opts.SpectrumK, true)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,11 @@
 // MᵀM, which needs only a real symmetric eigensolver and is numerically
 // robust.
 //
+// Every solver in the package is a pure function over its arguments (the
+// iterative paths use deterministic seeded start vectors, no global
+// state), so all of them are safe to call from concurrent goroutines;
+// the parallel index build relies on this.
+//
 // The symmetric solver is the classic Householder tridiagonalization
 // followed by the implicit-shift QL iteration (Numerical Recipes, the
 // paper's reference [22]); a Jacobi rotation solver is provided as an

@@ -24,6 +24,12 @@ type Env struct {
 	Cfg     datagen.Config
 	Store   *storage.Store
 
+	// Workers bounds the worker pool of every index the environment
+	// builds (0 = one per CPU). It must be set before the first lazy
+	// build; the index bytes are identical for every value, so the
+	// experiment results do not depend on it.
+	Workers int
+
 	elements int
 
 	uidx  *core.Index // unclustered structural, paper pruning bound
@@ -63,7 +69,7 @@ func (e *Env) Unclustered() (*core.Index, error) {
 	if e.uidx != nil {
 		return e.uidx, nil
 	}
-	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), PaperPruning: true})
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), PaperPruning: true, Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +83,7 @@ func (e *Env) SoundIndex() (*core.Index, error) {
 	if e.sound != nil {
 		return e.sound, nil
 	}
-	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit()})
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +96,7 @@ func (e *Env) Clustered() (*core.Index, error) {
 	if e.cidx != nil {
 		return e.cidx, nil
 	}
-	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), Clustered: true, PaperPruning: true})
+	ix, err := core.Build(e.Store, core.Options{DepthLimit: e.DepthLimit(), Clustered: true, PaperPruning: true, Workers: e.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +116,7 @@ func (e *Env) ValueIndex(beta uint32) (*core.Index, error) {
 		Values:       true,
 		Beta:         beta,
 		PaperPruning: true,
+		Workers:      e.Workers,
 	})
 	if err != nil {
 		return nil, err

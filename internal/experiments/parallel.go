@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+)
+
+// The parallel-construction sweep is not a paper experiment — the paper
+// predates the many-core era — but it validates the repository's claim
+// that Build parallelizes without changing the index: every worker count
+// must produce byte-identical entries, and the speedup table shows what
+// the extra cores buy.
+
+// ParallelRow is one (dataset, worker count) measurement of the sweep.
+type ParallelRow struct {
+	Dataset     string        `json:"dataset"`
+	Workers     int           `json:"workers"`
+	Build       time.Duration `json:"build_ns"`
+	Speedup     float64       `json:"speedup_vs_1"`
+	UnitsPerSec float64       `json:"units_per_sec"`
+	Entries     int           `json:"entries"`
+	Hash        string        `json:"entry_hash"`
+	Identical   bool          `json:"identical_to_workers_1"`
+}
+
+// SweepWorkerCounts returns the canonical sweep: 1, 2, 4 and NumCPU
+// workers, deduplicated and sorted.
+func SweepWorkerCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.NumCPU(): true}
+	var counts []int
+	for n := range set {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+// ParallelSweep rebuilds the unclustered index of env's dataset once per
+// worker count, hashing the resulting entries to prove the index is
+// independent of the parallelism, and reports build time and speedup
+// relative to the sequential build.
+func ParallelSweep(env *Env, workerCounts []int) ([]ParallelRow, error) {
+	var rows []ParallelRow
+	var baseline time.Duration
+	var baseHash string
+	for _, w := range workerCounts {
+		ix, err := core.Build(env.Store, core.Options{
+			DepthLimit:   env.DepthLimit(),
+			PaperPruning: true,
+			Workers:      w,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallel sweep, %d workers: %w", w, err)
+		}
+		h, err := indexEntryHash(ix)
+		if err != nil {
+			return nil, err
+		}
+		stats := ix.Stats()
+		row := ParallelRow{
+			Dataset:     string(env.Dataset),
+			Workers:     stats.Workers,
+			Build:       stats.Wall,
+			UnitsPerSec: stats.UnitsPerSec(),
+			Entries:     ix.Entries(),
+			Hash:        h,
+		}
+		if len(rows) == 0 {
+			baseline, baseHash = stats.Wall, h
+		}
+		if baseline > 0 {
+			row.Speedup = baseline.Seconds() / stats.Wall.Seconds()
+		}
+		row.Identical = h == baseHash
+		if !row.Identical {
+			return nil, fmt.Errorf("experiments: index with %d workers diverged from sequential build (hash %s != %s)", w, h, baseHash)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// indexEntryHash hashes every B-tree entry (key and value bytes) in key
+// order. Two builds with the same hash produced the same index content,
+// whatever their worker counts.
+func indexEntryHash(ix *core.Index) (string, error) {
+	h := fnv.New64a()
+	var lenBuf [4]byte
+	err := ix.BTree().Scan(nil, nil, func(k, v []byte) bool {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		h.Write(lenBuf[:])
+		h.Write(k)
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		h.Write(lenBuf[:])
+		h.Write(v)
+		return true
+	})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// PrintParallelSweep renders the sweep as a speedup table.
+func PrintParallelSweep(w io.Writer, rows []ParallelRow) {
+	fmt.Fprintf(w, "Parallel construction sweep (NumCPU=%d; identical=index bytes match Workers=1)\n", runtime.NumCPU())
+	fmt.Fprintf(w, "%-10s %8s %12s %9s %12s %8s  %s\n",
+		"dataset", "workers", "build", "speedup", "units/s", "entries", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %12s %8.2fx %12.0f %8d  %v\n",
+			r.Dataset, r.Workers, r.Build.Round(time.Millisecond), r.Speedup, r.UnitsPerSec, r.Entries, r.Identical)
+	}
+}

@@ -11,6 +11,11 @@
 // second, top-down pass walks only witnessed bindings to enumerate the
 // distinct matches of the query's output node. Existence checks stop after
 // the first pass.
+//
+// A compiled Query is immutable after Compile; every evaluation keeps its
+// state in a per-call evalState, so one Query may be shared by any number
+// of concurrent goroutines. The parallel refinement and scan paths rely
+// on this.
 package nok
 
 import (

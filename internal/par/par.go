@@ -1,0 +1,99 @@
+// Package par provides the bounded worker pool used by the index build
+// and query pipelines. It is deliberately minimal: a fixed number of
+// goroutines pull item indexes off a shared atomic counter, the first
+// error (or context cancellation) stops the pool promptly, and callers
+// keep determinism by writing results into per-index slots and merging
+// them in order afterwards.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values below 1 mean "one
+// worker per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// seqThreshold is the item count below which Do runs inline: spawning
+// goroutines for a handful of items costs more than it saves.
+const seqThreshold = 4
+
+// Do runs fn(i) for every i in [0, n), using at most workers goroutines
+// (values below 1 mean GOMAXPROCS). It returns the first error any call
+// produced, or ctx.Err() if the context was cancelled; either stops the
+// remaining work promptly (in-flight calls finish, queued items are
+// dropped). fn must be safe to call from multiple goroutines; writes it
+// makes to distinct per-index slots need no further synchronization, as
+// Do establishes a happens-before edge between every fn call and its
+// return.
+func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < seqThreshold {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if pctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
