@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench-parallel
+.PHONY: build vet test race docs check bench-parallel
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# docs lints the documentation conventions: go vet's doc-comment checks
+# plus tools/doclint (package docs everywhere, exported-symbol docs on
+# the public fix package).
+docs:
+	$(GO) vet ./...
+	$(GO) run ./tools/doclint
+
 # check is the full pre-merge gate: vet, build, tests (the fault-injection
 # and crash-recovery suites run as part of the default test set), then the
-# race detector.
-check: vet build test race
+# race detector, then the documentation lint.
+check: vet build test race docs
 
 # bench-parallel regenerates the committed parallel-construction sweep
 # (1/2/4/NumCPU workers; asserts byte-identical indexes).

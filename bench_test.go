@@ -8,6 +8,7 @@
 package fix_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"github.com/fix-index/fix/internal/datagen"
 	"github.com/fix-index/fix/internal/eigen"
 	"github.com/fix-index/fix/internal/experiments"
+	"github.com/fix-index/fix/internal/obs"
 	"github.com/fix-index/fix/internal/xpath"
 )
 
@@ -288,4 +290,36 @@ func BenchmarkQueryPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkQueryTraceOverhead compares the same query untraced and
+// traced. The untraced path is the overhead budget of the observability
+// layer: it must match BenchmarkQueryPipeline (tracing off costs only a
+// nil check per phase); the traced variant shows the price of the timer
+// reads and stats snapshots a WithTrace query pays.
+func BenchmarkQueryTraceOverhead(b *testing.B) {
+	env := benchEnv(b, datagen.XMarkDataset)
+	ix, err := env.Unclustered()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := xpath.Parse(experiments.RepresentativeQueries[datagen.XMarkDataset][1].XPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := &obs.Trace{}
+			if _, err := ix.QueryTraced(context.Background(), q, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -4,15 +4,16 @@
 // Usage:
 //
 //	fixindex -db /tmp/xmarkdb build -depth 6 -clustered
-//	fixindex -db /tmp/xmarkdb query '//item[name]/mailbox'
+//	fixindex -db /tmp/xmarkdb query -trace '//item[name]/mailbox'
 //	fixindex -db /tmp/xmarkdb metrics '//item[name]/mailbox'
 //	fixindex -db /tmp/xmarkdb add doc.xml
-//	fixindex -db /tmp/xmarkdb stats
+//	fixindex -db /tmp/xmarkdb stats -json
 //	fixindex -db /tmp/xmarkdb verify
 //	fixindex -db /tmp/xmarkdb repair
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +40,10 @@ func usage() {
 
 commands:
   build [-depth N] [-clustered] [-values] [-beta N]   build the FIX index
-  query XPATH                                          run a query
+  query [-trace] XPATH                                 run a query
   metrics XPATH                                        report sel/pp/fpr
   add FILE...                                          add XML documents
-  stats                                                database statistics
+  stats [-json]                                        database statistics
   verify                                               check index integrity
   repair                                               rebuild a damaged index`)
 }
@@ -100,7 +101,12 @@ func run(dbdir string, args []string) error {
 		return nil
 
 	case "query":
-		if len(rest) != 1 {
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		trace := fs.Bool("trace", false, "print the full execution trace")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
 			return fmt.Errorf("query takes exactly one XPath expression")
 		}
 		db, err := fix.Open(dbdir)
@@ -108,7 +114,11 @@ func run(dbdir string, args []string) error {
 			return err
 		}
 		defer db.Close()
-		res, err := db.Query(rest[0])
+		var opts []fix.QueryOption
+		if *trace {
+			opts = append(opts, fix.WithTrace())
+		}
+		res, err := db.Query(fs.Arg(0), opts...)
 		if err != nil {
 			return err
 		}
@@ -118,6 +128,9 @@ func run(dbdir string, args []string) error {
 				res.Entries, res.Candidates, res.MatchedEntries)
 		} else {
 			fmt.Println("(full scan: no index or query not covered)")
+		}
+		if res.Trace != nil {
+			fmt.Println(res.Trace.String())
 		}
 		return nil
 
@@ -179,11 +192,21 @@ func run(dbdir string, args []string) error {
 		return nil
 
 	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "print the full metrics snapshot as JSON")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
 		db, err := fix.Open(dbdir)
 		if err != nil {
 			return err
 		}
 		defer db.Close()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(db.Snapshot())
+		}
 		fmt.Printf("documents: %d\n", db.NumDocuments())
 		if db.HasIndex() {
 			fmt.Printf("index: %d entries, %s\n", db.IndexEntries(), sizeStr(db.IndexSizeBytes()))

@@ -1,0 +1,139 @@
+// Command fixserve serves queries and metrics for a FIX database over
+// HTTP. It is the operational face of the observability layer: every
+// query can return its full trace, the process-wide metrics registry is
+// exported as JSON and expvar, slow queries are logged to stderr, and
+// the runtime profiler can be mounted for live debugging.
+//
+// Usage:
+//
+//	fixserve -db /tmp/xmarkdb -addr :8080 [-slow 50ms] [-pprof]
+//
+// Endpoints:
+//
+//	GET /query?q=XPATH[&trace=1]   run a query; JSON result, trace opt-in
+//	GET /metrics                   fix.DB.Snapshot() as JSON
+//	GET /debug/vars                expvar (includes the "fix" variable)
+//	GET /debug/pprof/              net/http/pprof (only with -pprof)
+//	GET /healthz                   200 if the index is healthy, 503 if degraded
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+)
+
+func main() {
+	dbdir := flag.String("db", "", "database directory")
+	addr := flag.String("addr", ":8080", "listen address")
+	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+	if *dbdir == "" {
+		fmt.Fprintln(os.Stderr, "usage: fixserve -db DIR [-addr :8080] [-slow DUR] [-pprof]")
+		os.Exit(2)
+	}
+
+	db, err := fix.Open(*dbdir)
+	if err != nil {
+		log.Fatalf("fixserve: %v", err)
+	}
+	defer db.Close()
+
+	if *slow > 0 {
+		db.SetOptions(fix.Options{
+			SlowQueryThreshold: *slow,
+			OnSlowQuery: func(t fix.QueryTrace) {
+				log.Printf("slow query (>= %v):\n%s", *slow, t.String())
+			},
+		})
+	}
+	fix.PublishExpvar(db)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", queryHandler(db))
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, db.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if db.HasIndex() {
+			if err := db.IndexHealth(); err != nil {
+				http.Error(w, fmt.Sprintf("index degraded: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	log.Printf("fixserve: %d documents, listening on %s", db.NumDocuments(), *addr)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// queryResponse is the /query JSON shape. Trace is present only when
+// the request asked for one with trace=1.
+type queryResponse struct {
+	Query      string          `json:"query"`
+	Count      int             `json:"count"`
+	Entries    int             `json:"entries"`
+	Candidates int             `json:"candidates"`
+	Matched    int             `json:"matched_entries"`
+	Trace      *fix.QueryTrace `json:"trace,omitempty"`
+}
+
+func queryHandler(db *fix.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		expr := r.URL.Query().Get("q")
+		if expr == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		var opts []fix.QueryOption
+		if r.URL.Query().Get("trace") == "1" {
+			opts = append(opts, fix.WithTrace())
+		}
+		res, err := db.QueryCtx(r.Context(), expr, opts...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, queryResponse{
+			Query:      expr,
+			Count:      res.Count,
+			Entries:    res.Entries,
+			Candidates: res.Candidates,
+			Matched:    res.MatchedEntries,
+			Trace:      res.Trace,
+		})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("fixserve: encoding response: %v", err)
+	}
+}

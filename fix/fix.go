@@ -42,6 +42,18 @@
 // Clustered: true}) becomes BuildIndexWith(ctx, fix.DepthLimit(6),
 // fix.Clustered()); a zero-value IndexOptions{} becomes
 // BuildIndexWith(ctx) with no options.
+//
+// # Observability
+//
+// Every query and build is recorded in a process-wide lock-free metrics
+// registry; Snapshot returns it merged with the DB's cumulative B-tree
+// and storage I/O counters, and PublishExpvar exposes the same view as
+// an expvar variable. Per-query detail is opt-in: the WithTrace query
+// option returns a full per-phase QueryTrace on Result.Trace, and
+// Options.OnSlowQuery installs a threshold-triggered slow-query log.
+// The counters are named after the paper's §6 accounting (entries,
+// candidates, matched entries; page reads; sequential vs. random record
+// reads) — docs/OBSERVABILITY.md is the complete reference.
 package fix
 
 import (
@@ -57,6 +69,7 @@ import (
 
 	"github.com/fix-index/fix/internal/core"
 	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/obs"
 	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
@@ -74,10 +87,11 @@ var ErrCorrupt = core.ErrCorrupt
 // for concurrent mutation; concurrent queries are safe once the index is
 // built.
 type DB struct {
-	dir   string
-	dict  *xmltree.Dict
-	store *storage.Store
-	index *core.Index
+	dir     string
+	dict    *xmltree.Dict
+	store   *storage.Store
+	index   *core.Index
+	obsOpts Options
 }
 
 // IndexOptions configures BuildIndex. The zero value indexes whole
@@ -144,6 +158,10 @@ type Result struct {
 	// detected, or it is stale relative to the store) and the result came
 	// from a full sequential scan instead. The count is still exact.
 	ScanFallback bool
+	// Trace is the full execution trace when tracing was enabled for
+	// this query (the WithTrace option, or a configured slow-query
+	// log), nil otherwise.
+	Trace *QueryTrace
 }
 
 // Metrics are the implementation-independent effectiveness measures of
@@ -451,20 +469,64 @@ func (db *DB) workers() int {
 // pruning + refinement pipeline; without one it falls back to a full
 // navigational scan (Candidates and Entries are then zero). It is
 // QueryCtx with context.Background().
-func (db *DB) Query(expr string) (Result, error) {
-	return db.QueryCtx(context.Background(), expr)
+func (db *DB) Query(expr string, opts ...QueryOption) (Result, error) {
+	return db.QueryCtx(context.Background(), expr, opts...)
 }
 
 // QueryCtx is Query with cancellation: candidate refinement (and the
 // scan fallback) fans records out over the worker pool and observes ctx,
 // returning ctx.Err() promptly once it is cancelled.
-func (db *DB) QueryCtx(ctx context.Context, expr string) (Result, error) {
+//
+// Every query is recorded in the process-wide metrics registry (see
+// Snapshot) — a handful of atomic adds. Pass WithTrace to additionally
+// collect a full per-phase execution trace on Result.Trace.
+func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (Result, error) {
+	var cfg queryConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var tr *obs.Trace
+	start := time.Now()
+	if cfg.trace || db.slowQueryEnabled() {
+		tr = &obs.Trace{Query: expr, Start: start}
+	}
+	res, err := db.queryTraced(ctx, expr, tr)
+	total := time.Since(start)
+	if err != nil {
+		obs.Default().ObserveQueryError()
+		return Result{}, err
+	}
+	var visited int64
+	if tr != nil {
+		tr.Total = total
+		visited = tr.NodesVisited
+		pub := traceFromObs(tr)
+		res.Trace = pub
+		if db.slowQueryEnabled() && total >= db.obsOpts.SlowQueryThreshold {
+			db.obsOpts.OnSlowQuery(*pub)
+		}
+	}
+	var scanned int
+	if tr != nil {
+		scanned = tr.Scanned
+	}
+	obs.Default().ObserveQuery(total, scanned, res.Candidates, res.MatchedEntries, res.Count, res.ScanFallback, visited)
+	return res, nil
+}
+
+// queryTraced runs the query pipeline, filling tr (which may be nil)
+// along the way.
+func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace) (Result, error) {
+	parseStart := time.Now()
 	q, err := xpath.Parse(expr)
+	if tr != nil {
+		tr.Phase[obs.PhaseParse] += time.Since(parseStart)
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	if db.index != nil && db.index.Covered(q) {
-		res, err := db.index.QueryCtx(ctx, q)
+		res, err := db.index.QueryTraced(ctx, q, tr)
 		if err != nil {
 			return Result{}, err
 		}
@@ -476,7 +538,7 @@ func (db *DB) QueryCtx(ctx context.Context, expr string) (Result, error) {
 			ScanFallback:   res.Fallback,
 		}, nil
 	}
-	count, err := db.scanCount(ctx, q)
+	count, err := db.scanCount(ctx, q, tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -608,28 +670,70 @@ func (db *DB) Metrics(expr string) (Metrics, error) {
 
 // scanCount counts matches by navigational refinement of every record,
 // fanned out over the worker pool with per-record result slots, so the
-// total is deterministic for any worker count.
-func (db *DB) scanCount(ctx context.Context, q *xpath.Path) (int, error) {
+// total is deterministic for any worker count. A non-nil tr records the
+// scan as fetch + refinement work (the pruning counters stay zero: no
+// index, no pruning).
+func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace) (int, error) {
 	nq, err := nok.Compile(q.Tree(), db.dict)
 	if err != nil {
 		return 0, err
 	}
+	var st0 storage.Stats
+	if tr != nil {
+		st0 = db.store.Stats()
+	}
+	var fetchNS, refineNS, visited atomic.Int64
 	nrec := db.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
+		if tr == nil {
+			cur, err := db.store.Cursor(uint32(i))
+			if err != nil {
+				return err
+			}
+			counts[i] = nq.Count(cur, 0)
+			return nil
+		}
+		fetchStart := time.Now()
 		cur, err := db.store.Cursor(uint32(i))
+		refineStart := time.Now()
+		fetchNS.Add(int64(refineStart.Sub(fetchStart)))
 		if err != nil {
 			return err
 		}
-		counts[i] = nq.Count(cur, 0)
+		n, nodes := nq.Eval(cur, 0)
+		refineNS.Add(int64(time.Since(refineStart)))
+		visited.Add(int64(nodes))
+		counts[i] = n
 		return nil
 	})
+	if tr != nil {
+		tr.Workers = par.Workers(db.workers())
+		tr.Phase[obs.PhaseFetch] += time.Duration(fetchNS.Load())
+		tr.Phase[obs.PhaseRefine] += time.Duration(refineNS.Load())
+		tr.NodesVisited += visited.Load()
+		d := db.store.Stats().Sub(st0)
+		tr.Storage = tr.Storage.Add(obs.StorageDelta{
+			SeqReads:     d.SeqReads,
+			RandomReads:  d.RandomReads,
+			CachedReads:  d.CachedReads,
+			BytesRead:    d.BytesRead,
+			SubtreeReads: d.SubtreeReads,
+			SubtreeBytes: d.SubtreeBytes,
+		})
+	}
 	if err != nil {
 		return 0, err
 	}
 	total := 0
 	for _, n := range counts {
 		total += n
+		if n > 0 && tr != nil {
+			tr.Matched++
+		}
+	}
+	if tr != nil {
+		tr.Count = total
 	}
 	return total, nil
 }

@@ -1,0 +1,136 @@
+package fix
+
+import (
+	"time"
+
+	"github.com/fix-index/fix/internal/obs"
+)
+
+// Snapshot is a point-in-time view of the process-wide metrics registry
+// merged with this DB's cumulative subsystem counters. The registry part
+// (query/build totals, latency) is shared by every DB in the process;
+// the BTree/Storage parts are this DB's own exact counters. All fields
+// carry JSON tags, so a Snapshot marshals directly onto a metrics
+// endpoint (cmd/fixserve serves exactly this at /metrics).
+type Snapshot struct {
+	// Query totals. Scanned/Candidates/Matched/Results sum the §6.2
+	// pipeline counters over all queries; NodesVisited covers traced
+	// queries only (untraced refinement skips the counter).
+	Queries       int64 `json:"queries"`
+	QueryErrors   int64 `json:"query_errors"`
+	ScanFallbacks int64 `json:"scan_fallbacks"`
+	Scanned       int64 `json:"entries_scanned"`
+	Candidates    int64 `json:"candidates"`
+	Matched       int64 `json:"matched_entries"`
+	Results       int64 `json:"results"`
+	NodesVisited  int64 `json:"nodes_visited"`
+
+	// Build totals across the process.
+	Builds       int64         `json:"builds"`
+	BuildRecords int64         `json:"build_records"`
+	BuildUnits   int64         `json:"build_units"`
+	BuildWall    time.Duration `json:"build_wall_ns"`
+
+	// Latency is the bounded query-latency histogram with estimated
+	// quantiles (upper-bound error is one power-of-two bucket).
+	Latency obs.LatencySnapshot `json:"query_latency"`
+
+	// This DB's shape and cumulative I/O.
+	Documents      int          `json:"documents"`
+	IndexEntries   int          `json:"index_entries"`
+	IndexSizeBytes int64        `json:"index_size_bytes"`
+	BTree          BTreeStats   `json:"btree"`
+	Storage        StorageStats `json:"storage"`
+}
+
+// BTreeStats are the index B-tree's cumulative pager counters.
+// PageReads are physical page reads, which are exactly the cache misses;
+// Evictions count pages dropped from the LRU cache.
+type BTreeStats struct {
+	PageReads  int64 `json:"page_reads"`
+	PageWrites int64 `json:"page_writes"`
+	CacheHits  int64 `json:"cache_hits"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// StorageStats are the primary (and clustered, when present) record
+// heaps' cumulative I/O counters, combined.
+type StorageStats struct {
+	RecordsWritten int64 `json:"records_written"`
+	BytesWritten   int64 `json:"bytes_written"`
+	SeqReads       int64 `json:"seq_reads"`
+	RandomReads    int64 `json:"random_reads"`
+	CachedReads    int64 `json:"cached_reads"`
+	BytesRead      int64 `json:"bytes_read"`
+	SubtreeReads   int64 `json:"subtree_reads"`
+	SubtreeBytes   int64 `json:"subtree_bytes"`
+}
+
+// Snapshot returns the current metrics snapshot; see Snapshot (type).
+// It is safe to call concurrently with queries — reads are atomic or
+// mutex-guarded copies, never locks held across I/O.
+func (db *DB) Snapshot() Snapshot {
+	reg := obs.Default().Snapshot()
+	s := Snapshot{
+		Queries:       reg.Queries,
+		QueryErrors:   reg.QueryErrors,
+		ScanFallbacks: reg.Fallbacks,
+		Scanned:       reg.Scanned,
+		Candidates:    reg.Candidates,
+		Matched:       reg.Matched,
+		Results:       reg.Results,
+		NodesVisited:  reg.NodesVisited,
+		Builds:        reg.Builds,
+		BuildRecords:  reg.BuildRecords,
+		BuildUnits:    reg.BuildUnits,
+		BuildWall:     reg.BuildWall,
+		Latency:       reg.Latency,
+		Documents:     db.NumDocuments(),
+	}
+	st := db.store.Stats()
+	s.Storage = StorageStats{
+		RecordsWritten: st.RecordsWritten,
+		BytesWritten:   st.BytesWritten,
+		SeqReads:       st.SeqReads,
+		RandomReads:    st.RandomReads,
+		CachedReads:    st.CachedReads,
+		BytesRead:      st.BytesRead,
+		SubtreeReads:   st.SubtreeReads,
+		SubtreeBytes:   st.SubtreeBytes,
+	}
+	if db.index != nil {
+		s.IndexEntries = db.index.Entries()
+		s.IndexSizeBytes = db.index.SizeBytes()
+		if bt := db.index.BTree(); bt != nil {
+			bs := bt.Stats()
+			s.BTree = BTreeStats{
+				PageReads:  bs.PageReads,
+				PageWrites: bs.PageWrites,
+				CacheHits:  bs.CacheHits,
+				Evictions:  bs.Evictions,
+			}
+		}
+		if cs := db.index.ClusteredStore(); cs != nil {
+			cst := cs.Stats()
+			s.Storage.RecordsWritten += cst.RecordsWritten
+			s.Storage.BytesWritten += cst.BytesWritten
+			s.Storage.SeqReads += cst.SeqReads
+			s.Storage.RandomReads += cst.RandomReads
+			s.Storage.CachedReads += cst.CachedReads
+			s.Storage.BytesRead += cst.BytesRead
+			s.Storage.SubtreeReads += cst.SubtreeReads
+			s.Storage.SubtreeBytes += cst.SubtreeBytes
+		}
+	}
+	return s
+}
+
+// PublishExpvar exposes db's Snapshot as the expvar variable "fix", so
+// any handler serving expvar's /debug/vars (cmd/fixserve mounts one)
+// reports it alongside the runtime's memstats. expvar names are
+// process-global and cannot be unregistered, so only the first call in
+// a process takes effect; later calls (for this or any other DB) are
+// no-ops.
+func PublishExpvar(db *DB) {
+	obs.Publish(func() any { return db.Snapshot() })
+}

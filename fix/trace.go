@@ -1,0 +1,174 @@
+package fix
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/fix-index/fix/internal/obs"
+)
+
+// QueryTrace is the full execution trace of one query: wall time per
+// pipeline phase plus the counters each phase produced. Request one with
+// the WithTrace query option (it comes back on Result.Trace), or receive
+// them through Options.OnSlowQuery.
+//
+// The phases are the pipeline of the paper's Algorithm 2: Parse (XPath
+// text to query tree), Plan (//-decomposition and feature computation),
+// Probe (the B-tree eigenvalue range scan — pruning), Fetch (candidate
+// pointer dereferences into storage), Refine (NoK navigational
+// verification). Fetch and Refine are summed across the refinement
+// worker pool, so on a multi-core query they can exceed Total.
+//
+// The counters reconcile with the paper's §6.2 quantities: Entries is
+// ent, Candidates is cdt, Matched is rst, so for one query
+// sel = 1 - Matched/Entries, pp = 1 - Candidates/Entries and
+// fpr = 1 - Matched/Candidates. docs/OBSERVABILITY.md walks through a
+// complete example.
+type QueryTrace struct {
+	// Query is the XPath text as given.
+	Query string `json:"query"`
+	// Start is when evaluation began; Total the end-to-end wall time.
+	Start time.Time     `json:"start"`
+	Total time.Duration `json:"total_ns"`
+
+	// Per-phase wall time. Fetch and Refine are cumulative across
+	// workers (the same convention as BuildStats).
+	Parse  time.Duration `json:"parse_ns"`
+	Plan   time.Duration `json:"plan_ns"`
+	Probe  time.Duration `json:"probe_ns"`
+	Fetch  time.Duration `json:"fetch_ns"`
+	Refine time.Duration `json:"refine_ns"`
+
+	// Entries is the number of index entries (ent); Scanned how many
+	// the range scan touched; Candidates how many survived the feature
+	// filter (cdt); Matched how many produced at least one result
+	// (rst); Count the total output-node matches.
+	Entries    int `json:"entries"`
+	Scanned    int `json:"scanned"`
+	Candidates int `json:"candidates"`
+	Matched    int `json:"matched"`
+	Count      int `json:"count"`
+
+	// Workers is the refinement worker-pool size used; NodesVisited the
+	// subtree nodes the NoK bottom-up pass touched (refinement work).
+	Workers      int   `json:"workers"`
+	NodesVisited int64 `json:"nodes_visited"`
+
+	// B-tree pager activity of the probe phase. PageReads are physical
+	// reads (cache misses); Evictions count pages dropped from the LRU.
+	PageReads  int64 `json:"page_reads"`
+	PageWrites int64 `json:"page_writes"`
+	CacheHits  int64 `json:"cache_hits"`
+	Evictions  int64 `json:"evictions"`
+
+	// Record-heap activity of fetch + refinement, primary and clustered
+	// heaps combined, in the storage layer's accounting.
+	SeqReads     int64 `json:"seq_reads"`
+	RandomReads  int64 `json:"random_reads"`
+	CachedReads  int64 `json:"cached_reads"`
+	BytesRead    int64 `json:"bytes_read"`
+	SubtreeReads int64 `json:"subtree_reads"`
+	SubtreeBytes int64 `json:"subtree_bytes"`
+
+	// ScanFallback reports a degraded index answered by full scan; the
+	// pruning counters are then zero. Entries == 0 with ScanFallback
+	// false means the query ran without (or not covered by) an index.
+	ScanFallback bool `json:"scan_fallback"`
+}
+
+// String formats the trace as a compact human-readable block, the form
+// fixindex -trace prints and the slow-query log examples use.
+func (t *QueryTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s\n", t.Query)
+	fmt.Fprintf(&b, "  total %v  (parse %v, plan %v, probe %v, fetch %v, refine %v; workers %d)\n",
+		t.Total, t.Parse, t.Plan, t.Probe, t.Fetch, t.Refine, t.Workers)
+	switch {
+	case t.ScanFallback:
+		fmt.Fprintf(&b, "  degraded index: full scan, %d matched records, %d results\n", t.Matched, t.Count)
+	case t.Entries == 0:
+		fmt.Fprintf(&b, "  no index: full scan, %d matched records, %d results\n", t.Matched, t.Count)
+	default:
+		fmt.Fprintf(&b, "  pruning: %d entries, %d scanned -> %d candidates -> %d matched, %d results\n",
+			t.Entries, t.Scanned, t.Candidates, t.Matched, t.Count)
+	}
+	fmt.Fprintf(&b, "  btree: %d page reads, %d cache hits, %d evictions\n",
+		t.PageReads, t.CacheHits, t.Evictions)
+	fmt.Fprintf(&b, "  storage: %d seq + %d random + %d cached reads, %d bytes; %d subtree reads, %d subtree bytes\n",
+		t.SeqReads, t.RandomReads, t.CachedReads, t.BytesRead, t.SubtreeReads, t.SubtreeBytes)
+	fmt.Fprintf(&b, "  refine: %d nodes visited", t.NodesVisited)
+	return b.String()
+}
+
+// traceFromObs converts the internal trace into the public form.
+func traceFromObs(tr *obs.Trace) *QueryTrace {
+	return &QueryTrace{
+		Query:        tr.Query,
+		Start:        tr.Start,
+		Total:        tr.Total,
+		Parse:        tr.Phase[obs.PhaseParse],
+		Plan:         tr.Phase[obs.PhasePlan],
+		Probe:        tr.Phase[obs.PhaseProbe],
+		Fetch:        tr.Phase[obs.PhaseFetch],
+		Refine:       tr.Phase[obs.PhaseRefine],
+		Entries:      tr.Entries,
+		Scanned:      tr.Scanned,
+		Candidates:   tr.Candidates,
+		Matched:      tr.Matched,
+		Count:        tr.Count,
+		Workers:      tr.Workers,
+		NodesVisited: tr.NodesVisited,
+		PageReads:    tr.BTree.PageReads,
+		PageWrites:   tr.BTree.PageWrites,
+		CacheHits:    tr.BTree.CacheHits,
+		Evictions:    tr.BTree.Evictions,
+		SeqReads:     tr.Storage.SeqReads,
+		RandomReads:  tr.Storage.RandomReads,
+		CachedReads:  tr.Storage.CachedReads,
+		BytesRead:    tr.Storage.BytesRead,
+		SubtreeReads: tr.Storage.SubtreeReads,
+		SubtreeBytes: tr.Storage.SubtreeBytes,
+		ScanFallback: tr.Fallback,
+	}
+}
+
+// A QueryOption configures one Query/QueryCtx evaluation.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	trace bool
+}
+
+// WithTrace requests a full execution trace for this query; it comes
+// back on Result.Trace. Tracing costs a few timer reads and counter
+// snapshots per query — cheap, but not free, which is why it is
+// per-query opt-in.
+func WithTrace() QueryOption {
+	return func(c *queryConfig) { c.trace = true }
+}
+
+// Options configures the observability behavior of a DB. Set it with
+// SetOptions before serving queries; it is not safe to change
+// concurrently with running queries.
+type Options struct {
+	// SlowQueryThreshold enables the slow-query log: every query whose
+	// total wall time reaches the threshold is reported to OnSlowQuery
+	// with its full trace. Zero disables the log. Enabling it turns on
+	// trace collection for every query on this DB (a query is only
+	// known to be slow after it ran).
+	SlowQueryThreshold time.Duration
+	// OnSlowQuery receives the trace of each offending query. It is
+	// called synchronously on the querying goroutine, so it must be
+	// fast and safe for concurrent calls; nil disables the log.
+	OnSlowQuery func(QueryTrace)
+}
+
+// SetOptions installs observability options; see Options.
+func (db *DB) SetOptions(o Options) { db.obsOpts = o }
+
+// slowQueryEnabled reports whether every query must gather a trace for
+// the slow-query log.
+func (db *DB) slowQueryEnabled() bool {
+	return db.obsOpts.SlowQueryThreshold > 0 && db.obsOpts.OnSlowQuery != nil
+}

@@ -3,7 +3,7 @@
 // page-oriented tree over the storage.File abstraction with an LRU page
 // cache, arbitrary byte-string keys and values, range scans over the leaf
 // chain, and I/O accounting for the implementation-independent metrics in
-// the experiments.
+// the experiments (§6.2) and the query traces of internal/obs.
 package btree
 
 import (
@@ -14,11 +14,27 @@ import (
 	"github.com/fix-index/fix/internal/storage"
 )
 
-// Stats counts pager activity.
+// Stats counts pager activity. Every physical page read is by definition
+// a cache miss (hits never touch the file), so PageReads doubles as the
+// miss counter; Evictions counts pages dropped from the LRU cache to
+// admit another, the signal that the working set exceeds the cache.
 type Stats struct {
-	PageReads  int64 // physical page reads
+	PageReads  int64 // physical page reads == cache misses
 	PageWrites int64 // physical page writes
 	CacheHits  int64
+	Evictions  int64
+}
+
+// Sub returns the field-wise difference s - o, the pager activity that
+// happened between two snapshots. The query trace uses it to attribute
+// probe-phase I/O.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		PageReads:  s.PageReads - o.PageReads,
+		PageWrites: s.PageWrites - o.PageWrites,
+		CacheHits:  s.CacheHits - o.CacheHits,
+		Evictions:  s.Evictions - o.Evictions,
+	}
 }
 
 // pager manages fixed-size pages over a File with write-back LRU caching.
@@ -110,6 +126,7 @@ func (p *pager) admit(id uint32, buf []byte) *page {
 		}
 		p.lru.Remove(tail)
 		delete(p.cache, victim.id)
+		p.stats.Evictions++
 	}
 	return pg
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/fix-index/fix/internal/bisim"
 	"github.com/fix-index/fix/internal/btree"
 	"github.com/fix-index/fix/internal/matrix"
+	"github.com/fix-index/fix/internal/obs"
 	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
@@ -216,6 +217,7 @@ func BuildCtx(ctx context.Context, st *storage.Store, opts Options) (*Index, err
 		return nil, err
 	}
 	ix.buildTime = time.Since(start)
+	obs.Default().ObserveBuild(nrec, units, ix.buildTime)
 	ix.buildStats = BuildStats{
 		Workers: workers,
 		Records: nrec,

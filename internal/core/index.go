@@ -16,6 +16,7 @@ import (
 	"github.com/fix-index/fix/internal/btree"
 	"github.com/fix-index/fix/internal/matrix"
 	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/obs"
 	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
@@ -569,20 +570,49 @@ func (ix *Index) Query(path *xpath.Path) (Result, error) {
 // QueryCtx is Query with cancellation and parallel refinement: candidate
 // verification fans out over the worker pool sized by Options.Workers
 // (0 = GOMAXPROCS), with per-candidate results merged in candidate order
-// so the statistics are deterministic.
+// so the statistics are deterministic. It is QueryTraced without a trace.
 func (ix *Index) QueryCtx(ctx context.Context, path *xpath.Path) (Result, error) {
+	return ix.QueryTraced(ctx, path, nil)
+}
+
+// QueryTraced is QueryCtx with an optional execution trace: a non-nil tr
+// accumulates per-phase wall times (plan, B-tree probe, candidate fetch,
+// NoK refinement) and the I/O each phase caused. A nil tr disables every
+// timer and counter snapshot, so the untraced path does no extra work.
+// Fetch/refine durations are summed across refinement workers (see
+// obs.Trace).
+func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trace) (Result, error) {
+	planStart := time.Now()
 	p, err := ix.plan(path)
+	if tr != nil {
+		tr.Phase[obs.PhasePlan] += time.Since(planStart)
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	if ix.Health() != nil {
-		return ix.scanFallback(ctx, p.tree)
+		return ix.scanFallback(ctx, p.tree, tr)
+	}
+	probeStart := time.Now()
+	var bt0 btree.Stats
+	if tr != nil {
+		bt0 = ix.bt.Stats()
 	}
 	cands, scanned, err := ix.candidatesForPlan(ctx, p)
+	if tr != nil {
+		tr.Phase[obs.PhaseProbe] += time.Since(probeStart)
+		d := ix.bt.Stats().Sub(bt0)
+		tr.BTree = obs.BTreeDelta{
+			PageReads:  d.PageReads,
+			PageWrites: d.PageWrites,
+			CacheHits:  d.CacheHits,
+			Evictions:  d.Evictions,
+		}
+	}
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
-			return ix.scanFallback(ctx, p.tree)
+			return ix.scanFallback(ctx, p.tree, tr)
 		}
 		return Result{}, err
 	}
@@ -592,19 +622,53 @@ func (ix *Index) QueryCtx(ctx context.Context, path *xpath.Path) (Result, error)
 	if err != nil {
 		return Result{}, err
 	}
+	var st0, cl0 storage.Stats
+	if tr != nil {
+		st0 = ix.store.Stats()
+		if ix.clustered != nil {
+			cl0 = ix.clustered.Stats()
+		}
+	}
+	var fetchNS, refineNS, visited atomic.Int64
 	counts := make([]int, len(cands))
 	err = par.Do(ctx, ix.opts.Workers, len(cands), func(i int) error {
 		c := cands[i]
 		if rootAnchored && c.Primary.Off() != 0 {
 			return nil // a /-anchored query only matches document roots
 		}
+		if tr == nil {
+			cur, ref, err := ix.candidateCursor(c)
+			if err != nil {
+				return err
+			}
+			counts[i] = nq.Count(cur, ref)
+			return nil
+		}
+		fetchStart := time.Now()
 		cur, ref, err := ix.candidateCursor(c)
+		refineStart := time.Now()
+		fetchNS.Add(int64(refineStart.Sub(fetchStart)))
 		if err != nil {
 			return err
 		}
-		counts[i] = nq.Count(cur, ref)
+		n, nodes := nq.Eval(cur, ref)
+		refineNS.Add(int64(time.Since(refineStart)))
+		visited.Add(int64(nodes))
+		counts[i] = n
 		return nil
 	})
+	if tr != nil {
+		tr.Phase[obs.PhaseFetch] += time.Duration(fetchNS.Load())
+		tr.Phase[obs.PhaseRefine] += time.Duration(refineNS.Load())
+		tr.NodesVisited += visited.Load()
+		tr.Workers = par.Workers(ix.opts.Workers)
+		delta := ix.store.Stats().Sub(st0)
+		sd := storageDelta(delta)
+		if ix.clustered != nil {
+			sd = sd.Add(storageDelta(ix.clustered.Stats().Sub(cl0)))
+		}
+		tr.Storage = tr.Storage.Add(sd)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -614,7 +678,24 @@ func (ix *Index) QueryCtx(ctx context.Context, path *xpath.Path) (Result, error)
 			res.Count += n
 		}
 	}
+	if tr != nil {
+		tr.Entries, tr.Scanned, tr.Candidates = res.Entries, res.Scanned, res.Candidates
+		tr.Matched, tr.Count = res.Matched, res.Count
+	}
 	return res, nil
+}
+
+// storageDelta converts a storage.Stats difference into the trace's
+// subsystem-neutral delta form.
+func storageDelta(d storage.Stats) obs.StorageDelta {
+	return obs.StorageDelta{
+		SeqReads:     d.SeqReads,
+		RandomReads:  d.RandomReads,
+		CachedReads:  d.CachedReads,
+		BytesRead:    d.BytesRead,
+		SubtreeReads: d.SubtreeReads,
+		SubtreeBytes: d.SubtreeBytes,
+	}
 }
 
 // Exists reports whether the query has at least one result, refining
@@ -695,22 +776,51 @@ func (ix *Index) refinementQuery(qt *xpath.QNode) (*xpath.QNode, bool) {
 // original query tree and refines every record of the primary store,
 // fanning the records out over the worker pool. Because a full
 // refinement pass cannot produce false negatives, the counts are exact
-// regardless of what happened to the index.
-func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode) (Result, error) {
+// regardless of what happened to the index. A non-nil tr records the
+// scan as fetch + refinement work with Fallback set; the pruning
+// counters stay zero because no pruning happened.
+func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trace) (Result, error) {
 	nq, err := nok.Compile(qt, ix.dict)
 	if err != nil {
 		return Result{}, err
 	}
+	var st0 storage.Stats
+	if tr != nil {
+		st0 = ix.store.Stats()
+	}
+	var fetchNS, refineNS, visited atomic.Int64
 	nrec := ix.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, ix.opts.Workers, nrec, func(i int) error {
+		if tr == nil {
+			cur, err := ix.store.Cursor(uint32(i))
+			if err != nil {
+				return err
+			}
+			counts[i] = nq.Count(cur, 0)
+			return nil
+		}
+		fetchStart := time.Now()
 		cur, err := ix.store.Cursor(uint32(i))
+		refineStart := time.Now()
+		fetchNS.Add(int64(refineStart.Sub(fetchStart)))
 		if err != nil {
 			return err
 		}
-		counts[i] = nq.Count(cur, 0)
+		n, nodes := nq.Eval(cur, 0)
+		refineNS.Add(int64(time.Since(refineStart)))
+		visited.Add(int64(nodes))
+		counts[i] = n
 		return nil
 	})
+	if tr != nil {
+		tr.Fallback = true
+		tr.Workers = par.Workers(ix.opts.Workers)
+		tr.Phase[obs.PhaseFetch] += time.Duration(fetchNS.Load())
+		tr.Phase[obs.PhaseRefine] += time.Duration(refineNS.Load())
+		tr.NodesVisited += visited.Load()
+		tr.Storage = tr.Storage.Add(storageDelta(ix.store.Stats().Sub(st0)))
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -720,6 +830,9 @@ func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode) (Result, err
 			res.Matched++
 			res.Count += n
 		}
+	}
+	if tr != nil {
+		tr.Matched, tr.Count = res.Matched, res.Count
 	}
 	return res, nil
 }

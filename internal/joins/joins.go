@@ -4,7 +4,7 @@
 // element lists per query node, then top-down to enumerate witnessed
 // output bindings. It is the "join-based" refinement/evaluation
 // alternative of the paper's architecture (Figure 3); the experiments
-// compare it against the navigational NoK operator.
+// compare it against the navigational NoK operator (§6.3).
 package joins
 
 import (

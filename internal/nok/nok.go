@@ -2,8 +2,8 @@
 // paper's NoK operator [32]: it evaluates twig queries (extended with
 // descendant axes and value-equality predicates) directly over the binary
 // subtree encoding in primary storage, with no index support. FIX uses it
-// as the refinement processor on candidate subtrees; the experiments also
-// run it standalone as the unindexed baseline.
+// as the refinement processor on candidate subtrees (§5); the experiments
+// also run it standalone as the unindexed baseline (§6.3).
 //
 // Evaluation is a two-pass dynamic program over the subtree. The first,
 // bottom-up pass computes for every node the set of query nodes whose
@@ -89,14 +89,16 @@ func Compile(root *xpath.QNode, dict *xmltree.Dict) (*Query, error) {
 
 // evalState carries one evaluation's per-node satisfaction masks.
 type evalState struct {
-	c   xmltree.Cursor
-	q   *Query
-	sat map[xmltree.Ref]uint64 // bit i set: node satisfies query node i's subtree
+	c       xmltree.Cursor
+	q       *Query
+	sat     map[xmltree.Ref]uint64 // bit i set: node satisfies query node i's subtree
+	visited int                    // nodes the bottom-up pass touched
 }
 
 // pass1 computes the satisfaction mask of the node at r and returns
 // (sat(r), sat(r) | union of descendants' sat).
 func (s *evalState) pass1(r xmltree.Ref) (own, withDesc uint64) {
+	s.visited++
 	var childUnion uint64 // union over children of (sat | descSat)
 	type childInfo struct {
 		ref xmltree.Ref
@@ -190,6 +192,13 @@ func (q *Query) Outputs(c xmltree.Cursor, r xmltree.Ref) []xmltree.Ref {
 		return nil
 	}
 	s := &evalState{c: c, q: q, sat: make(map[xmltree.Ref]uint64)}
+	return q.outputs(s, r)
+}
+
+// outputs runs both passes on an initialized state and enumerates the
+// output bindings; Outputs and Eval share it.
+func (q *Query) outputs(s *evalState, r xmltree.Ref) []xmltree.Ref {
+	c := s.c
 	s.pass1(r)
 	// witnessed[q] per node: we propagate top-down which (node, query node)
 	// bindings participate in a full embedding.
@@ -269,4 +278,18 @@ func (q *Query) Outputs(c xmltree.Cursor, r xmltree.Ref) []xmltree.Ref {
 // Count returns the number of distinct output-node matches.
 func (q *Query) Count(c xmltree.Cursor, r xmltree.Ref) int {
 	return len(q.Outputs(c, r))
+}
+
+// Eval is Count with work accounting: it additionally reports how many
+// subtree nodes the bottom-up pass visited — the unit of refinement work
+// the observability layer records (obs.Trace.NodesVisited). The visit
+// count is deterministic (the pass touches every node of the subtree
+// exactly once), so traces reconcile across worker counts.
+func (q *Query) Eval(c xmltree.Cursor, r xmltree.Ref) (count, visited int) {
+	if q.unsatisfiable {
+		return 0, 0
+	}
+	s := &evalState{c: c, q: q, sat: make(map[xmltree.Ref]uint64)}
+	outs := q.outputs(s, r)
+	return len(outs), s.visited
 }

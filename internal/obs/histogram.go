@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of latency histogram buckets. Bucket i counts
+// observations with d <= 1µs·2^i; the last bucket is the overflow bucket
+// (upper bound 1µs·2^27 ≈ 134s, far beyond any sane query).
+const NumBuckets = 28
+
+// Histogram is a bounded, lock-free latency histogram with power-of-two
+// microsecond buckets. The zero value is ready to use; Observe is a
+// single atomic add, so concurrent observers never contend on a lock.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d / time.Microsecond
+	if us <= 1 {
+		return 0
+	}
+	// Smallest i with us <= 2^i: the bit length of us-1.
+	i := bits.Len64(uint64(us - 1))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns bucket i's inclusive upper bound.
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// LatencySnapshot is a point-in-time copy of a Histogram, with quantiles
+// estimated from the bucket upper bounds (each at most 2× the true
+// value, the bucket resolution).
+type LatencySnapshot struct {
+	Count   int64           `json:"count"`
+	Mean    time.Duration   `json:"mean_ns"`
+	P50     time.Duration   `json:"p50_ns"`
+	P95     time.Duration   `json:"p95_ns"`
+	P99     time.Duration   `json:"p99_ns"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// LatencyBucket is one non-empty histogram bucket: Le is the inclusive
+// upper bound, Count the observations in (previous bound, Le].
+type LatencyBucket struct {
+	Le    time.Duration `json:"le_ns"`
+	Count int64         `json:"count"`
+}
+
+// Snapshot copies the histogram. Concurrent Observe calls may land
+// between the bucket reads; the snapshot is still internally plausible
+// (quantiles are computed from the copied buckets alone).
+func (h *Histogram) Snapshot() LatencySnapshot {
+	var counts [NumBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := LatencySnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumNS.Load() / total)
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, LatencyBucket{Le: BucketBound(i), Count: c})
+		}
+	}
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile.
+func quantile(counts *[NumBuckets]int64, total int64, q float64) time.Duration {
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}

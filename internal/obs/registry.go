@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is the process-wide aggregation of query and build activity.
+// Every field is an atomic, so recording is wait-free and safe from any
+// number of goroutines; there is deliberately no mutex anywhere near the
+// query path. I/O counters are not duplicated here — the storage and
+// B-tree layers keep their own exact cumulative counters, and the public
+// snapshot (fix.DB.Snapshot) merges the two views.
+type Registry struct {
+	queries      atomic.Int64
+	queryErrors  atomic.Int64
+	fallbacks    atomic.Int64
+	scanned      atomic.Int64
+	candidates   atomic.Int64
+	matched      atomic.Int64
+	results      atomic.Int64
+	nodesVisited atomic.Int64
+
+	builds       atomic.Int64
+	buildRecords atomic.Int64
+	buildUnits   atomic.Int64
+	buildWallNS  atomic.Int64
+
+	latency Histogram
+}
+
+// defaultRegistry is the process-wide registry every DB records into.
+var defaultRegistry Registry
+
+// Default returns the process-wide registry.
+func Default() *Registry { return &defaultRegistry }
+
+// ObserveQuery records one completed query: its latency and the pruning
+// pipeline counters. visited is the NoK node-visit count when the query
+// was traced, 0 otherwise (the counter is documented as covering traced
+// queries only).
+func (r *Registry) ObserveQuery(total time.Duration, scanned, candidates, matched, results int, fallback bool, visited int64) {
+	r.queries.Add(1)
+	if fallback {
+		r.fallbacks.Add(1)
+	}
+	r.scanned.Add(int64(scanned))
+	r.candidates.Add(int64(candidates))
+	r.matched.Add(int64(matched))
+	r.results.Add(int64(results))
+	r.nodesVisited.Add(visited)
+	r.latency.Observe(total)
+}
+
+// ObserveQueryError records a query that failed (parse error, I/O
+// error, cancellation); failed queries do not enter the latency
+// histogram.
+func (r *Registry) ObserveQueryError() { r.queryErrors.Add(1) }
+
+// ObserveBuild records one completed index construction.
+func (r *Registry) ObserveBuild(records, units int, wall time.Duration) {
+	r.builds.Add(1)
+	r.buildRecords.Add(int64(records))
+	r.buildUnits.Add(int64(units))
+	r.buildWallNS.Add(int64(wall))
+}
+
+// RegistrySnapshot is a point-in-time copy of a Registry. Field meanings
+// follow the paper's §6.2 vocabulary: Scanned sums entries touched by
+// range scans, Candidates sums cdt, Matched sums rst, Results sums
+// output-node matches.
+type RegistrySnapshot struct {
+	Queries      int64 `json:"queries"`
+	QueryErrors  int64 `json:"query_errors"`
+	Fallbacks    int64 `json:"scan_fallbacks"`
+	Scanned      int64 `json:"entries_scanned"`
+	Candidates   int64 `json:"candidates"`
+	Matched      int64 `json:"matched_entries"`
+	Results      int64 `json:"results"`
+	NodesVisited int64 `json:"nodes_visited"`
+
+	Builds       int64         `json:"builds"`
+	BuildRecords int64         `json:"build_records"`
+	BuildUnits   int64         `json:"build_units"`
+	BuildWall    time.Duration `json:"build_wall_ns"`
+
+	Latency LatencySnapshot `json:"query_latency"`
+}
+
+// Snapshot copies the registry. Concurrent recording may interleave with
+// the reads; each individual counter is still exact at its read point.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	return RegistrySnapshot{
+		Queries:      r.queries.Load(),
+		QueryErrors:  r.queryErrors.Load(),
+		Fallbacks:    r.fallbacks.Load(),
+		Scanned:      r.scanned.Load(),
+		Candidates:   r.candidates.Load(),
+		Matched:      r.matched.Load(),
+		Results:      r.results.Load(),
+		NodesVisited: r.nodesVisited.Load(),
+		Builds:       r.builds.Load(),
+		BuildRecords: r.buildRecords.Load(),
+		BuildUnits:   r.buildUnits.Load(),
+		BuildWall:    time.Duration(r.buildWallNS.Load()),
+		Latency:      r.latency.Snapshot(),
+	}
+}
+
+var publishOnce sync.Once
+
+// Publish registers fn's value under the expvar name "fix" (alongside
+// the runtime's memstats/cmdline variables on /debug/vars). expvar
+// names are process-global and cannot be unregistered, so only the
+// first call in a process takes effect; later calls are no-ops.
+func Publish(fn func() any) {
+	publishOnce.Do(func() {
+		expvar.Publish("fix", expvar.Func(fn))
+	})
+}

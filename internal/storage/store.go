@@ -49,6 +49,22 @@ type Stats struct {
 	SubtreeBytes int64
 }
 
+// Sub returns the field-wise difference s - o, the I/O that happened
+// between two snapshots. The query trace uses it to attribute the
+// fetch/refinement I/O of one query.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		RecordsWritten: s.RecordsWritten - o.RecordsWritten,
+		BytesWritten:   s.BytesWritten - o.BytesWritten,
+		RandomReads:    s.RandomReads - o.RandomReads,
+		SeqReads:       s.SeqReads - o.SeqReads,
+		CachedReads:    s.CachedReads - o.CachedReads,
+		BytesRead:      s.BytesRead - o.BytesRead,
+		SubtreeReads:   s.SubtreeReads - o.SubtreeReads,
+		SubtreeBytes:   s.SubtreeBytes - o.SubtreeBytes,
+	}
+}
+
 const storeMagic = "FIXSTOR1"
 
 // Store is an append-only heap of records, each holding one binary-encoded

@@ -1,7 +1,8 @@
-// Package xmltree provides the XML document model used throughout FIX:
-// an in-memory node tree, a SAX-style event stream abstraction, parsing
-// from and serialization to textual XML, and a compact binary subtree
-// encoding with a zero-copy navigation cursor.
+// Package xmltree provides the XML document model used throughout FIX
+// (the paper's §2 preliminaries): an in-memory node tree, a SAX-style
+// event stream abstraction, parsing from and serialization to textual
+// XML, and a compact binary subtree encoding with a zero-copy
+// navigation cursor.
 //
 // The model is deliberately small: elements carry a label, text nodes carry
 // a value, and that is all the structure the FIX index (and the paper's

@@ -1,0 +1,173 @@
+// Command doclint enforces the repository's documentation conventions:
+// every package under internal/ and the public fix package must carry a
+// package doc comment, and every exported symbol of the public fix
+// package must be documented. It parses source with go/parser only (no
+// build), so it runs anywhere the source tree does.
+//
+// Usage (normally via `make docs`):
+//
+//	go run ./tools/doclint [root]
+//
+// Exits 1 with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+
+	pkgDirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
+	for _, dir := range pkgDirs {
+		v, err := lintDir(root, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		violations = append(violations, v...)
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: %d packages clean\n", len(pkgDirs))
+}
+
+// packageDirs returns every directory under internal/ plus fix/,
+// relative to root, that contains at least one non-test .go file.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, sub := range []string{"internal", "fix"} {
+		err := filepath.WalkDir(filepath.Join(root, sub), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir, _ := filepath.Rel(root, filepath.Dir(path))
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func lintDir(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for name, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			violations = append(violations, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		// Exported-symbol docs are required only for the public API.
+		if dir == "fix" {
+			violations = append(violations, undocumentedExports(fset, pkg)...)
+		}
+	}
+	return violations, nil
+}
+
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// undocumentedExports reports exported top-level declarations with no
+// doc comment. Fields and methods of documented types are not checked;
+// the bar is "godoc shows prose for every name in the index".
+func undocumentedExports(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						// Only flag methods on exported receivers.
+						if !exportedRecv(d.Recv) {
+							continue
+						}
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(n.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}
