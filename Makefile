@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race docs check bench-parallel
+.PHONY: build vet test race lint lint-json check bench-parallel
 
 build:
 	$(GO) build ./...
@@ -14,17 +14,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# docs lints the documentation conventions: go vet's doc-comment checks
-# plus tools/doclint (package docs everywhere, exported-symbol docs on
-# the public fix package).
-docs:
-	$(GO) vet ./...
-	$(GO) run ./tools/doclint
+# lint runs the project analyzer suite (tools/fixvet): errcmp, lockcheck,
+# ctxcheck, obscheck, depcheck, and doccheck in one pass. Exits non-zero
+# on any finding not covered by tools/fixvet/baseline.txt.
+lint:
+	$(GO) run ./tools/fixvet
+
+# lint-json emits the findings as a JSON array on stdout, for editors
+# and CI annotation.
+lint-json:
+	$(GO) run ./tools/fixvet -json
 
 # check is the full pre-merge gate: vet, build, tests (the fault-injection
 # and crash-recovery suites run as part of the default test set), then the
-# race detector, then the documentation lint.
-check: vet build test race docs
+# race detector, then the static-analysis suite.
+check: vet build test race lint
 
 # bench-parallel regenerates the committed parallel-construction sweep
 # (1/2/4/NumCPU workers; asserts byte-identical indexes).

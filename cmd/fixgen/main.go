@@ -111,7 +111,7 @@ func run(ds datagen.Dataset, cfg datagen.Config, out string, asXML, verify bool)
 		return err
 	}
 	if _, err := st.Dict().WriteTo(df); err != nil {
-		df.Close()
+		_ = df.Close()
 		return err
 	}
 	if err := df.Close(); err != nil {
@@ -137,7 +137,7 @@ func verifyDB(dir string, wantDocs, wantElems int) error {
 		return err
 	}
 	dict, err := xmltree.ReadDict(df)
-	df.Close()
+	_ = df.Close()
 	if err != nil {
 		return err
 	}
@@ -147,7 +147,7 @@ func verifyDB(dir string, wantDocs, wantElems int) error {
 	}
 	st, err := storage.OpenStore(hf, dict)
 	if err != nil {
-		hf.Close()
+		_ = hf.Close()
 		return err
 	}
 	defer st.Close()

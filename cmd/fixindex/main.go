@@ -63,7 +63,7 @@ func run(dbdir string, args []string) error {
 				return err
 			}
 			id, err := db.AddDocument(f)
-			f.Close()
+			_ = f.Close()
 			if err != nil {
 				return fmt.Errorf("adding %s: %w", path, err)
 			}

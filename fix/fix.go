@@ -213,7 +213,7 @@ func Open(dir string) (*DB, error) {
 		return nil, err
 	}
 	dict, err := xmltree.ReadDict(df)
-	df.Close()
+	_ = df.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -268,12 +268,12 @@ func (db *DB) saveDict() error {
 		return err
 	}
 	if _, err := db.dict.WriteTo(df); err != nil {
-		df.Close()
+		_ = df.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := df.Sync(); err != nil {
-		df.Close()
+		_ = df.Close()
 		os.Remove(tmp)
 		return err
 	}

@@ -1,6 +1,9 @@
 package bisim
 
-import "io"
+import (
+	"errors"
+	"io"
+)
 
 // This file implements the paper's BISIM-TRAVELER (§4.4): a depth-first
 // walk of the bisimulation graph limited to a given depth, producing the
@@ -82,7 +85,7 @@ func Subpattern(v *Vertex, depthLimit, budget int) (*Graph, bool, error) {
 		return g, true, nil
 	}
 	g, err := Build(NewTraveler(v, depthLimit, budget), nil)
-	if err == ErrBudget {
+	if errors.Is(err, ErrBudget) {
 		return nil, false, nil
 	}
 	if err != nil {

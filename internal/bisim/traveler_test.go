@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -76,7 +77,7 @@ func TestTravelerBudget(t *testing.T) {
 	for err == nil {
 		_, err = s.Next()
 	}
-	if err != ErrBudget {
+	if !errors.Is(err, ErrBudget) {
 		t.Errorf("err = %v, want ErrBudget", err)
 	}
 }

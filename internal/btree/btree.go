@@ -27,10 +27,10 @@ const (
 // whole pass, so scan callbacks must not call back into the same Tree.
 type Tree struct {
 	mu     sync.Mutex
-	p      *pager
-	root   uint32
-	height uint32
-	count  uint64
+	p      *pager // guarded by mu (the pager owns the page cache, I/O counters, and npages)
+	root   uint32 // guarded by mu
+	height uint32 // guarded by mu
+	count  uint64 // guarded by mu
 }
 
 // Create initializes an empty tree on f.
@@ -434,7 +434,11 @@ func (t *Tree) ClearCache() error {
 }
 
 // PageSize returns the tree's page size in bytes.
-func (t *Tree) PageSize() int { return t.p.pageSize }
+func (t *Tree) PageSize() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p.pageSize
+}
 
 // DirtyPage is a checksummed copy of one modified page, ready to be
 // journaled before an atomic commit.

@@ -138,12 +138,14 @@ type Index struct {
 	buildTime   time.Duration
 	buildStats  BuildStats
 
+	// healthMu serializes health transitions because concurrent queries
+	// may detect corruption simultaneously. It is a leaf lock: never
+	// held across I/O or while taking another lock (lockcheck: leaf).
+	healthMu sync.Mutex
 	// health is the first corruption or staleness problem observed, set
 	// at Open time or by a query-time page read; nil means healthy. Once
-	// set, queries answer from the scan fallback. Guarded by healthMu
-	// because concurrent queries may detect corruption simultaneously.
-	healthMu sync.Mutex
-	health   error
+	// set, queries answer from the scan fallback. Guarded by healthMu.
+	health error
 }
 
 // Health returns nil for a healthy index, or an error (wrapping

@@ -133,12 +133,12 @@ func Recover(dir string) error {
 	}
 	for _, pg := range j.pages {
 		if _, err := bf.WriteAt(pg.Data, int64(pg.ID)*int64(j.pageSize)); err != nil {
-			bf.Close()
+			_ = bf.Close()
 			return fmt.Errorf("core: replaying page %d: %w", pg.ID, err)
 		}
 	}
 	if err := bf.Sync(); err != nil {
-		bf.Close()
+		_ = bf.Close()
 		return err
 	}
 	if err := bf.Close(); err != nil {
@@ -172,11 +172,11 @@ func atomicWrite(fsys *indexFS, path string, data []byte) error {
 		return err
 	}
 	if _, err := f.WriteAt(data, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -98,11 +98,11 @@ func (ix *Index) Save() error {
 		return err
 	}
 	if _, err := jf.WriteAt(j.encode(), 0); err != nil {
-		jf.Close()
+		_ = jf.Close()
 		return err
 	}
 	if err := jf.Sync(); err != nil { // commit point
-		jf.Close()
+		_ = jf.Close()
 		return err
 	}
 	if err := jf.Close(); err != nil {
@@ -196,7 +196,7 @@ func Open(st *storage.Store, dir string) (*Index, error) {
 		return nil, err
 	}
 	ix.enc, err = matrix.ReadEdgeEncoder(ef)
-	ef.Close()
+	_ = ef.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +219,7 @@ func Open(st *storage.Store, dir string) (*Index, error) {
 	}
 	bt, err := btree.Open(bf, ix.opts.CacheSize)
 	if err != nil {
-		bf.Close()
+		_ = bf.Close()
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
 			return ix, nil
@@ -245,7 +245,7 @@ func (ix *Index) openClustered(dir string) error {
 	}
 	ix.clustered, err = storage.OpenStore(cf, ix.dict)
 	if err != nil {
-		cf.Close()
+		_ = cf.Close()
 	}
 	return err
 }

@@ -1,6 +1,7 @@
 package joins
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestValuePredicateRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(tags).Count(xpath.MustParse(`//a[b="v"]`).Tree()); err != ErrValuePredicate {
+	if _, err := New(tags).Count(xpath.MustParse(`//a[b="v"]`).Tree()); !errors.Is(err, ErrValuePredicate) {
 		t.Errorf("err = %v, want ErrValuePredicate", err)
 	}
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ctxcheckAnalyzer enforces the context discipline the parallel pipeline
+// introduced: cancellable work always flows through a *Ctx variant, and
+// nothing in library code silently detaches from the caller's context.
+var ctxcheckAnalyzer = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "ctx context.Context must be the first parameter; " +
+		"context.Background()/TODO() in library packages only inside a " +
+		"Foo → FooCtx delegating wrapper; when Foo and FooCtx coexist, " +
+		"Foo must be a pure delegation",
+	Run: runCtxcheck,
+}
+
+func runCtxcheck(pass *Pass) {
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checkCtxParam(pass, fd.Name.Name, fd.Type)
+			ast.Inspect(body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkCtxParam(pass, "func literal", fl.Type)
+				}
+				return true
+			})
+		})
+	}
+	if pass.inLibrary() {
+		checkBackgroundUse(pass)
+	}
+	rel := pass.relPkg()
+	if rel == "fix" || rel == "internal/core" {
+		checkCtxPairs(pass)
+	}
+}
+
+// isCtxType matches the AST shape context.Context.
+func isCtxType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context"
+}
+
+// checkCtxParam requires a context.Context parameter to be first and
+// named ctx.
+func checkCtxParam(pass *Pass, what string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	flat := 0 // parameter index counting each name in a shared field once
+	for fi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(field.Type) {
+			if fi != 0 || flat != 0 {
+				pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", what)
+			}
+			for _, name := range field.Names {
+				if name.Name != "ctx" && name.Name != "_" {
+					pass.Reportf(name.Pos(), "%s: context parameter must be named ctx, not %s", what, name.Name)
+				}
+			}
+		}
+		flat += n
+	}
+}
+
+// checkBackgroundUse flags context.Background()/context.TODO() in
+// library code except in the one sanctioned place: the body of an
+// exported context-free Foo that is a single-return delegation to its
+// own FooCtx variant, passing the fresh context first.
+func checkBackgroundUse(pass *Pass) {
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				isBg := isPkgCall(pass.Info, call, "context", "Background")
+				isTodo := isPkgCall(pass.Info, call, "context", "TODO")
+				if !isBg && !isTodo {
+					return true
+				}
+				if isTodo {
+					pass.Reportf(call.Pos(), "context.TODO() in library code; plumb a real ctx")
+					return true
+				}
+				if !isDelegation(fd, body, call) {
+					pass.Reportf(call.Pos(), "context.Background() in library code outside a FooCtx delegating wrapper; accept a ctx instead")
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isDelegation reports whether bgCall appears as the first argument of
+// the single `return recv.<Name>Ctx(context.Background(), ...)` (or
+// package-level `<Name>Ctx(...)`) statement that forms fd's whole body.
+func isDelegation(fd *ast.FuncDecl, body *ast.BlockStmt, bgCall *ast.CallExpr) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	outer, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok || len(outer.Args) == 0 || outer.Args[0] != bgCall {
+		return false
+	}
+	_, callee := calleeName(outer)
+	return callee == fd.Name.Name+"Ctx"
+}
+
+// checkCtxPairs: wherever Foo and FooCtx are both declared (same
+// receiver), Foo must be the thin delegation — one return statement
+// calling FooCtx — so behavior can never diverge between the pair.
+func checkCtxPairs(pass *Pass) {
+	type key struct{ recv, name string }
+	funcs := map[key]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, _ *ast.BlockStmt) {
+			_, typeName := receiverName(fd)
+			funcs[key{typeName, fd.Name.Name}] = fd
+		})
+	}
+	for k, fd := range funcs {
+		if strings.HasSuffix(k.name, "Ctx") {
+			continue
+		}
+		ctxDecl, ok := funcs[key{k.recv, k.name + "Ctx"}]
+		if !ok || !fd.Name.IsExported() || !ctxDecl.Name.IsExported() {
+			continue
+		}
+		if hasCtxParam(fd.Type) {
+			pass.Reportf(fd.Pos(), "%s already takes a ctx; the %sCtx variant is redundant", k.name, k.name)
+			continue
+		}
+		if !isThinDelegation(fd) {
+			pass.Reportf(fd.Pos(), "%s has a %sCtx variant but is not a single-return delegation to it; the pair can drift apart", k.name, k.name)
+		}
+	}
+}
+
+// hasCtxParam reports whether the signature includes a context.Context.
+func hasCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isThinDelegation reports whether fd's body is exactly
+// `return <...>.<Name>Ctx(...)`.
+func isThinDelegation(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, callee := calleeName(call)
+	return callee == fd.Name.Name+"Ctx"
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// depcheckAnalyzer pins the module's dependency policy: the standard
+// library plus module-internal packages only (the container builds with
+// no network), and a one-way layering — binaries sit on top of the
+// library, never the other way around, and internal packages never
+// import the public fix package.
+var depcheckAnalyzer = &Analyzer{
+	Name: "depcheck",
+	Doc: "imports must be stdlib or module-internal; cmd/tools/examples " +
+		"may not be imported; internal/ may not import the public fix package",
+	Run: runDepcheck,
+}
+
+func runDepcheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			checkImport(pass, imp, path)
+		}
+	}
+}
+
+// checkImport applies the policy to a single import.
+func checkImport(pass *Pass, imp *ast.ImportSpec, path string) {
+	if path == "C" {
+		pass.Reportf(imp.Pos(), "cgo is not allowed; the module is pure Go")
+		return
+	}
+	inModule := path == pass.ModPath || strings.HasPrefix(path, pass.ModPath+"/")
+	if !inModule {
+		if !isStdlibPath(path) {
+			pass.Reportf(imp.Pos(), "import %q is neither stdlib nor module-internal; the module policy is stdlib-only", path)
+		}
+		return
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, pass.ModPath), "/")
+	switch segment(rel) {
+	case "cmd", "tools", "examples":
+		pass.Reportf(imp.Pos(), "import %q: command and tool packages may not be imported as libraries", path)
+		return
+	}
+	if pass.inLibrary() && strings.HasPrefix(pass.PkgPath, pass.ModPath+"/internal") {
+		if rel == "fix" || strings.HasPrefix(rel, "fix/") {
+			pass.Reportf(imp.Pos(), "internal package imports the public %q package; layering runs fix → internal, never back", path)
+		}
+	}
+}
+
+// segment returns the first path segment of a slash path.
+func segment(p string) string {
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// isStdlibPath uses the import-path convention: standard library paths
+// have no dot in their first segment ("net/http" yes, "example.com/x"
+// no). That is exactly the rule the go command applies.
+func isStdlibPath(path string) bool {
+	return !strings.Contains(segment(path), ".")
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// doccheckAnalyzer is the former tools/doclint, folded into the fixvet
+// driver: every package under internal/ and the public fix package needs
+// a package doc comment, and every exported symbol of the public fix
+// package must be documented (godoc shows prose for every name).
+var doccheckAnalyzer = &Analyzer{
+	Name: "doccheck",
+	Doc: "package docs on internal/* and fix; exported-symbol docs on " +
+		"the public fix package",
+	Run: runDoccheck,
+}
+
+func runDoccheck(pass *Pass) {
+	rel := pass.relPkg()
+	isFix := rel == "fix"
+	if !isFix && !strings.HasPrefix(rel, "internal/") && rel != "internal" {
+		return
+	}
+	hasDoc := false
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasDoc = true
+			break
+		}
+	}
+	if !hasDoc && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package doc comment", pass.PkgName)
+	}
+	if isFix {
+		for _, f := range pass.Files {
+			checkExportedDocs(pass, f)
+		}
+	}
+}
+
+// checkExportedDocs reports exported top-level declarations with no doc
+// comment. Fields and methods of documented types are not checked; the
+// bar is "godoc shows prose for every name in the index".
+func checkExportedDocs(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					if !exportedRecv(d.Recv) {
+						continue
+					}
+					kind = "method"
+				}
+				pass.Reportf(d.Pos(), "exported %s %s is undocumented", kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						pass.Reportf(s.Pos(), "exported type %s is undocumented", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							pass.Reportf(n.Pos(), "exported value %s is undocumented", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether the method receiver's base type is
+// exported (methods on unexported types never appear in godoc).
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position. The triple
+// (Analyzer, File, Message) identifies a finding for baseline matching;
+// the line number is display-only so a baseline survives unrelated edits
+// above the flagged line.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the classic file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// key is the baseline-matching identity of the finding.
+func (f Finding) key() string {
+	return f.Analyzer + "\t" + f.File + "\t" + f.Message
+}
+
+// Pass is everything one analyzer sees for one package.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string
+	PkgName string
+	Pkg     *types.Package
+	Info    *types.Info
+	ModPath string // module path, for layering-sensitive rules
+	Root    string // module root, for rendering relative paths
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// relPkg returns the package path relative to the module ("" for the
+// module root package).
+func (p *Pass) relPkg() string {
+	return strings.TrimPrefix(strings.TrimPrefix(p.PkgPath, p.ModPath), "/")
+}
+
+// inLibrary reports whether the package is library code (the public fix
+// package or anything under internal/), as opposed to cmd, tools,
+// examples, or the module root.
+func (p *Pass) inLibrary() bool {
+	rel := p.relPkg()
+	return rel == "fix" || rel == "internal" || strings.HasPrefix(rel, "fix/") || strings.HasPrefix(rel, "internal/")
+}
+
+// Analyzer is one named rule set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// analyzers is the full suite, in the order findings are attributed.
+var analyzers = []*Analyzer{
+	errcmpAnalyzer,
+	lockcheckAnalyzer,
+	ctxcheckAnalyzer,
+	obscheckAnalyzer,
+	depcheckAnalyzer,
+	doccheckAnalyzer,
+}
+
+// runAnalyzers applies the selected analyzers to every package and
+// returns the merged findings sorted by position.
+func runAnalyzers(l *Loader, pkgs []*Package, selected []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			pass := &Pass{
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				PkgName:  pkg.Name,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				ModPath:  l.ModPath,
+				Root:     l.Root,
+				analyzer: a.Name,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.key() < b.key()
+	})
+	return findings
+}
+
+// loadBaseline reads the allowlist file: one finding key per line in the
+// rendered "analyzer<TAB>file<TAB>message" form, '#' comments and blank
+// lines ignored. A missing file is an empty baseline.
+func loadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	base := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line] = false // value flips to true when matched
+	}
+	return base, sc.Err()
+}
+
+// applyBaseline splits findings into new ones and baselined ones, and
+// returns any stale baseline entries that no longer match a finding.
+func applyBaseline(findings []Finding, base map[string]bool) (fresh []Finding, suppressed int, stale []string) {
+	for _, f := range findings {
+		if _, ok := base[f.key()]; ok {
+			base[f.key()] = true
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, matched := range base {
+		if !matched {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, suppressed, stale
+}

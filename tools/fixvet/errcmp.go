@@ -1,0 +1,144 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errcmpAnalyzer enforces the error-handling discipline the durability
+// layer depends on: typed sentinel errors (btree.ErrCorrupt,
+// core.ErrDegraded, ...) travel through wrapped chains, so they must be
+// matched with errors.Is, wrapped with %w, and their Close/cleanup
+// errors must not be silently dropped.
+var errcmpAnalyzer = &Analyzer{
+	Name: "errcmp",
+	Doc: "sentinel errors must be matched with errors.Is (never ==/!=), " +
+		"fmt.Errorf over an error needs %w, and Close() errors must be " +
+		"checked or explicitly discarded",
+	Run: runErrcmp,
+}
+
+func runErrcmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.ExprStmt:
+				checkUncheckedClose(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelCompare flags x == ErrFoo / x != pkg.ErrFoo. Wrapped
+// errors (every fmt.Errorf("...%w") in this codebase) make the direct
+// comparison silently false; errors.Is is the only correct match.
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNilIdent(b.X) || isNilIdent(b.Y) {
+		return // err == nil is the idiom
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if name, ok := sentinelRef(pass.Info, side); ok {
+			op := "=="
+			if b.Op == token.NEQ {
+				op = "!="
+			}
+			pass.Reportf(b.OpPos, "sentinel error %s compared with %s; use errors.Is so wrapped errors still match", name, op)
+			return
+		}
+	}
+}
+
+// sentinelRef reports whether e references a package-level error
+// variable named Err*.
+func sentinelRef(info *types.Info, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		id, name = x, x.Name
+	case *ast.SelectorExpr:
+		id, name = x.Sel, exprString(x)
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(id.Name, "Err") || len(id.Name) < 4 {
+		return "", false
+	}
+	if info != nil {
+		obj, ok := info.Uses[id]
+		if ok {
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.Parent() == nil || (v.Pkg() != nil && v.Parent() != v.Pkg().Scope()) {
+				return "", false // not a package-level var
+			}
+			if !types.Implements(v.Type(), errorType) && !types.Identical(v.Type(), errorType) {
+				return "", false
+			}
+			return name, true
+		}
+	}
+	// No resolution (fixture with missing imports): fall back to the
+	// naming convention alone.
+	return name, true
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// while the format string carries no %w at all: the cause is erased and
+// errors.Is/As can no longer see it. A format that already has a %w may
+// format further errors with %v deliberately.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorExpr(pass.Info, arg) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats error %s without %%w; the cause is invisible to errors.Is", exprString(arg))
+			return
+		}
+	}
+}
+
+// checkUncheckedClose flags statement-level x.Close() whose error result
+// is dropped. Deliberate discards must say `_ = x.Close()`; defer
+// x.Close() on read-only paths is left alone (a different, visible
+// idiom).
+func checkUncheckedClose(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+		return
+	}
+	// Only flag when Close actually returns an error (or when type info
+	// is unavailable and we assume the io.Closer shape).
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[call]; ok {
+			if tv.Type == nil || !types.Implements(tv.Type, errorType) {
+				return
+			}
+		}
+	}
+	pass.Reportf(stmt.Pos(), "%s.Close() error is silently dropped; check it or write `_ = %s.Close()`",
+		exprString(sel.X), exprString(sel.X))
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root two levels above this package.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}
+
+// A want comment marks the line where a finding is expected:
+//
+//	expr // want `regexp`
+//
+// An optional offset relocates the expectation, for sites where a
+// trailing comment would change the analysis (doc comments):
+//
+//	// want:+2 `regexp`
+var (
+	wantLineRe = regexp.MustCompile(`^want(?::([+-]?\d+))?\s+(.*)$`)
+	wantArgRe  = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// parseWants extracts the expectations from a fixture package's
+// comments, rendering file paths the same way Reportf does.
+func parseWants(t *testing.T, l *Loader, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantLineRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", pos.Filename, pos.Line, m[1])
+					}
+					line += off
+				}
+				file := pos.Filename
+				if rel, err := filepath.Rel(l.Root, file); err == nil {
+					file = filepath.ToSlash(rel)
+				}
+				args := wantArgRe.FindAllStringSubmatch(m[2], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: want comment with no pattern: %s", pos.Filename, pos.Line, text)
+				}
+				for _, a := range args {
+					raw := a[1]
+					if raw == "" {
+						raw = a[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: file, line: line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestFixtures runs each analyzer over its seeded-violation package and
+// checks the findings against the want comments, both ways: every
+// finding must be wanted, every want must be found. The non-empty
+// assertion doubles as the driver's seeded-violation exit check: any of
+// these findings would make the binary exit non-zero.
+func TestFixtures(t *testing.T) {
+	root := repoRoot(t)
+	cases := []struct {
+		dir      string // under tools/fixvet/testdata/src
+		analyzer string
+		asPath   string // fake module-relative import path, selects scope-gated rules
+	}{
+		{"errcmp", "errcmp", "internal/fixture"},
+		{"lockcheck", "lockcheck", "internal/fixture"},
+		{"ctxcheck", "ctxcheck", "internal/core"},
+		{"obscheck", "obscheck", "internal/fixture"},
+		{"obscheck_obs", "obscheck", "internal/obs"},
+		{"depcheck", "depcheck", "internal/fixture"},
+		{"doccheck_nodoc", "doccheck", "internal/nodoc"},
+		{"doccheck_fix", "doccheck", "fix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			l, err := NewLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(root, "tools", "fixvet", "testdata", "src", tc.dir)
+			pkg, err := l.LoadDir(dir, l.ModPath+"/"+tc.asPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := runAnalyzers(l, []*Package{pkg}, []*Analyzer{analyzerByName(t, tc.analyzer)})
+			if len(findings) == 0 {
+				t.Fatalf("fixture %s seeds violations but produced no findings", tc.dir)
+			}
+			wants := parseWants(t, l, pkg)
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoClean asserts the live tree has no findings beyond the
+// committed baseline — the same invariant `make lint` enforces in CI.
+func TestRepoClean(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := runAnalyzers(l, pkgs, analyzers)
+	base, err := loadBaseline(filepath.Join(root, "tools", "fixvet", "baseline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, stale := applyBaseline(findings, base)
+	for _, f := range fresh {
+		t.Errorf("finding not in baseline: %s", f)
+	}
+	for _, s := range stale {
+		t.Errorf("stale baseline entry (fix no longer needed, delete the line): %s", strings.ReplaceAll(s, "\t", " | "))
+	}
+}
+
+// TestBaselineSuppression checks the baseline identity: keyed by
+// analyzer+file+message so line drift from unrelated edits does not
+// resurrect suppressed findings, while stale entries are surfaced.
+func TestBaselineSuppression(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "errcmp", File: "a.go", Line: 10, Message: "m1"},
+		{Analyzer: "errcmp", File: "a.go", Line: 99, Message: "m2"},
+	}
+	base := map[string]bool{
+		"errcmp\ta.go\tm2":    false, // suppresses regardless of line
+		"errcmp\tgone.go\tmx": false, // stale
+	}
+	fresh, suppressed, stale := applyBaseline(findings, base)
+	if len(fresh) != 1 || fresh[0].Message != "m1" {
+		t.Errorf("fresh = %v, want only m1", fresh)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", suppressed)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "gone.go") {
+		t.Errorf("stale = %v, want the gone.go entry", stale)
+	}
+}

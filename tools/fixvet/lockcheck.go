@@ -1,0 +1,340 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lockcheckAnalyzer enforces the mutex discipline of the index core.
+// Structs annotate ownership in field comments:
+//
+//	mu   sync.Mutex // lockcheck: leaf  (optional: no I/O while held)
+//	root uint32     // guarded by mu
+//
+// Rules: (1) exported methods that touch a guarded field must acquire
+// the guarding mutex; (2) a method holding the mutex must not call a
+// sibling method that acquires it again (self-deadlock, sync.Mutex is
+// not reentrant); (3) a mutex marked `lockcheck: leaf` must never be
+// held across storage or os I/O calls.
+var lockcheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc: "guarded struct fields (`// guarded by mu`) require the lock in " +
+		"exported methods; no re-locking a held mutex; leaf mutexes " +
+		"(`// lockcheck: leaf`) must not be held across storage/os I/O",
+	Run: runLockcheck,
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// lockedStruct describes one mutex-owning struct type.
+type lockedStruct struct {
+	name    string
+	mutexes map[string]bool   // mutex field name → leaf?
+	guarded map[string]string // field name → guarding mutex field
+	methods map[string]*ast.FuncDecl
+}
+
+func runLockcheck(pass *Pass) {
+	structs := map[string]*lockedStruct{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if ls := scanStruct(ts.Name.Name, st); ls != nil {
+					structs[ls.name] = ls
+				}
+			}
+		}
+	}
+	if len(structs) == 0 {
+		return
+	}
+	// Collect methods per annotated struct.
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, _ *ast.BlockStmt) {
+			_, typeName := receiverName(fd)
+			if ls, ok := structs[typeName]; ok {
+				ls.methods[fd.Name.Name] = fd
+			}
+		})
+	}
+	for _, ls := range structs {
+		checkStruct(pass, ls)
+	}
+}
+
+// scanStruct reads the lock annotations off a struct declaration,
+// returning nil when the struct owns no mutex.
+func scanStruct(name string, st *ast.StructType) *lockedStruct {
+	ls := &lockedStruct{
+		name:    name,
+		mutexes: map[string]bool{},
+		guarded: map[string]string{},
+		methods: map[string]*ast.FuncDecl{},
+	}
+	for _, field := range st.Fields.List {
+		comments := fieldComments(field)
+		if isMutexType(field.Type) {
+			leaf := strings.Contains(comments, "lockcheck: leaf")
+			for _, n := range field.Names {
+				ls.mutexes[n.Name] = leaf
+			}
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(comments); m != nil {
+			for _, n := range field.Names {
+				ls.guarded[n.Name] = m[1]
+			}
+		}
+	}
+	if len(ls.mutexes) == 0 {
+		return nil
+	}
+	// Drop guards naming something that is not a mutex field.
+	for f, mu := range ls.guarded {
+		if _, ok := ls.mutexes[mu]; !ok {
+			delete(ls.guarded, f)
+		}
+	}
+	return ls
+}
+
+// fieldComments joins a field's doc and line comments.
+func fieldComments(field *ast.Field) string {
+	var parts []string
+	if field.Doc != nil {
+		parts = append(parts, field.Doc.Text())
+	}
+	if field.Comment != nil {
+		parts = append(parts, field.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// isMutexType matches the AST shape sync.Mutex / sync.RWMutex.
+func isMutexType(t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+}
+
+// checkStruct applies the three lock rules to every method of ls.
+func checkStruct(pass *Pass, ls *lockedStruct) {
+	// locks[mu] for each method: does the body call recv.mu.Lock/RLock?
+	locks := map[string]map[string]token.Pos{}
+	for name, fd := range ls.methods {
+		recv, _ := receiverName(fd)
+		locks[name] = lockCalls(fd, recv, ls)
+	}
+	for name, fd := range ls.methods {
+		recv, _ := receiverName(fd)
+		if recv == "" || recv == "_" {
+			continue
+		}
+		held := locks[name]
+
+		// Rule 1: exported methods touching guarded fields must lock.
+		if fd.Name.IsExported() {
+			for field, mu := range ls.guarded {
+				if pos, touched := fieldAccess(fd, recv, field, ls); touched {
+					if _, ok := held[mu]; !ok {
+						pass.Reportf(pos, "%s.%s accesses %s.%s (guarded by %s) without acquiring it",
+							ls.name, name, recv, field, mu)
+					}
+				}
+			}
+		}
+
+		// Rules 2 and 3 only apply while a mutex is held.
+		for mu, lockPos := range held {
+			end := unlockPos(fd, recv, mu)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Pos() <= lockPos || call.Pos() >= end {
+					return true
+				}
+				// Rule 2: no calling a sibling method that re-locks mu.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+						if callee, ok := ls.methods[sel.Sel.Name]; ok {
+							if _, again := locks[callee.Name.Name][mu]; again {
+								pass.Reportf(call.Pos(), "%s.%s calls %s.%s while holding %s, which %s locks again (self-deadlock)",
+									ls.name, name, recv, sel.Sel.Name, mu, sel.Sel.Name)
+							}
+						}
+					}
+				}
+				// Rule 3: leaf mutexes are never held across I/O.
+				if ls.mutexes[mu] && isIOCall(pass, call) {
+					pass.Reportf(call.Pos(), "%s.%s performs I/O (%s) while holding leaf mutex %s",
+						ls.name, name, exprString(call.Fun), mu)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockCalls finds recv.mu.Lock()/RLock() statements in fd's body and
+// returns the position of the first lock of each mutex.
+func lockCalls(fd *ast.FuncDecl, recv string, ls *lockedStruct) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	if recv == "" {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mu, method, ok := mutexCall(call, recv, ls)
+		if ok && (method == "Lock" || method == "RLock") {
+			if _, seen := out[mu]; !seen {
+				out[mu] = call.Pos()
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexCall decomposes recv.mu.Method() calls.
+func mutexCall(call *ast.CallExpr, recv string, ls *lockedStruct) (mu, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := inner.X.(*ast.Ident)
+	if !isID || id.Name != recv {
+		return "", "", false
+	}
+	if _, isMu := ls.mutexes[inner.Sel.Name]; !isMu {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// unlockPos returns the position where mu is explicitly released in the
+// body (a non-deferred recv.mu.Unlock()), or the end of the function
+// when release is deferred or absent.
+func unlockPos(fd *ast.FuncDecl, recv string, mu string) token.Pos {
+	end := fd.Body.End()
+	ls := &lockedStruct{mutexes: map[string]bool{mu: false}}
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if m, method, ok := mutexCall(d.Call, recv, ls); ok && m == mu && strings.HasSuffix(method, "Unlock") {
+				deferred = true
+			}
+			return false // don't descend: the deferred call itself is not a release point
+		}
+		return true
+	})
+	if deferred {
+		return end
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, method, ok := mutexCall(call, recv, ls); ok && m == mu && strings.HasSuffix(method, "Unlock") {
+			if call.Pos() < end {
+				end = call.Pos()
+			}
+		}
+		return true
+	})
+	return end
+}
+
+// fieldAccess reports the first recv.field access in fd's body, skipping
+// accesses that are themselves the mutex.
+func fieldAccess(fd *ast.FuncDecl, recv, field string, ls *lockedStruct) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && sel.Sel.Name == field {
+			pos, found = sel.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isIOCall reports whether call lands in the storage package or the os
+// package (file I/O) — the operations a leaf mutex must not cover.
+func isIOCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pass.Info != nil {
+		// Package function: os.WriteFile, storage.Open, ...
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj, ok := pass.Info.Uses[id]; ok {
+				if pn, isPkg := obj.(*types.PkgName); isPkg {
+					return ioPackagePath(pn.Imported().Path())
+				}
+			}
+		}
+		// Method on a value from an I/O package: file.ReadAt, store.Cursor, ...
+		if s, ok := pass.Info.Selections[sel]; ok && s.Recv() != nil {
+			if named := namedOf(s.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return ioPackagePath(named.Obj().Pkg().Path())
+			}
+		}
+	}
+	return false
+}
+
+// ioPackagePath classifies packages whose calls count as I/O.
+func ioPackagePath(path string) bool {
+	return path == "os" || path == "io" || strings.HasSuffix(path, "/internal/storage")
+}
+
+// namedOf unwraps pointers to reach a named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}

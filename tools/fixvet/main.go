@@ -1,0 +1,137 @@
+// Command fixvet is the project's static-analysis suite: a stdlib-only
+// (go/ast + go/parser + go/types, no x/tools) multi-analyzer driver that
+// machine-checks the invariants PRs 1–3 introduced by convention.
+//
+// The six passes:
+//
+//   - errcmp: sentinel errors matched with errors.Is, wrapped with %w,
+//     Close() errors never silently dropped
+//   - lockcheck: `// guarded by mu` fields locked in exported methods,
+//     no self-deadlock, leaf mutexes never held across storage/os I/O
+//   - ctxcheck: ctx first and named ctx, context.Background() only in
+//     Foo → FooCtx delegating wrappers, Foo/FooCtx pairs stay thin
+//   - obscheck: nil-guarded *obs.Trace writes, paired phase timers,
+//     centralized unique expvar registration
+//   - depcheck: stdlib-or-module-internal imports only, one-way layering
+//   - doccheck: the former tools/doclint (package and exported docs)
+//
+// Usage (normally via `make lint`):
+//
+//	go run ./tools/fixvet [-root dir] [-run a,b] [-json] [-baseline file] [-list]
+//
+// Exits 1 with one finding per line when anything outside the baseline
+// is flagged. The baseline (tools/fixvet/baseline.txt) holds justified,
+// commented allowlist entries in "analyzer<TAB>file<TAB>message" form;
+// stale entries are reported so the file can only shrink.
+//
+// See docs/STATIC_ANALYSIS.md for each rule's motivating bug.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", ".", "module root to analyze")
+		runList  = flag.String("run", "", "comma-separated analyzer names (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		baseline = flag.String("baseline", "", "baseline file (default: <root>/tools/fixvet/baseline.txt)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixvet:", err)
+		os.Exit(2)
+	}
+
+	l, err := NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixvet:", err)
+		os.Exit(2)
+	}
+
+	findings := runAnalyzers(l, pkgs, selected)
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath = filepath.Join(l.Root, "tools", "fixvet", "baseline.txt")
+	}
+	base, err := loadBaseline(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fixvet:", err)
+		os.Exit(2)
+	}
+	fresh, suppressed, stale := applyBaseline(findings, base)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if fresh == nil {
+			fresh = []Finding{}
+		}
+		if err := enc.Encode(fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "fixvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "fixvet: stale baseline entry (fixed? remove it): %s\n", strings.ReplaceAll(s, "\t", " | "))
+	}
+
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "fixvet: %d finding(s)\n", len(fresh))
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		msg := fmt.Sprintf("fixvet: %d packages clean (%d analyzers)", len(pkgs), len(selected))
+		if suppressed > 0 {
+			msg += fmt.Sprintf(", %d baselined finding(s)", suppressed)
+		}
+		fmt.Println(msg)
+	}
+}
+
+// selectAnalyzers resolves the -run flag against the registered suite.
+func selectAnalyzers(runList string) ([]*Analyzer, error) {
+	if runList == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(runList, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

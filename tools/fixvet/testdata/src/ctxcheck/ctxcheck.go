@@ -1,0 +1,38 @@
+// Package fixture seeds every ctxcheck rule with one violation and one
+// compliant counterpart. The driver test loads it as if it were
+// internal/core, where the library-code rules apply.
+package fixture
+
+import "context"
+
+// DoCtx does cancellable work.
+func DoCtx(ctx context.Context, n int) error { return ctx.Err() }
+
+// Do is the sanctioned context-free shorthand: a single-return
+// delegation to its Ctx variant.
+func Do(n int) error {
+	return DoCtx(context.Background(), n) // ok
+}
+
+// RunCtx does cancellable work.
+func RunCtx(ctx context.Context) error { return ctx.Err() }
+
+// Run drifts from its Ctx variant instead of delegating.
+func Run() error { // want `Run has a RunCtx variant but is not a single-return delegation`
+	err := RunCtx(context.Background()) // want `context.Background\(\) in library code outside a FooCtx delegating wrapper`
+	return err
+}
+
+func lateCtx(a int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	_ = a
+	return ctx.Err()
+}
+
+func badName(c context.Context) error { // want `context parameter must be named ctx, not c`
+	return c.Err()
+}
+
+func detached() error {
+	_ = context.TODO() // want `context.TODO\(\) in library code`
+	return nil
+}

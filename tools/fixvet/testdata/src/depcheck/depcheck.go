@@ -1,0 +1,15 @@
+// Package fixture seeds every depcheck rule. The driver test loads it
+// as an internal/ package, where the layering rules apply.
+package fixture
+
+import (
+	_ "fmt" // ok: stdlib
+
+	_ "example.com/notstdlib" // want `neither stdlib nor module-internal`
+
+	_ "github.com/fix-index/fix/cmd/fixindex" // want `command and tool packages may not be imported`
+
+	_ "github.com/fix-index/fix/fix" // want `internal package imports the public`
+
+	_ "github.com/fix-index/fix/internal/xpath" // ok: module-internal library
+)

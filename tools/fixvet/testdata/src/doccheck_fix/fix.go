@@ -1,0 +1,16 @@
+// Package fix stands in for the public package, where every exported
+// symbol needs a doc comment.
+package fix
+
+// Documented carries prose.
+func Documented() {}
+
+func Undocumented() {} // want `exported function Undocumented is undocumented`
+
+// want:+2 `exported type Exposed is undocumented`
+
+type Exposed struct{}
+
+// want:+2 `exported value Value is undocumented`
+
+var Value = 1

@@ -1,0 +1,44 @@
+// Package fixture seeds every errcmp rule with one violation and one
+// compliant counterpart.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrBoom is a package-level sentinel.
+var ErrBoom = errors.New("boom")
+
+func compare(err error) bool {
+	if err == ErrBoom { // want `sentinel error ErrBoom compared with ==`
+		return true
+	}
+	if ErrBoom != err { // want `sentinel error ErrBoom compared with !=`
+		return false
+	}
+	if err == nil { // ok: nil comparison is the idiom
+		return false
+	}
+	return errors.Is(err, ErrBoom) // ok
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("loading index: %v", err) // want `fmt.Errorf formats error err without %w`
+	}
+	return fmt.Errorf("loading index: %w", err) // ok
+}
+
+func wrapTwo(cause error) error {
+	// ok: a format that already wraps may erase a second error deliberately.
+	return fmt.Errorf("%w: underlying: %v", ErrBoom, cause)
+}
+
+func closer(f *os.File) error {
+	f.Close()        // want `f.Close\(\) error is silently dropped`
+	_ = f.Close()    // ok: explicit discard
+	defer f.Close()  // ok: visible read-path idiom
+	return f.Close() // ok: checked
+}

@@ -1,0 +1,67 @@
+// Package fixture seeds every lockcheck rule with one violation and one
+// compliant counterpart.
+package fixture
+
+import (
+	"os"
+	"sync"
+)
+
+// Counter owns a mutex guarding its count.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Good takes the lock before touching the guarded field.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad reads the guarded field without the lock.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter.Bad accesses c.n \(guarded by mu\) without acquiring it`
+}
+
+// Deadlock calls a locking sibling while holding the lock.
+func (c *Counter) Deadlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Good() // want `self-deadlock`
+}
+
+// helper is unexported: assumed called with the lock held, never flagged.
+func (c *Counter) helper() int { return c.n }
+
+// Chained unlocks before calling the locking sibling: allowed.
+func (c *Counter) Chained() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + c.Good()
+}
+
+// Leafy owns a leaf mutex: never held across storage/os I/O.
+type Leafy struct {
+	mu   sync.Mutex // lockcheck: leaf
+	path string     // guarded by mu
+}
+
+// Bad reads a file while holding the leaf mutex.
+func (l *Leafy) Bad() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := os.ReadFile(l.path) // want `performs I/O \(os.ReadFile\) while holding leaf mutex mu`
+	return err
+}
+
+// Good copies the guarded state out, releases, then does the I/O.
+func (l *Leafy) Good() error {
+	l.mu.Lock()
+	p := l.path
+	l.mu.Unlock()
+	_, err := os.ReadFile(p)
+	return err
+}

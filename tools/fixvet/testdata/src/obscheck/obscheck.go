@@ -1,0 +1,43 @@
+// Package fixture seeds the obscheck trace rules with one violation and
+// one compliant counterpart each. It imports the real internal/obs so
+// the *obs.Trace type resolves exactly as it does in the tree.
+package fixture
+
+import (
+	"expvar"
+	"time"
+
+	"github.com/fix-index/fix/internal/obs"
+)
+
+func unpaired(tr *obs.Trace) {
+	probeStart := time.Now() // want `phase timer probeStart is started but never observed`
+	_ = probeStart
+	tr.Count = 1 // want `write through \*obs\.Trace tr without a nil guard`
+	if tr != nil {
+		tr.Matched++ // ok: guarded by the enclosing if
+	}
+}
+
+func guarded(tr *obs.Trace, n int) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	probeStart := time.Now()
+	tr.Phase[obs.PhaseProbe] += time.Since(probeStart) // ok: early return above
+	if n > 0 && tr != nil {
+		tr.Scanned += n // ok: && conjunct guard
+	}
+	return tr.Phase[obs.PhaseProbe]
+}
+
+func subConsumes() time.Duration {
+	fetchStart := time.Now()
+	refineStart := time.Now()
+	_ = time.Since(refineStart)
+	return refineStart.Sub(fetchStart) // ok: Sub observes the timer
+}
+
+func register() {
+	expvar.Publish("fixture", nil) // want `expvar.Publish outside internal/obs`
+}

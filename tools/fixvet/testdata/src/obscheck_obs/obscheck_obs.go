@@ -1,0 +1,12 @@
+// Package obs stands in for internal/obs: registration is allowed here,
+// but names must be literal and unique.
+package obs
+
+import "expvar"
+
+func publish() {
+	expvar.Publish("fix", nil)
+	expvar.Publish("fix", nil) // want `expvar name "fix" already registered`
+	name := "dynamic"
+	expvar.NewInt(name) // want `expvar\.NewInt with a non-literal name`
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorExpr reports whether e's static type satisfies error. With no
+// type information it falls back to the naming convention (an identifier
+// or selector whose name is err-shaped).
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if info != nil {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if tv.IsNil() {
+				return false
+			}
+			return types.Implements(tv.Type, errorType) ||
+				types.Implements(types.NewPointer(tv.Type), errorType) ||
+				types.Identical(tv.Type, errorType)
+		}
+	}
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	lower := strings.ToLower(name)
+	return lower == "err" || strings.HasPrefix(name, "Err") || strings.HasSuffix(lower, "err")
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// calleeName splits a call's callee into (package-or-receiver, name):
+// fmt.Errorf → ("fmt", "Errorf"), Lock() on t.mu → ("", "Lock") with the
+// receiver available from the selector itself. For a bare identifier the
+// qualifier is "".
+func calleeName(call *ast.CallExpr) (qual, name string) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name, fn.Sel.Name
+		}
+		return "", fn.Sel.Name
+	}
+	return "", ""
+}
+
+// isPkgCall reports whether call is pkg.name(...) where pkg resolves to
+// the package named pkgName (by import name when type info is present,
+// by identifier text otherwise).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgName, funcName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if info != nil {
+		if obj, ok := info.Uses[id]; ok {
+			pn, isPkg := obj.(*types.PkgName)
+			return isPkg && pn.Imported().Name() == pkgName
+		}
+	}
+	return id.Name == pkgName
+}
+
+// exprString renders simple expressions (identifiers and dotted
+// selectors) for messages; anything else becomes "<expr>".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	}
+	return "<expr>"
+}
+
+// funcsIn yields every function body in the file: declarations and
+// literals, each paired with the declaration it lives in (for naming).
+func funcsIn(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd, fd.Body)
+		}
+	}
+}
+
+// parentMap records the parent of every node under root.
+type parentMap map[ast.Node]ast.Node
+
+// buildParents walks root and records each node's parent.
+func buildParents(root ast.Node) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// receiverName returns the receiver identifier and base type name of a
+// method declaration ("" and "" for plain functions).
+func receiverName(fd *ast.FuncDecl) (recv, typeName string) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) > 0 {
+		recv = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip type parameters on generic receivers.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recv, typeName
+}
