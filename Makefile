@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-json check bench-parallel
+.PHONY: build vet test race lint lint-json check bench-parallel fuzz-smoke stress
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,14 @@ check: vet build test race lint
 # (1/2/4/NumCPU workers; asserts byte-identical indexes).
 bench-parallel:
 	$(GO) run ./cmd/fixbench -exp parallel -scale 0.2 -json BENCH_parallel.json
+
+# fuzz-smoke runs each native fuzz target briefly on top of the committed
+# seed corpus — a cheap regression net for the input-hardening layer.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseXML -fuzztime=10s ./internal/xmltree/
+	$(GO) test -fuzz=FuzzParseXPath -fuzztime=10s ./internal/xpath/
+
+# stress hammers the governed fixserve stack (admission gate, breaker,
+# panic containment) with concurrent clients under the race detector.
+stress:
+	FIX_STRESS=1 $(GO) test -race -run TestStressGovernedServer -v ./cmd/fixserve/

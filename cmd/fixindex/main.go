@@ -216,6 +216,9 @@ func run(dbdir string, args []string) error {
 		} else {
 			fmt.Println("index: none")
 		}
+		s := db.Snapshot()
+		fmt.Printf("governance: %d admission-rejected, %d deadline-exceeded, %d budget-exceeded, %d panics recovered\n",
+			s.RejectedAdmission, s.DeadlineExceeded, s.BudgetExceeded, s.PanicsRecovered)
 		return nil
 
 	default:

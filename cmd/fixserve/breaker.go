@@ -1,0 +1,117 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // index path in use
+	breakerOpen                         // index suspected faulty; scan-only
+	breakerHalfOpen                     // cooldown elapsed; probing
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker guards the index read path. Repeated internal faults
+// (corruption surfacing mid-query, contained panics, storage errors)
+// trip it open, after which every query is forced onto the exact
+// scan fallback (fix.WithScanOnly) — slower, but correct and not
+// exercising the faulty path. After the cooldown one query at a time is
+// let through as a recovery probe; a clean probe closes the breaker, a
+// faulty one reopens it. Client errors, deadlines and budget kills say
+// nothing about index health and never feed the breaker.
+type breaker struct {
+	threshold int           // consecutive faults that trip the breaker
+	cooldown  time.Duration // open-state dwell before probing
+
+	mu       sync.Mutex   // lockcheck: leaf
+	state    breakerState // guarded by mu
+	faults   int          // guarded by mu
+	openedAt time.Time    // guarded by mu
+	probing  bool         // guarded by mu
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether the next query may use the index; false routes
+// it to the scan fallback. In half-open state exactly one query at a
+// time is admitted as the probe.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Record feeds back the outcome of a query that Allow admitted to the
+// index path. fault means an internal index-read failure (see
+// indexFault), not any error.
+func (b *breaker) Record(fault bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !fault {
+			b.faults = 0
+			return
+		}
+		b.faults++
+		if b.faults >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.faults = 0
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if fault {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		} else {
+			b.state = breakerClosed
+			b.faults = 0
+		}
+	case breakerOpen:
+		// A query admitted before the trip finishing late; nothing to
+		// learn — the breaker already acted.
+	}
+}
+
+// State returns the state name for /readyz.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

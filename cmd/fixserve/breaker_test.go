@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker closed after %d faults, threshold 3", i)
+		}
+		b.Record(true)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state after 2 faults = %s, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("breaker rejected while still closed")
+	}
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatalf("state after 3rd fault = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a query before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFaultStreak(t *testing.T) {
+	b := newBreaker(2, time.Hour)
+	b.Record(true)
+	b.Record(false) // success: streak resets
+	b.Record(true)
+	if b.State() != "closed" {
+		t.Fatalf("state = %s, want closed (faults were not consecutive)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatalf("state = %s, want open", b.State())
+	}
+	time.Sleep(10 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open state")
+	}
+	b.Record(false)
+	if b.State() != "closed" {
+		t.Fatalf("state after clean probe = %s, want closed", b.State())
+	}
+}
+
+func TestBreakerFaultyProbeReopens(t *testing.T) {
+	b := newBreaker(1, 30*time.Millisecond)
+	b.Record(true)
+	time.Sleep(40 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Record(true)
+	if b.State() != "open" {
+		t.Fatalf("state after faulty probe = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a query inside the fresh cooldown")
+	}
+}

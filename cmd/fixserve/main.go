@@ -1,8 +1,17 @@
 // Command fixserve serves queries and metrics for a FIX database over
-// HTTP. It is the operational face of the observability layer: every
-// query can return its full trace, the process-wide metrics registry is
-// exported as JSON and expvar, slow queries are logged to stderr, and
-// the runtime profiler can be mounted for live debugging.
+// HTTP. It is the operational face of the observability and resource-
+// governance layers: every query can return its full trace, the
+// process-wide metrics registry is exported as JSON and expvar, slow
+// queries are logged to stderr, and the runtime profiler can be mounted
+// for live debugging.
+//
+// Admission control bounds concurrent query work with a weighted
+// semaphore: requests that cannot be admitted within -queue-wait are
+// shed with 429 and a Retry-After header. Each admitted query runs
+// under -request-timeout, and a circuit breaker watches for internal
+// index faults — after -breaker-faults consecutive failures it routes
+// queries to the exact scan fallback until a recovery probe succeeds.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 //
 // Usage:
 //
@@ -14,18 +23,19 @@
 //	GET /metrics                   fix.DB.Snapshot() as JSON
 //	GET /debug/vars                expvar (includes the "fix" variable)
 //	GET /debug/pprof/              net/http/pprof (only with -pprof)
-//	GET /healthz                   200 if the index is healthy, 503 if degraded
+//	GET /healthz                   200 if the index is healthy, 503 + JSON cause if degraded
+//	GET /readyz                    200 if the admission gate has room, 503 when saturated
 package main
 
 import (
-	"encoding/json"
-	"expvar"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/fix-index/fix/fix"
@@ -36,6 +46,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxInFlight := flag.Int64("max-inflight", 64, "admission gate capacity in weight units (traced queries weigh 2)")
+	queueWait := flag.Duration("queue-wait", time.Second, "max wait at the admission gate before shedding with 429")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-query deadline (0 disables)")
+	brkFaults := flag.Int("breaker-faults", 5, "consecutive index faults that trip the circuit breaker")
+	brkCool := flag.Duration("breaker-cooldown", 10*time.Second, "breaker open-state cooldown before a recovery probe")
+	maxRefine := flag.Int64("max-refine-nodes", 0, "per-query refinement-node budget (0 = unlimited)")
+	maxCand := flag.Int("max-candidates", 0, "per-query candidate cap (0 = unlimited)")
+	maxResults := flag.Int("max-results", 0, "per-query result cap (0 = unlimited)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 	if *dbdir == "" {
 		fmt.Fprintln(os.Stderr, "usage: fixserve -db DIR [-addr :8080] [-slow DUR] [-pprof]")
@@ -48,92 +67,53 @@ func main() {
 	}
 	defer db.Close()
 
-	if *slow > 0 {
-		db.SetOptions(fix.Options{
-			SlowQueryThreshold: *slow,
-			OnSlowQuery: func(t fix.QueryTrace) {
-				log.Printf("slow query (>= %v):\n%s", *slow, t.String())
-			},
-		})
+	dbOpts := fix.Options{
+		Limits: fix.Limits{
+			MaxRefineNodes: *maxRefine,
+			MaxCandidates:  *maxCand,
+			MaxResults:     *maxResults,
+		},
 	}
+	if *slow > 0 {
+		dbOpts.SlowQueryThreshold = *slow
+		dbOpts.OnSlowQuery = func(t fix.QueryTrace) {
+			log.Printf("slow query (>= %v):\n%s", *slow, t.String())
+		}
+	}
+	db.SetOptions(dbOpts)
 	fix.PublishExpvar(db)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", queryHandler(db))
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, db.Snapshot())
+	s := newServer(db, serverConfig{
+		maxInFlight:    *maxInFlight,
+		queueWait:      *queueWait,
+		requestTimeout: *reqTimeout,
+		breakerFaults:  *brkFaults,
+		breakerCool:    *brkCool,
+		pprof:          *withPprof,
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if db.HasIndex() {
-			if err := db.IndexHealth(); err != nil {
-				http.Error(w, fmt.Sprintf("index degraded: %v", err), http.StatusServiceUnavailable)
-				return
-			}
-		}
-		fmt.Fprintln(w, "ok")
-	})
-	if *withPprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-
-	log.Printf("fixserve: %d documents, listening on %s", db.NumDocuments(), *addr)
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      mux,
+		Handler:      s.handler(),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
-}
 
-// queryResponse is the /query JSON shape. Trace is present only when
-// the request asked for one with trace=1.
-type queryResponse struct {
-	Query      string          `json:"query"`
-	Count      int             `json:"count"`
-	Entries    int             `json:"entries"`
-	Candidates int             `json:"candidates"`
-	Matched    int             `json:"matched_entries"`
-	Trace      *fix.QueryTrace `json:"trace,omitempty"`
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("fixserve: %d documents, listening on %s", db.NumDocuments(), *addr)
 
-func queryHandler(db *fix.DB) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		expr := r.URL.Query().Get("q")
-		if expr == "" {
-			http.Error(w, "missing q parameter", http.StatusBadRequest)
-			return
+	select {
+	case err := <-errc:
+		log.Fatalf("fixserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("fixserve: shutdown signal, draining for up to %v", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("fixserve: drain incomplete: %v", err)
 		}
-		var opts []fix.QueryOption
-		if r.URL.Query().Get("trace") == "1" {
-			opts = append(opts, fix.WithTrace())
-		}
-		res, err := db.QueryCtx(r.Context(), expr, opts...)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		writeJSON(w, queryResponse{
-			Query:      expr,
-			Count:      res.Count,
-			Entries:    res.Entries,
-			Candidates: res.Candidates,
-			Matched:    res.MatchedEntries,
-			Trace:      res.Trace,
-		})
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("fixserve: encoding response: %v", err)
 	}
 }

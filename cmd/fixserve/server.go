@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/obs"
+)
+
+// serverConfig carries the operational knobs from flags to the server.
+type serverConfig struct {
+	maxInFlight    int64         // admission gate capacity, in weight units
+	queueWait      time.Duration // max wait at the gate before 429
+	requestTimeout time.Duration // per-query deadline (0 disables)
+	breakerFaults  int           // consecutive faults that trip the breaker
+	breakerCool    time.Duration // open-state cooldown before probing
+	pprof          bool
+}
+
+// server wires resource governance — the admission gate and the index
+// circuit breaker — around a fix.DB's query path.
+type server struct {
+	db   *fix.DB
+	gate *gate
+	brk  *breaker
+	cfg  serverConfig
+}
+
+func newServer(db *fix.DB, cfg serverConfig) *server {
+	return &server{
+		db:   db,
+		gate: newGate(cfg.maxInFlight),
+		brk:  newBreaker(cfg.breakerFaults, cfg.breakerCool),
+		cfg:  cfg,
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// queryResponse is the /query JSON shape. Trace is present only when
+// the request asked for one with trace=1; ScanFallback reports that the
+// count came from the exact sequential scan (degraded index, or the
+// circuit breaker routing around a suspected-faulty one).
+type queryResponse struct {
+	Query        string          `json:"query"`
+	Count        int             `json:"count"`
+	Entries      int             `json:"entries"`
+	Candidates   int             `json:"candidates"`
+	Matched      int             `json:"matched_entries"`
+	ScanFallback bool            `json:"scan_fallback,omitempty"`
+	Trace        *fix.QueryTrace `json:"trace,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	traced := r.URL.Query().Get("trace") == "1"
+	weight := int64(1)
+	if traced {
+		weight = 2
+	}
+	waitCtx := r.Context()
+	if s.cfg.queueWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, s.cfg.queueWait)
+		defer cancel()
+	}
+	if err := s.gate.Acquire(waitCtx, weight); err != nil {
+		obs.Default().ObserveAdmissionRejected()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer s.gate.Release(weight)
+
+	qctx := r.Context()
+	if s.cfg.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, s.cfg.requestTimeout)
+		defer cancel()
+	}
+	opts := []fix.QueryOption{}
+	if traced {
+		opts = append(opts, fix.WithTrace())
+	}
+	useIndex := s.brk.Allow()
+	if !useIndex {
+		opts = append(opts, fix.WithScanOnly())
+	}
+	res, err := s.db.QueryCtx(qctx, expr, opts...)
+	if useIndex && s.db.HasIndex() {
+		s.brk.Record(indexFault(err))
+	}
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, queryResponse{
+		Query:        expr,
+		Count:        res.Count,
+		Entries:      res.Entries,
+		Candidates:   res.Candidates,
+		Matched:      res.MatchedEntries,
+		ScanFallback: res.ScanFallback,
+		Trace:        res.Trace,
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.db.Snapshot())
+}
+
+// healthResponse is the /healthz JSON body.
+type healthResponse struct {
+	Status string `json:"status"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// handleHealthz reports index health: 200 when healthy (or there is no
+// index to degrade), 503 with the degradation cause otherwise. A
+// degraded database still answers queries — exactly, via the scan
+// fallback — so health here means "at full speed", not "alive".
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.db.HasIndex() {
+		if err := s.db.IndexHealth(); err != nil {
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				healthResponse{Status: "degraded", Cause: err.Error()})
+			return
+		}
+	}
+	writeJSONStatus(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+// readyResponse is the /readyz JSON body.
+type readyResponse struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+	Capacity int64  `json:"capacity"`
+	Breaker  string `json:"breaker"`
+}
+
+// handleReadyz reflects admission-gate saturation: 503 while the gate is
+// full (new queries would queue or be shed), 200 otherwise. Load
+// balancers use it to steer traffic away before requests start seeing
+// 429s; the breaker state rides along for operators.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	inFlight, capacity := s.gate.Load()
+	resp := readyResponse{
+		Status:   "ready",
+		InFlight: inFlight,
+		Capacity: capacity,
+		Breaker:  s.brk.State(),
+	}
+	if inFlight >= capacity {
+		resp.Status = "saturated"
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+// statusFor maps a query error onto an HTTP status: client mistakes are
+// 400, resource kills name which bound was hit, and everything else is
+// a server fault.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, fix.ErrBadQuery), errors.Is(err, fix.ErrQueryLimit):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, fix.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// indexFault reports whether err impugns the index read path (and so
+// should feed the circuit breaker). Client errors, deadlines,
+// cancellations and budget kills are expected under governance and say
+// nothing about index health.
+func indexFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, fix.ErrBadQuery) || errors.Is(err, fix.ErrQueryLimit) ||
+		errors.Is(err, fix.ErrBudgetExceeded) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("fixserve: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+)
+
+// TestStressGovernedServer hammers the server from many goroutines with
+// a deliberately tiny admission gate and intermittent injected faults,
+// asserting the governance invariants: every request gets a classified
+// response (no hangs, no crashes), shed requests see 429 + Retry-After,
+// admitted queries that succeed return the exact count whether they ran
+// on the index or the scan fallback, and the gate drains back to zero.
+//
+// It is heavyweight and meaningful mostly under -race, so it is gated:
+//
+//	FIX_STRESS=1 go test -race -run Stress ./cmd/fixserve/
+//
+// (the `make stress` target).
+func TestStressGovernedServer(t *testing.T) {
+	if os.Getenv("FIX_STRESS") == "" {
+		t.Skip("set FIX_STRESS=1 to run the stress test")
+	}
+	db := newTestDB(t)
+	cfg := serverConfig{
+		maxInFlight:    2,
+		queueWait:      2 * time.Millisecond,
+		requestTimeout: time.Second,
+		breakerFaults:  3,
+		breakerCool:    5 * time.Millisecond,
+	}
+	s := newServer(db, cfg)
+
+	// Fault injection: the slow-query hook panics on a fraction of
+	// queries, exercising containment, degradation and the breaker under
+	// full concurrency.
+	var hookCalls atomic.Int64
+	db.SetOptions(fix.Options{
+		SlowQueryThreshold: time.Nanosecond,
+		OnSlowQuery: func(fix.QueryTrace) {
+			if hookCalls.Add(1)%7 == 0 {
+				panic("injected stress fault")
+			}
+		},
+	})
+
+	h := s.handler()
+	const workers = 32
+	const perWorker = 50
+	var ok200, shed429, fault500, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				path := "/query?q=" + url.QueryEscape("//article[author]")
+				if i%3 == 0 {
+					path += "&trace=1"
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				switch rec.Code {
+				case http.StatusOK:
+					ok200.Add(1)
+					var resp queryResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						t.Errorf("decoding 200 body: %v", err)
+						return
+					}
+					if resp.Count != 2 {
+						t.Errorf("count = %d, want 2 (index and fallback must agree)", resp.Count)
+						return
+					}
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					if rec.Header().Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+						return
+					}
+				case http.StatusInternalServerError:
+					fault500.Add(1) // injected panics, contained
+				default:
+					other.Add(1)
+					t.Errorf("unexpected status %d: %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if inFlight, _ := s.gate.Load(); inFlight != 0 {
+		t.Fatalf("gate did not drain: %d weight still held", inFlight)
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no query ever succeeded under load")
+	}
+	if fault500.Load() == 0 {
+		t.Fatal("fault injection never fired (hook miswired?)")
+	}
+	t.Logf("stress: %d ok, %d shed (429), %d contained faults (500)",
+		ok200.Load(), shed429.Load(), fault500.Load())
+}

@@ -291,8 +291,12 @@ func (db *DB) Close() error {
 
 // AddDocument parses one XML document and appends it, returning its
 // document ID. If an index exists, the document is indexed incrementally.
-func (db *DB) AddDocument(r io.Reader) (uint32, error) {
-	n, err := xmltree.Parse(r)
+// The document must fit Options.ParseLimits (or the parser defaults);
+// oversized input returns an error wrapping ErrDocumentLimit before
+// anything is stored.
+func (db *DB) AddDocument(r io.Reader) (id uint32, err error) {
+	defer db.contain("AddDocument", true, &err)
+	n, err := xmltree.ParseWithLimits(r, db.parseLimits())
 	if err != nil {
 		return 0, err
 	}
@@ -343,7 +347,12 @@ func (db *DB) BuildIndex(opts IndexOptions) error {
 // database consistent — the previous index commit (or its absence)
 // still governs what a reopened database sees, and BuildIndexCtx can
 // simply be run again.
-func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) error {
+//
+// A panic during construction is contained: it returns as an error
+// wrapping ErrPanic, and the previous index (if any) stays in place —
+// the build works on a replacement, so nothing live was touched.
+func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) (err error) {
+	defer db.contain("BuildIndexCtx", false, &err)
 	ix, err := core.BuildCtx(ctx, db.store, core.Options{
 		DepthLimit:   opts.DepthLimit,
 		Clustered:    opts.Clustered,
@@ -396,7 +405,8 @@ func (db *DB) RebuildIndex() error {
 
 // RebuildIndexCtx is RebuildIndex with cancellation; see BuildIndexCtx
 // for the semantics of an interrupted build.
-func (db *DB) RebuildIndexCtx(ctx context.Context) error {
+func (db *DB) RebuildIndexCtx(ctx context.Context) (err error) {
+	defer db.contain("RebuildIndexCtx", false, &err)
 	if db.index == nil {
 		return fmt.Errorf("fix: no index to rebuild")
 	}
@@ -475,26 +485,50 @@ func (db *DB) Query(expr string, opts ...QueryOption) (Result, error) {
 
 // QueryCtx is Query with cancellation: candidate refinement (and the
 // scan fallback) fans records out over the worker pool and observes ctx,
-// returning ctx.Err() promptly once it is cancelled.
+// returning ctx.Err() promptly once it is cancelled — the refinement
+// loop re-checks the context every few dozen node visits, so even one
+// enormous subtree cannot stall a deadline.
+//
+// Resource governance: the query runs under the DB-wide Options.Limits
+// unless WithLimits overrides them. A Timeout wraps ctx with
+// context.WithTimeout (expiry returns context.DeadlineExceeded); work
+// budgets return an error wrapping ErrBudgetExceeded; a panic anywhere
+// below the API comes back as an error wrapping ErrPanic instead of
+// crashing the process. On any of these the Result still carries the
+// partial trace (when tracing was on) attributing where the time went.
 //
 // Every query is recorded in the process-wide metrics registry (see
 // Snapshot) — a handful of atomic adds. Pass WithTrace to additionally
 // collect a full per-phase execution trace on Result.Trace.
-func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (Result, error) {
+func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (res Result, err error) {
 	var cfg queryConfig
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	defer db.contain("QueryCtx", true, &err)
+	lim := db.limitsFor(&cfg)
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
 	}
 	var tr *obs.Trace
 	start := time.Now()
 	if cfg.trace || db.slowQueryEnabled() {
 		tr = &obs.Trace{Query: expr, Start: start}
 	}
-	res, err := db.queryTraced(ctx, expr, tr)
+	res, err = db.queryTraced(ctx, expr, tr, lim, cfg.scanOnly)
 	total := time.Since(start)
 	if err != nil {
-		obs.Default().ObserveQueryError()
-		return Result{}, err
+		observeQueryError(err)
+		res = Result{}
+		if tr != nil {
+			// Keep the partial trace: the phases that did run are
+			// attributed, so a deadline kill shows where the time went.
+			tr.Total = total
+			res.Trace = traceFromObs(tr)
+		}
+		return res, err
 	}
 	var visited int64
 	if tr != nil {
@@ -515,8 +549,9 @@ func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (R
 }
 
 // queryTraced runs the query pipeline, filling tr (which may be nil)
-// along the way.
-func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace) (Result, error) {
+// along the way, under lim. scanOnly bypasses the index entirely — the
+// degraded-operation path WithScanOnly requests.
+func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace, lim Limits, scanOnly bool) (Result, error) {
 	parseStart := time.Now()
 	q, err := xpath.Parse(expr)
 	if tr != nil {
@@ -525,8 +560,8 @@ func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace) (Resu
 	if err != nil {
 		return Result{}, err
 	}
-	if db.index != nil && db.index.Covered(q) {
-		res, err := db.index.QueryTraced(ctx, q, tr)
+	if !scanOnly && db.index != nil && db.index.Covered(q) {
+		res, err := db.index.QueryGoverned(ctx, q, tr, coreLimits(lim))
 		if err != nil {
 			return Result{}, err
 		}
@@ -538,11 +573,14 @@ func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace) (Resu
 			ScanFallback:   res.Fallback,
 		}, nil
 	}
-	count, err := db.scanCount(ctx, q, tr)
+	if tr != nil && scanOnly {
+		tr.Fallback = true
+	}
+	count, err := db.scanCount(ctx, q, tr, lim)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Count: count}, nil
+	return Result{Count: count, ScanFallback: scanOnly}, nil
 }
 
 // Exists reports whether the query has at least one match. It is
@@ -553,7 +591,8 @@ func (db *DB) Exists(expr string) (bool, error) {
 
 // ExistsCtx is Exists with cancellation; verification fans out over the
 // worker pool and the first match stops the remaining workers.
-func (db *DB) ExistsCtx(ctx context.Context, expr string) (bool, error) {
+func (db *DB) ExistsCtx(ctx context.Context, expr string) (ok bool, err error) {
+	defer db.contain("ExistsCtx", true, &err)
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return false, err
@@ -600,7 +639,8 @@ func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
 // QueryDocumentsCtx is QueryDocuments with cancellation. Documents are
 // verified in parallel over the worker pool; the result order is still
 // document order regardless of the worker count.
-func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) ([]uint32, error) {
+func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) (docs []uint32, err error) {
+	defer db.contain("QueryDocumentsCtx", true, &err)
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -672,8 +712,10 @@ func (db *DB) Metrics(expr string) (Metrics, error) {
 // fanned out over the worker pool with per-record result slots, so the
 // total is deterministic for any worker count. A non-nil tr records the
 // scan as fetch + refinement work (the pruning counters stay zero: no
-// index, no pruning).
-func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace) (int, error) {
+// index, no pruning). The scan honors lim exactly like the index path:
+// a shared refinement-node budget (which also carries deadline checks
+// into large subtrees) and a running result cap.
+func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace, lim Limits) (int, error) {
 	nq, err := nok.Compile(q.Tree(), db.dict)
 	if err != nil {
 		return 0, err
@@ -682,16 +724,20 @@ func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace) (int,
 	if tr != nil {
 		st0 = db.store.Stats()
 	}
-	var fetchNS, refineNS, visited atomic.Int64
+	bud := scanBudget(ctx, lim)
+	var fetchNS, refineNS, visited, running atomic.Int64
 	nrec := db.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
-		if tr == nil {
+		if tr == nil && bud == nil {
 			cur, err := db.store.Cursor(uint32(i))
 			if err != nil {
 				return err
 			}
 			counts[i] = nq.Count(cur, 0)
+			if lim.MaxResults > 0 {
+				return resultCapErr(running.Add(int64(counts[i])), lim)
+			}
 			return nil
 		}
 		fetchStart := time.Now()
@@ -701,10 +747,22 @@ func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace) (int,
 		if err != nil {
 			return err
 		}
-		n, nodes := nq.Eval(cur, 0)
+		var n, nodes int
+		var evalErr error
+		if bud == nil {
+			n, nodes = nq.Eval(cur, 0)
+		} else {
+			n, nodes, evalErr = nq.EvalBudget(cur, 0, bud)
+		}
 		refineNS.Add(int64(time.Since(refineStart)))
 		visited.Add(int64(nodes))
+		if evalErr != nil {
+			return mapBudgetErr(evalErr)
+		}
 		counts[i] = n
+		if lim.MaxResults > 0 {
+			return resultCapErr(running.Add(int64(n)), lim)
+		}
 		return nil
 	})
 	if tr != nil {

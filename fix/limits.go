@@ -1,0 +1,195 @@
+package fix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/nok"
+	"github.com/fix-index/fix/internal/obs"
+	"github.com/fix-index/fix/internal/par"
+	"github.com/fix-index/fix/internal/xmltree"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// ErrBudgetExceeded reports that a query was stopped by one of its
+// resource limits (see Limits); test with errors.Is. The wrapped
+// message names the exhausted dimension. A query killed by its deadline
+// returns context.DeadlineExceeded instead — budgets bound work,
+// deadlines bound time.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// ErrPanic reports that a panic inside the engine was contained by a
+// recovery barrier and converted into an error; test with errors.Is.
+// After a contained panic the in-memory index is conservatively marked
+// degraded (queries keep answering exactly via the scan fallback;
+// RebuildIndex restores it), and the panics_recovered counter is
+// incremented.
+var ErrPanic = errors.New("fix: panic recovered")
+
+// ErrBadQuery reports a syntactically invalid XPath expression; test
+// with errors.Is to classify client errors (an HTTP 400) apart from
+// engine faults.
+var ErrBadQuery = xpath.ErrSyntax
+
+// ErrQueryLimit reports an XPath expression rejected for exceeding the
+// query parse limits (length, steps, predicates, nesting).
+var ErrQueryLimit = xpath.ErrLimit
+
+// ErrDocumentLimit reports a document rejected by AddDocument for
+// exceeding the document parse limits (depth, token size, fan-out,
+// node count); see Options.ParseLimits.
+var ErrDocumentLimit = xmltree.ErrLimit
+
+// Limits caps what one query may consume. The zero value imposes
+// nothing and costs nothing: ungoverned queries run the exact pre-
+// governance pipeline. Set per query with WithLimits, or for every
+// query on a DB with Options.Limits.
+type Limits struct {
+	// Timeout is the per-query deadline. The query's context is wrapped
+	// with context.WithTimeout, so expiry surfaces as
+	// context.DeadlineExceeded — promptly, even mid-refinement: the
+	// refinement loop re-checks the context every few dozen node visits.
+	Timeout time.Duration
+	// MaxRefineNodes caps the subtree nodes NoK refinement may visit
+	// across the whole query (the nodes_visited unit). It is the paper's
+	// false-positive problem turned into a control: when the feature
+	// filter is unselective, refinement cost explodes, and this is the
+	// fuse.
+	MaxRefineNodes int64
+	// MaxCandidates caps entries surviving the feature filter; the
+	// B-tree range scan aborts early once crossed.
+	MaxCandidates int
+	// MaxResults caps total output-node matches; refinement stops once
+	// the running total crosses it.
+	MaxResults int
+}
+
+// ParseLimits bounds documents accepted by AddDocument, mirroring the
+// parser's hardening knobs: zero fields keep the built-in defaults
+// (generous, but finite), negative fields disable the bound. See
+// docs/ROBUSTNESS.md for the defaults.
+type ParseLimits struct {
+	MaxDepth      int // element nesting
+	MaxTokenBytes int // one element name or text node
+	MaxChildren   int // fan-out of one element
+	MaxNodes      int // total tree nodes
+}
+
+// WithLimits sets this query's resource limits, overriding the DB-wide
+// Options.Limits entirely (fields are not merged).
+func WithLimits(l Limits) QueryOption {
+	return func(c *queryConfig) {
+		c.limits = l
+		c.limitsSet = true
+	}
+}
+
+// WithScanOnly forces this query to bypass the index and answer from a
+// sequential scan of the primary store. The result is exact — a full
+// refinement pass has no false negatives — just slower, and
+// Result.ScanFallback is set. It exists for operational degradation:
+// cmd/fixserve's circuit breaker routes queries here while the index is
+// suspected faulty, trading speed for availability.
+func WithScanOnly() QueryOption {
+	return func(c *queryConfig) { c.scanOnly = true }
+}
+
+// limitsFor resolves the effective limits for one query: the per-query
+// option wins wholesale, otherwise the DB default.
+func (db *DB) limitsFor(cfg *queryConfig) Limits {
+	if cfg.limitsSet {
+		return cfg.limits
+	}
+	return db.obsOpts.Limits
+}
+
+// coreLimits converts the public limits into the engine's form (the
+// deadline is carried by the context instead).
+func coreLimits(l Limits) core.Limits {
+	return core.Limits{
+		MaxRefineNodes: l.MaxRefineNodes,
+		MaxCandidates:  l.MaxCandidates,
+		MaxResults:     l.MaxResults,
+	}
+}
+
+// contain is the panic-containment barrier deferred at every public
+// entry point: a panic below the API becomes an error wrapping ErrPanic
+// instead of crashing the caller's process. Worker-pool panics arrive
+// already converted (par recovers them in the worker); contain gives
+// both forms the same accounting — the panics_recovered counter — and,
+// when degrade is set, marks the index degraded, because a panic
+// mid-query may have left shared in-memory state (pager cache, health
+// bookkeeping) inconsistent. Build paths pass degrade=false: the index
+// being replaced was not touched.
+func (db *DB) contain(op string, degrade bool, errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("%w: %s: %v\n%s", ErrPanic, op, r, debug.Stack())
+	} else if *errp == nil || !errors.Is(*errp, par.ErrPanic) {
+		return
+	} else {
+		*errp = fmt.Errorf("%w: %s: %v", ErrPanic, op, *errp)
+	}
+	obs.Default().ObservePanicRecovered()
+	if degrade && db.index != nil {
+		db.index.Degrade(*errp)
+	}
+}
+
+// observeQueryError classifies a failed query into the registry's
+// rejection counters (on top of the plain query_errors count).
+func observeQueryError(err error) {
+	reg := obs.Default()
+	reg.ObserveQueryError()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		reg.ObserveDeadlineExceeded()
+	case errors.Is(err, ErrBudgetExceeded):
+		reg.ObserveBudgetExceeded()
+	}
+}
+
+// scanBudget returns the refinement budget for an index-less scan, or
+// nil when neither a node limit nor a cancellable context is in play
+// (the nil budget keeps the default scan free of per-node accounting).
+func scanBudget(ctx context.Context, l Limits) *nok.Budget {
+	if l.MaxRefineNodes <= 0 && ctx.Done() == nil {
+		return nil
+	}
+	return nok.NewBudget(ctx, l.MaxRefineNodes)
+}
+
+// mapBudgetErr converts nok budget exhaustion into the public typed
+// error; context errors pass through as the standard sentinels.
+func mapBudgetErr(err error) error {
+	if errors.Is(err, nok.ErrBudget) {
+		return fmt.Errorf("%w: refinement nodes", ErrBudgetExceeded)
+	}
+	return err
+}
+
+// resultCapErr checks a running output-match total against MaxResults.
+// Counts are non-negative, so any partial sum over the cap proves the
+// full query would exceed it too.
+func resultCapErr(total int64, l Limits) error {
+	if l.MaxResults > 0 && total > int64(l.MaxResults) {
+		return fmt.Errorf("%w: results %d exceed limit %d", ErrBudgetExceeded, total, l.MaxResults)
+	}
+	return nil
+}
+
+// parseLimits converts the DB's configured document limits into the
+// parser's form.
+func (db *DB) parseLimits() xmltree.ParseLimits {
+	l := db.obsOpts.ParseLimits
+	return xmltree.ParseLimits{
+		MaxDepth:      l.MaxDepth,
+		MaxTokenBytes: l.MaxTokenBytes,
+		MaxChildren:   l.MaxChildren,
+		MaxNodes:      l.MaxNodes,
+	}
+}

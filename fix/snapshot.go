@@ -25,6 +25,16 @@ type Snapshot struct {
 	Results       int64 `json:"results"`
 	NodesVisited  int64 `json:"nodes_visited"`
 
+	// Resource-governance rejections, by class. RejectedAdmission is
+	// incremented by servers (cmd/fixserve) when the admission gate turns
+	// a request away; the other three count queries stopped by their
+	// deadline, stopped by a Limits budget, and panics converted to
+	// errors by the containment barriers. See docs/ROBUSTNESS.md.
+	RejectedAdmission int64 `json:"queries_rejected_admission"`
+	DeadlineExceeded  int64 `json:"queries_deadline_exceeded"`
+	BudgetExceeded    int64 `json:"queries_budget_exceeded"`
+	PanicsRecovered   int64 `json:"panics_recovered"`
+
 	// Build totals across the process.
 	Builds       int64         `json:"builds"`
 	BuildRecords int64         `json:"build_records"`
@@ -80,6 +90,11 @@ func (db *DB) Snapshot() Snapshot {
 		Matched:       reg.Matched,
 		Results:       reg.Results,
 		NodesVisited:  reg.NodesVisited,
+
+		RejectedAdmission: reg.RejectedAdmission,
+		DeadlineExceeded:  reg.DeadlineExceeded,
+		BudgetExceeded:    reg.BudgetExceeded,
+		PanicsRecovered:   reg.PanicsRecovered,
 		Builds:        reg.Builds,
 		BuildRecords:  reg.BuildRecords,
 		BuildUnits:    reg.BuildUnits,

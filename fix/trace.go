@@ -137,7 +137,10 @@ func traceFromObs(tr *obs.Trace) *QueryTrace {
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	trace bool
+	trace     bool
+	limits    Limits
+	limitsSet bool // limits overrides the DB-wide Options.Limits
+	scanOnly  bool
 }
 
 // WithTrace requests a full execution trace for this query; it comes
@@ -148,9 +151,9 @@ func WithTrace() QueryOption {
 	return func(c *queryConfig) { c.trace = true }
 }
 
-// Options configures the observability behavior of a DB. Set it with
-// SetOptions before serving queries; it is not safe to change
-// concurrently with running queries.
+// Options configures the observability and resource-governance behavior
+// of a DB. Set it with SetOptions before serving queries; it is not safe
+// to change concurrently with running queries.
 type Options struct {
 	// SlowQueryThreshold enables the slow-query log: every query whose
 	// total wall time reaches the threshold is reported to OnSlowQuery
@@ -162,6 +165,13 @@ type Options struct {
 	// called synchronously on the querying goroutine, so it must be
 	// fast and safe for concurrent calls; nil disables the log.
 	OnSlowQuery func(QueryTrace)
+	// Limits are the default resource limits applied to every query on
+	// this DB. A query's WithLimits option replaces them wholesale for
+	// that query. The zero value imposes nothing.
+	Limits Limits
+	// ParseLimits bounds documents accepted by AddDocument; zero fields
+	// keep the parser defaults, negative fields disable a bound.
+	ParseLimits ParseLimits
 }
 
 // SetOptions installs observability options; see Options.

@@ -159,6 +159,14 @@ func (ix *Index) Health() error {
 	return ix.health
 }
 
+// Degrade records err as the index's health problem, taking the index
+// out of the query path until a rebuild (queries keep answering exactly
+// via the scan fallback). The public API's panic-containment barrier
+// uses it: after a recovered panic the in-memory index state cannot be
+// trusted, so the conservative move is the same as for detected
+// corruption. Only the first problem is kept.
+func (ix *Index) Degrade(err error) { ix.setHealth(err) }
+
 // setHealth records the first problem that degrades the index.
 func (ix *Index) setHealth(err error) {
 	ix.healthMu.Lock()
@@ -501,10 +509,10 @@ func (ix *Index) CandidatesCtx(ctx context.Context, path *xpath.Path) (cands []C
 	if err != nil {
 		return nil, 0, err
 	}
-	return ix.candidatesForPlan(ctx, p)
+	return ix.candidatesForPlan(ctx, p, Limits{})
 }
 
-func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan) ([]Candidate, int, error) {
+func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan, lim Limits) ([]Candidate, int, error) {
 	if p.empty {
 		return nil, 0, nil
 	}
@@ -522,6 +530,7 @@ func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan) ([]Candida
 	var cands []Candidate
 	scanned := 0
 	cancelled := false
+	overCap := false
 	err := ix.bt.Scan(from, to, func(k, v []byte) bool {
 		scanned++
 		if scanned%1024 == 0 && ctx.Err() != nil {
@@ -539,6 +548,10 @@ func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan) ([]Candida
 		if !spectrumContains(ev.spectrum, p.specs) {
 			return true
 		}
+		if lim.MaxCandidates > 0 && len(cands) >= lim.MaxCandidates {
+			overCap = true
+			return false
+		}
 		c := Candidate{Key: ek, Primary: storage.Pointer(ev.primary)}
 		if ev.hasCopy {
 			c.Clustered = storage.Pointer(ev.clustered)
@@ -552,6 +565,9 @@ func (ix *Index) candidatesForPlan(ctx context.Context, p *queryPlan) ([]Candida
 	}
 	if cancelled {
 		return nil, 0, ctx.Err()
+	}
+	if overCap {
+		return nil, 0, fmt.Errorf("%w: more than %d candidates", ErrBudgetExceeded, lim.MaxCandidates)
 	}
 	return cands, scanned, nil
 }
@@ -577,13 +593,31 @@ func (ix *Index) QueryCtx(ctx context.Context, path *xpath.Path) (Result, error)
 	return ix.QueryTraced(ctx, path, nil)
 }
 
-// QueryTraced is QueryCtx with an optional execution trace: a non-nil tr
-// accumulates per-phase wall times (plan, B-tree probe, candidate fetch,
-// NoK refinement) and the I/O each phase caused. A nil tr disables every
-// timer and counter snapshot, so the untraced path does no extra work.
-// Fetch/refine durations are summed across refinement workers (see
-// obs.Trace).
+// QueryTraced is QueryCtx with an optional execution trace; it is
+// QueryGoverned with no resource limits. A nil tr disables every timer
+// and counter snapshot, so the untraced path does no extra work.
 func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trace) (Result, error) {
+	return ix.QueryGoverned(ctx, path, tr, Limits{})
+}
+
+// QueryGoverned is the fully general query entry point: QueryCtx plus an
+// optional execution trace (a non-nil tr accumulates per-phase wall
+// times — plan, B-tree probe, candidate fetch, NoK refinement — and the
+// I/O each phase caused; fetch/refine durations are summed across
+// refinement workers, see obs.Trace) and per-query resource limits.
+//
+// Limits are enforced at the pipeline's natural checkpoints: the range
+// scan stops once MaxCandidates is crossed, refinement draws every node
+// visit from a shared budget of MaxRefineNodes, and the running match
+// total is checked against MaxResults — each violation returns an error
+// wrapping ErrBudgetExceeded. A cancellable ctx is additionally checked
+// inside refinement (once per budget chunk), so a deadline interrupts
+// even the evaluation of a single large subtree. With a zero Limits and
+// a context that cannot be cancelled, the pipeline is byte-for-byte the
+// ungoverned one. On a limit or deadline error a non-nil tr retains the
+// phases that completed, so the caller can attribute where the budget
+// went (the partial trace).
+func (ix *Index) QueryGoverned(ctx context.Context, path *xpath.Path, tr *obs.Trace, lim Limits) (Result, error) {
 	planStart := time.Now()
 	p, err := ix.plan(path)
 	if tr != nil {
@@ -593,14 +627,14 @@ func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trac
 		return Result{}, err
 	}
 	if ix.Health() != nil {
-		return ix.scanFallback(ctx, p.tree, tr)
+		return ix.scanFallback(ctx, p.tree, tr, lim)
 	}
 	probeStart := time.Now()
 	var bt0 btree.Stats
 	if tr != nil {
 		bt0 = ix.bt.Stats()
 	}
-	cands, scanned, err := ix.candidatesForPlan(ctx, p)
+	cands, scanned, err := ix.candidatesForPlan(ctx, p, lim)
 	if tr != nil {
 		tr.Phase[obs.PhaseProbe] += time.Since(probeStart)
 		d := ix.bt.Stats().Sub(bt0)
@@ -614,7 +648,7 @@ func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trac
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
-			return ix.scanFallback(ctx, p.tree, tr)
+			return ix.scanFallback(ctx, p.tree, tr, lim)
 		}
 		return Result{}, err
 	}
@@ -631,7 +665,8 @@ func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trac
 			cl0 = ix.clustered.Stats()
 		}
 	}
-	var fetchNS, refineNS, visited atomic.Int64
+	bud := refineBudget(ctx, lim)
+	var fetchNS, refineNS, visited, running atomic.Int64
 	counts := make([]int, len(cands))
 	err = par.Do(ctx, ix.opts.Workers, len(cands), func(i int) error {
 		c := cands[i]
@@ -643,7 +678,19 @@ func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trac
 			if err != nil {
 				return err
 			}
-			counts[i] = nq.Count(cur, ref)
+			n := 0
+			if bud == nil {
+				n = nq.Count(cur, ref)
+			} else {
+				n, _, err = nq.EvalBudget(cur, ref, bud)
+				if err != nil {
+					return budgetErr(err)
+				}
+			}
+			counts[i] = n
+			if n > 0 {
+				return errResultCap(running.Add(int64(n)), lim)
+			}
 			return nil
 		}
 		fetchStart := time.Now()
@@ -653,10 +700,16 @@ func (ix *Index) QueryTraced(ctx context.Context, path *xpath.Path, tr *obs.Trac
 		if err != nil {
 			return err
 		}
-		n, nodes := nq.Eval(cur, ref)
+		n, nodes, err := nq.EvalBudget(cur, ref, bud)
 		refineNS.Add(int64(time.Since(refineStart)))
 		visited.Add(int64(nodes))
+		if err != nil {
+			return budgetErr(err)
+		}
 		counts[i] = n
+		if n > 0 {
+			return errResultCap(running.Add(int64(n)), lim)
+		}
 		return nil
 	})
 	if tr != nil {
@@ -717,7 +770,7 @@ func (ix *Index) ExistsCtx(ctx context.Context, path *xpath.Path) (bool, error) 
 	if ix.Health() != nil {
 		return ix.existsFallback(ctx, p.tree)
 	}
-	cands, _, err := ix.candidatesForPlan(ctx, p)
+	cands, _, err := ix.candidatesForPlan(ctx, p, Limits{})
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
 			ix.setHealth(err)
@@ -780,8 +833,11 @@ func (ix *Index) refinementQuery(qt *xpath.QNode) (*xpath.QNode, bool) {
 // refinement pass cannot produce false negatives, the counts are exact
 // regardless of what happened to the index. A non-nil tr records the
 // scan as fetch + refinement work with Fallback set; the pruning
-// counters stay zero because no pruning happened.
-func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trace) (Result, error) {
+// counters stay zero because no pruning happened. The scan observes the
+// same governance as the indexed path: refinement node budget, result
+// cap, and the context at loop boundaries — a degraded index must not
+// turn a bounded query into an unbounded scan.
+func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trace, lim Limits) (Result, error) {
 	nq, err := nok.Compile(qt, ix.dict)
 	if err != nil {
 		return Result{}, err
@@ -790,7 +846,8 @@ func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trac
 	if tr != nil {
 		st0 = ix.store.Stats()
 	}
-	var fetchNS, refineNS, visited atomic.Int64
+	bud := refineBudget(ctx, lim)
+	var fetchNS, refineNS, visited, running atomic.Int64
 	nrec := ix.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, ix.opts.Workers, nrec, func(i int) error {
@@ -799,7 +856,19 @@ func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trac
 			if err != nil {
 				return err
 			}
-			counts[i] = nq.Count(cur, 0)
+			n := 0
+			if bud == nil {
+				n = nq.Count(cur, 0)
+			} else {
+				n, _, err = nq.EvalBudget(cur, 0, bud)
+				if err != nil {
+					return budgetErr(err)
+				}
+			}
+			counts[i] = n
+			if n > 0 {
+				return errResultCap(running.Add(int64(n)), lim)
+			}
 			return nil
 		}
 		fetchStart := time.Now()
@@ -809,10 +878,16 @@ func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trac
 		if err != nil {
 			return err
 		}
-		n, nodes := nq.Eval(cur, 0)
+		n, nodes, err := nq.EvalBudget(cur, 0, bud)
 		refineNS.Add(int64(time.Since(refineStart)))
 		visited.Add(int64(nodes))
+		if err != nil {
+			return budgetErr(err)
+		}
 		counts[i] = n
+		if n > 0 {
+			return errResultCap(running.Add(int64(n)), lim)
+		}
 		return nil
 	})
 	if tr != nil {

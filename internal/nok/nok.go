@@ -93,11 +93,46 @@ type evalState struct {
 	q       *Query
 	sat     map[xmltree.Ref]uint64 // bit i set: node satisfies query node i's subtree
 	visited int                    // nodes the bottom-up pass touched
+
+	// budget, when non-nil, caps the bottom-up pass's node visits and
+	// checks the query context once per chunk. local is the prepaid
+	// allowance drawn from the shared budget; exceeded latches the first
+	// budget or context error so the recursion unwinds without doing
+	// further work.
+	budget   *Budget
+	local    int64
+	exceeded error
+}
+
+// charge accounts one node visit against the budget. It reports false —
+// after latching the error in s.exceeded — once the budget or the
+// query's deadline is exhausted; a nil budget always allows.
+func (s *evalState) charge() bool {
+	if s.budget == nil {
+		return true
+	}
+	if s.exceeded != nil {
+		return false
+	}
+	if s.local > 0 {
+		s.local--
+		return true
+	}
+	grant, err := s.budget.take()
+	if err != nil {
+		s.exceeded = err
+		return false
+	}
+	s.local = grant - 1
+	return true
 }
 
 // pass1 computes the satisfaction mask of the node at r and returns
 // (sat(r), sat(r) | union of descendants' sat).
 func (s *evalState) pass1(r xmltree.Ref) (own, withDesc uint64) {
+	if !s.charge() {
+		return 0, 0
+	}
 	s.visited++
 	var childUnion uint64 // union over children of (sat | descSat)
 	type childInfo struct {
@@ -196,10 +231,16 @@ func (q *Query) Outputs(c xmltree.Cursor, r xmltree.Ref) []xmltree.Ref {
 }
 
 // outputs runs both passes on an initialized state and enumerates the
-// output bindings; Outputs and Eval share it.
+// output bindings; Outputs, Eval and EvalBudget share it. A budget
+// error surfaced by the first pass skips the second pass entirely: the
+// satisfaction masks are incomplete, so enumerating from them would
+// produce an arbitrary subset.
 func (q *Query) outputs(s *evalState, r xmltree.Ref) []xmltree.Ref {
 	c := s.c
 	s.pass1(r)
+	if s.exceeded != nil {
+		return nil
+	}
 	// witnessed[q] per node: we propagate top-down which (node, query node)
 	// bindings participate in a full embedding.
 	witnessed := make(map[xmltree.Ref]uint64)
@@ -292,4 +333,22 @@ func (q *Query) Eval(c xmltree.Cursor, r xmltree.Ref) (count, visited int) {
 	s := &evalState{c: c, q: q, sat: make(map[xmltree.Ref]uint64)}
 	outs := q.outputs(s, r)
 	return len(outs), s.visited
+}
+
+// EvalBudget is Eval under a work budget: every node the bottom-up pass
+// visits is charged against b, and the budget's context is checked once
+// per chunk, so a deadline interrupts evaluation even inside one large
+// subtree. On exhaustion it returns ErrBudget (or the context's error)
+// with the visits performed so far; the count is then meaningless and
+// returned as zero. A nil budget behaves exactly like Eval.
+func (q *Query) EvalBudget(c xmltree.Cursor, r xmltree.Ref, b *Budget) (count, visited int, err error) {
+	if q.unsatisfiable {
+		return 0, 0, nil
+	}
+	s := &evalState{c: c, q: q, sat: make(map[xmltree.Ref]uint64), budget: b}
+	outs := q.outputs(s, r)
+	if s.exceeded != nil {
+		return 0, s.visited, s.exceeded
+	}
+	return len(outs), s.visited, nil
 }

@@ -23,6 +23,16 @@ type Registry struct {
 	results      atomic.Int64
 	nodesVisited atomic.Int64
 
+	// Rejection classes of the resource-governance layer: queries turned
+	// away at the admission gate, killed by their deadline, or stopped by
+	// a work budget — plus panics converted to errors by a containment
+	// barrier. Each rejected query is also counted in queryErrors (except
+	// admission rejections, which never reach the query pipeline).
+	rejectedAdmission atomic.Int64
+	deadlineExceeded  atomic.Int64
+	budgetExceeded    atomic.Int64
+	panicsRecovered   atomic.Int64
+
 	builds       atomic.Int64
 	buildRecords atomic.Int64
 	buildUnits   atomic.Int64
@@ -59,6 +69,21 @@ func (r *Registry) ObserveQuery(total time.Duration, scanned, candidates, matche
 // histogram.
 func (r *Registry) ObserveQueryError() { r.queryErrors.Add(1) }
 
+// ObserveAdmissionRejected records a query turned away at an admission
+// gate before it entered the query pipeline (fixserve's 429 path).
+func (r *Registry) ObserveAdmissionRejected() { r.rejectedAdmission.Add(1) }
+
+// ObserveDeadlineExceeded records a query killed by its deadline.
+func (r *Registry) ObserveDeadlineExceeded() { r.deadlineExceeded.Add(1) }
+
+// ObserveBudgetExceeded records a query stopped by a work budget
+// (candidate, result, or refinement-node limit).
+func (r *Registry) ObserveBudgetExceeded() { r.budgetExceeded.Add(1) }
+
+// ObservePanicRecovered records a panic converted into an error by a
+// containment barrier (the fix public API or a par worker).
+func (r *Registry) ObservePanicRecovered() { r.panicsRecovered.Add(1) }
+
 // ObserveBuild records one completed index construction.
 func (r *Registry) ObserveBuild(records, units int, wall time.Duration) {
 	r.builds.Add(1)
@@ -81,6 +106,12 @@ type RegistrySnapshot struct {
 	Results      int64 `json:"results"`
 	NodesVisited int64 `json:"nodes_visited"`
 
+	// Resource-governance rejection classes and contained panics.
+	RejectedAdmission int64 `json:"queries_rejected_admission"`
+	DeadlineExceeded  int64 `json:"queries_deadline_exceeded"`
+	BudgetExceeded    int64 `json:"queries_budget_exceeded"`
+	PanicsRecovered   int64 `json:"panics_recovered"`
+
 	Builds       int64         `json:"builds"`
 	BuildRecords int64         `json:"build_records"`
 	BuildUnits   int64         `json:"build_units"`
@@ -101,6 +132,12 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		Matched:      r.matched.Load(),
 		Results:      r.results.Load(),
 		NodesVisited: r.nodesVisited.Load(),
+
+		RejectedAdmission: r.rejectedAdmission.Load(),
+		DeadlineExceeded:  r.deadlineExceeded.Load(),
+		BudgetExceeded:    r.budgetExceeded.Load(),
+		PanicsRecovered:   r.panicsRecovered.Load(),
+
 		Builds:       r.builds.Load(),
 		BuildRecords: r.buildRecords.Load(),
 		BuildUnits:   r.buildUnits.Load(),

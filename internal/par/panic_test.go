@@ -1,0 +1,58 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDoConvertsPanicSequential(t *testing.T) {
+	err := Do(context.Background(), 1, 4, func(i int) error {
+		if i == 2 {
+			panic("boom at 2")
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("Do with panicking fn = %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *PanicError", err)
+	}
+	if pe.Value != "boom at 2" {
+		t.Fatalf("PanicError.Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatal("PanicError.Stack missing the worker stack trace")
+	}
+}
+
+func TestDoConvertsPanicParallel(t *testing.T) {
+	err := Do(context.Background(), 4, 64, func(i int) error {
+		if i == 33 {
+			panic(i)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("parallel Do with panicking worker = %v, want ErrPanic", err)
+	}
+}
+
+func TestDoPanicDoesNotMaskOtherIndices(t *testing.T) {
+	// A panic on one index must stop the pool like any error, without
+	// crashing the process or deadlocking the remaining workers.
+	ran := make([]bool, 1000)
+	err := Do(context.Background(), 8, len(ran), func(i int) error {
+		if i == 0 {
+			panic("early")
+		}
+		ran[i] = true
+		return nil
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+}

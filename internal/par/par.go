@@ -9,10 +9,45 @@ package par
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrPanic is the sentinel wrapped by every PanicError, so callers can
+// classify a recovered worker panic with errors.Is(err, par.ErrPanic)
+// without depending on the concrete type.
+var ErrPanic = errors.New("par: panic in worker")
+
+// PanicError is a panic recovered inside a worker, converted into an
+// error: the pool must never let a panicking work item kill the whole
+// process, but the caller needs the original value and stack to report
+// it. It unwraps to ErrPanic.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v: %v\n%s", ErrPanic, e.Value, e.Stack)
+}
+
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// call invokes fn(i), converting a panic into a *PanicError so the pool
+// (and the sequential path) report it as the first error instead of
+// crashing the process.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // Workers resolves a requested worker count: values below 1 mean "one
 // worker per available CPU" (GOMAXPROCS).
@@ -31,10 +66,12 @@ const seqThreshold = 4
 // (values below 1 mean GOMAXPROCS). It returns the first error any call
 // produced, or ctx.Err() if the context was cancelled; either stops the
 // remaining work promptly (in-flight calls finish, queued items are
-// dropped). fn must be safe to call from multiple goroutines; writes it
-// makes to distinct per-index slots need no further synchronization, as
-// Do establishes a happens-before edge between every fn call and its
-// return.
+// dropped). A panicking fn never crashes the process: the panic is
+// recovered inside the worker and reported as a *PanicError (test with
+// errors.Is against ErrPanic). fn must be safe to call from multiple
+// goroutines; writes it makes to distinct per-index slots need no
+// further synchronization, as Do establishes a happens-before edge
+// between every fn call and its return.
 func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -48,7 +85,7 @@ func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -82,7 +119,7 @@ func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					fail(err)
 					return
 				}

@@ -1,0 +1,42 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML asserts the parser's hardening contract on arbitrary
+// bytes: under tight limits it must return a tree or an error — never
+// panic, hang, or blow the stack — and any tree it accepts must survive
+// a marshal → parse round trip.
+func FuzzParseXML(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>text</b><b/></a>`,
+		`<bib><article><author><email>x@y</email></author></article></bib>`,
+		`<a>&lt;escaped&gt;</a>`,
+		`<a><!-- comment --><?pi data?><b xmlns:x="u" x:attr="v"/></a>`,
+		strings.Repeat("<a>", 40) + strings.Repeat("</a>", 40),
+		`<a><b></a></b>`, // mismatched
+		`<a>` + strings.Repeat("<b/>", 50) + `</a>`,
+		``,
+		`not xml at all`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lim := ParseLimits{MaxDepth: 64, MaxTokenBytes: 1 << 16, MaxChildren: 1 << 10, MaxNodes: 1 << 16}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseWithLimits(strings.NewReader(s), lim)
+		if err != nil {
+			return
+		}
+		if n == nil {
+			t.Fatal("nil root without error")
+		}
+		out := MarshalString(n)
+		if _, err := ParseWithLimits(strings.NewReader(out), lim); err != nil {
+			t.Fatalf("marshal output does not re-parse: %v\ninput  %q\noutput %q", err, s, out)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package xmltree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// nestedDoc builds <a><a>…</a></a> nested depth levels deep.
+func nestedDoc(depth int) string {
+	return strings.Repeat("<a>", depth) + strings.Repeat("</a>", depth)
+}
+
+func TestParseLimitDepth(t *testing.T) {
+	lim := ParseLimits{MaxDepth: 3}
+	if _, err := ParseWithLimits(strings.NewReader(nestedDoc(3)), lim); err != nil {
+		t.Fatalf("depth at the limit: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(nestedDoc(4)), lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("depth over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitTokenBytes(t *testing.T) {
+	lim := ParseLimits{MaxTokenBytes: 8}
+	if _, err := ParseWithLimits(strings.NewReader("<a>12345678</a>"), lim); err != nil {
+		t.Fatalf("text at the limit: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader("<a>123456789</a>"), lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized text = %v, want ErrLimit", err)
+	}
+	_, err = ParseWithLimits(strings.NewReader("<abcdefghij/>"), lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized element name = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitChildren(t *testing.T) {
+	lim := ParseLimits{MaxChildren: 2}
+	if _, err := ParseWithLimits(strings.NewReader("<r><a/><a/></r>"), lim); err != nil {
+		t.Fatalf("fan-out at the limit: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader("<r><a/><a/><a/></r>"), lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("fan-out over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitNodes(t *testing.T) {
+	lim := ParseLimits{MaxNodes: 3}
+	if _, err := ParseWithLimits(strings.NewReader("<r><a/><a/></r>"), lim); err != nil {
+		t.Fatalf("nodes at the limit: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader("<r><a/><a/><a/></r>"), lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("nodes over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseDefaultDepthLimit(t *testing.T) {
+	// Parse (no explicit limits) must reject hostile nesting beyond the
+	// package default rather than risking the stack of later recursive
+	// consumers.
+	_, err := Parse(strings.NewReader(nestedDoc(DefaultMaxDepth + 1)))
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("hostile depth under default limits = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseNegativeDisablesLimit(t *testing.T) {
+	lim := ParseLimits{MaxDepth: -1}
+	n, err := ParseWithLimits(strings.NewReader(nestedDoc(DefaultMaxDepth+10)), lim)
+	if err != nil {
+		t.Fatalf("negative MaxDepth must disable the bound: %v", err)
+	}
+	if n == nil {
+		t.Fatal("nil root without error")
+	}
+}
+
+func TestParseLimitErrorsAreNotSyntaxErrors(t *testing.T) {
+	// A limit rejection must stay distinguishable from malformed XML.
+	_, err := ParseWithLimits(strings.NewReader("<a><b></a>"), ParseLimits{})
+	if err == nil || errors.Is(err, ErrLimit) {
+		t.Fatalf("malformed XML = %v, want a non-limit parse error", err)
+	}
+}

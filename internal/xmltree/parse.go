@@ -2,19 +2,94 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
 
+// ErrLimit reports that a document exceeded a parse limit (depth, token
+// size, fan-out, or node count). Test with errors.Is; the wrapped
+// message names the violated dimension. Limit errors are deliberate
+// rejections of well-formed but oversized input, distinct from the
+// malformed-XML errors Parse otherwise returns.
+var ErrLimit = errors.New("xmltree: parse limit exceeded")
+
+// ParseLimits bounds what a single document may cost to parse, so an
+// untrusted input fails fast with a typed error instead of exhausting
+// memory. A zero field selects the package default; a negative field
+// disables that limit.
+type ParseLimits struct {
+	// MaxDepth caps element nesting. Deep documents are the classic
+	// recursion attack: later stages (binary encoding, bisimulation,
+	// re-serialization) recurse over the tree, so depth admitted here is
+	// stack consumed there.
+	MaxDepth int
+	// MaxTokenBytes caps the byte length of one element name or one
+	// text node.
+	MaxTokenBytes int
+	// MaxChildren caps the children of one element (fan-out).
+	MaxChildren int
+	// MaxNodes caps the total number of tree nodes (elements plus text).
+	MaxNodes int
+}
+
+// Default parse limits: generous for any realistic document (XMark
+// depth is ~12; DBLP fan-out is large but bounded), tight enough that a
+// hostile input cannot run the process out of memory or stack.
+const (
+	DefaultMaxDepth      = 512
+	DefaultMaxTokenBytes = 1 << 20 // 1 MiB per name or text node
+	DefaultMaxChildren   = 1 << 20
+	DefaultMaxNodes      = 1 << 26
+)
+
+// effective resolves the zero-means-default, negative-means-unlimited
+// convention into concrete bounds (0 = unlimited).
+func (l ParseLimits) effective() ParseLimits {
+	resolve := func(v, def int) int {
+		switch {
+		case v < 0:
+			return 0
+		case v == 0:
+			return def
+		default:
+			return v
+		}
+	}
+	return ParseLimits{
+		MaxDepth:      resolve(l.MaxDepth, DefaultMaxDepth),
+		MaxTokenBytes: resolve(l.MaxTokenBytes, DefaultMaxTokenBytes),
+		MaxChildren:   resolve(l.MaxChildren, DefaultMaxChildren),
+		MaxNodes:      resolve(l.MaxNodes, DefaultMaxNodes),
+	}
+}
+
 // Parse reads a single XML document from r and returns its root element.
 // Attributes, comments, processing instructions and namespaces are ignored
 // (the paper's data model covers element structure and PCDATA only).
-// Whitespace-only text between elements is dropped.
+// Whitespace-only text between elements is dropped. The default
+// ParseLimits apply; use ParseWithLimits to change them.
 func Parse(r io.Reader) (*Node, error) {
+	return ParseWithLimits(r, ParseLimits{})
+}
+
+// ParseWithLimits is Parse under explicit resource limits; see
+// ParseLimits for the zero/negative conventions. Violations return an
+// error wrapping ErrLimit.
+func ParseWithLimits(r io.Reader, lim ParseLimits) (*Node, error) {
+	lim = lim.effective()
 	dec := xml.NewDecoder(r)
 	var stack []*Node
 	var root *Node
+	nodes := 0
+	addNode := func() error {
+		nodes++
+		if lim.MaxNodes > 0 && nodes > lim.MaxNodes {
+			return fmt.Errorf("%w: more than %d nodes", ErrLimit, lim.MaxNodes)
+		}
+		return nil
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -25,6 +100,15 @@ func Parse(r io.Reader) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, fmt.Errorf("%w: depth exceeds %d", ErrLimit, lim.MaxDepth)
+			}
+			if lim.MaxTokenBytes > 0 && len(t.Name.Local) > lim.MaxTokenBytes {
+				return nil, fmt.Errorf("%w: element name longer than %d bytes", ErrLimit, lim.MaxTokenBytes)
+			}
+			if err := addNode(); err != nil {
+				return nil, err
+			}
 			n := &Node{Label: t.Name.Local}
 			if len(stack) == 0 {
 				if root != nil {
@@ -33,6 +117,9 @@ func Parse(r io.Reader) (*Node, error) {
 				root = n
 			} else {
 				parent := stack[len(stack)-1]
+				if lim.MaxChildren > 0 && len(parent.Children) >= lim.MaxChildren {
+					return nil, fmt.Errorf("%w: element <%s> has more than %d children", ErrLimit, parent.Label, lim.MaxChildren)
+				}
 				parent.Children = append(parent.Children, n)
 			}
 			stack = append(stack, n)
@@ -42,11 +129,20 @@ func Parse(r io.Reader) (*Node, error) {
 			}
 			stack = stack[:len(stack)-1]
 		case xml.CharData:
+			if lim.MaxTokenBytes > 0 && len(t) > lim.MaxTokenBytes {
+				return nil, fmt.Errorf("%w: text node longer than %d bytes", ErrLimit, lim.MaxTokenBytes)
+			}
 			s := strings.TrimSpace(string(t))
 			if s == "" || len(stack) == 0 {
 				continue
 			}
+			if err := addNode(); err != nil {
+				return nil, err
+			}
 			parent := stack[len(stack)-1]
+			if lim.MaxChildren > 0 && len(parent.Children) >= lim.MaxChildren {
+				return nil, fmt.Errorf("%w: element <%s> has more than %d children", ErrLimit, parent.Label, lim.MaxChildren)
+			}
 			parent.Children = append(parent.Children, Text(s))
 		}
 	}

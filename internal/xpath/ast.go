@@ -84,6 +84,9 @@ func writeStep(sb *strings.Builder, s *Step) {
 			}
 		}
 		if pred.HasValue {
+			if len(pred.Path) == 0 {
+				sb.WriteByte('.') // value-only predicate: [.="v"]
+			}
 			sb.WriteByte('=')
 			sb.WriteString(strconv.Quote(pred.Value))
 		}
@@ -108,6 +111,9 @@ func writeRel(sb *strings.Builder, pred *Predicate) {
 		}
 	}
 	if pred.HasValue {
+		if len(pred.Path) == 0 {
+			sb.WriteByte('.') // value-only predicate: [.="v"]
+		}
 		sb.WriteByte('=')
 		sb.WriteString(strconv.Quote(pred.Value))
 	}

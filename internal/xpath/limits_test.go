@@ -1,0 +1,84 @@
+package xpath
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseLimitLength(t *testing.T) {
+	_, err := Parse("//" + strings.Repeat("a", DefaultMaxLength))
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("oversized expression = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitSteps(t *testing.T) {
+	lim := Limits{MaxSteps: 3}
+	if _, err := ParseWithLimits("/a/b/c", lim); err != nil {
+		t.Fatalf("steps at the limit: %v", err)
+	}
+	_, err := ParseWithLimits("/a/b/c/d", lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("steps over the limit = %v, want ErrLimit", err)
+	}
+	// Steps inside predicates count too: the evaluator walks them the
+	// same as top-level steps.
+	_, err = ParseWithLimits("/a[b][c][d]", lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("predicate steps over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitPreds(t *testing.T) {
+	lim := Limits{MaxPreds: 2}
+	if _, err := ParseWithLimits("//a[b][c]", lim); err != nil {
+		t.Fatalf("predicates at the limit: %v", err)
+	}
+	_, err := ParseWithLimits("//a[b][c][d]", lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("predicates over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseLimitNestingDepth(t *testing.T) {
+	lim := Limits{MaxDepth: 2}
+	if _, err := ParseWithLimits("//a[b[c]]", lim); err != nil {
+		t.Fatalf("nesting at the limit: %v", err)
+	}
+	_, err := ParseWithLimits("//a[b[c[d]]]", lim)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("nesting over the limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestParseHostileNestingDoesNotOverflow(t *testing.T) {
+	// Unclosed deep nesting: without the depth limit this would recurse
+	// to a stack overflow before ever failing on syntax. It must fail
+	// with a typed error instead (which one depends on what trips first).
+	hostile := "//" + strings.Repeat("a[", 2000)
+	_, err := Parse(hostile)
+	if !errors.Is(err, ErrLimit) && !errors.Is(err, ErrSyntax) {
+		t.Fatalf("hostile nesting = %v, want ErrLimit or ErrSyntax", err)
+	}
+}
+
+func TestParseNegativeDisablesLimit(t *testing.T) {
+	lim := Limits{MaxSteps: -1, MaxLength: -1, MaxPreds: -1, MaxDepth: -1}
+	long := "/a" + strings.Repeat("/b", DefaultMaxSteps+10)
+	if _, err := ParseWithLimits(long, lim); err != nil {
+		t.Fatalf("negative limits must disable the bounds: %v", err)
+	}
+}
+
+func TestSyntaxErrorsWrapErrSyntax(t *testing.T) {
+	for _, bad := range []string{"", "//", "/a[", `/a[.="x]`, "a/b", "/a]"} {
+		_, err := Parse(bad)
+		if err == nil {
+			continue // some of these may be accepted by the fragment
+		}
+		if !errors.Is(err, ErrSyntax) && !errors.Is(err, ErrLimit) {
+			t.Errorf("Parse(%q) = %v: error does not wrap ErrSyntax/ErrLimit", bad, err)
+		}
+	}
+}

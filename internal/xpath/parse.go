@@ -1,10 +1,64 @@
 package xpath
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
 )
+
+// ErrSyntax reports a malformed expression; every syntax error Parse
+// returns wraps it, so callers (an HTTP handler deciding between 400
+// and 500, say) can classify without string matching.
+var ErrSyntax = errors.New("xpath: syntax error")
+
+// ErrLimit reports that an expression exceeded a parse limit (length,
+// step count, predicate count, or nesting depth). Like ErrSyntax it is
+// a client-input error, but it rejects well-formed input that is too
+// expensive to plan and evaluate rather than input that is wrong.
+var ErrLimit = errors.New("xpath: query limit exceeded")
+
+// Limits bounds how large a query expression may be. Query planning,
+// NoK compilation and refinement all walk the query tree, so an
+// unbounded expression is an unbounded amount of per-query work before
+// a single record is read. A zero field selects the package default; a
+// negative field disables that limit.
+type Limits struct {
+	MaxLength int // bytes of expression text
+	MaxSteps  int // total steps, including steps inside predicates
+	MaxPreds  int // total predicates
+	MaxDepth  int // predicate nesting depth
+}
+
+// Default query limits. MaxSteps tracks the NoK evaluator's 64-node
+// bitmask bound: queries past it could parse, but never evaluate.
+const (
+	DefaultMaxLength = 4096
+	DefaultMaxSteps  = 128
+	DefaultMaxPreds  = 64
+	DefaultMaxDepth  = 24
+)
+
+// effective resolves the zero-means-default, negative-means-unlimited
+// convention into concrete bounds (0 = unlimited).
+func (l Limits) effective() Limits {
+	resolve := func(v, def int) int {
+		switch {
+		case v < 0:
+			return 0
+		case v == 0:
+			return def
+		default:
+			return v
+		}
+	}
+	return Limits{
+		MaxLength: resolve(l.MaxLength, DefaultMaxLength),
+		MaxSteps:  resolve(l.MaxSteps, DefaultMaxSteps),
+		MaxPreds:  resolve(l.MaxPreds, DefaultMaxPreds),
+		MaxDepth:  resolve(l.MaxDepth, DefaultMaxDepth),
+	}
+}
 
 // Parse parses an absolute path expression of the supported fragment:
 //
@@ -15,12 +69,27 @@ import (
 //	rel     := ( './/' | '' ) name pred* ( axis name pred* )*
 //	string  := '"' chars '"'
 //
-// Whitespace is permitted around '=' and inside predicates.
+// Whitespace is permitted around '=' and inside predicates. The default
+// Limits apply; syntax errors wrap ErrSyntax, limit violations wrap
+// ErrLimit.
 func Parse(input string) (*Path, error) {
-	p := &parser{src: input}
+	return ParseWithLimits(input, Limits{})
+}
+
+// ParseWithLimits is Parse under explicit expression limits; see Limits
+// for the zero/negative conventions.
+func ParseWithLimits(input string, lim Limits) (*Path, error) {
+	lim = lim.effective()
+	if lim.MaxLength > 0 && len(input) > lim.MaxLength {
+		return nil, fmt.Errorf("%w: expression is %d bytes, limit %d", ErrLimit, len(input), lim.MaxLength)
+	}
+	p := &parser{src: input, lim: lim}
 	path, err := p.parsePath()
 	if err != nil {
-		return nil, fmt.Errorf("xpath: %w (input %q)", err, input)
+		if errors.Is(err, ErrLimit) {
+			return nil, fmt.Errorf("%w (input %.80q)", err, input)
+		}
+		return nil, fmt.Errorf("%w: %v (input %.80q)", ErrSyntax, err, input)
 	}
 	return path, nil
 }
@@ -38,6 +107,9 @@ func MustParse(input string) *Path {
 type parser struct {
 	src string
 	pos int
+	lim Limits
+
+	steps, preds, depth int // running counts against lim
 }
 
 func (p *parser) parsePath() (*Path, error) {
@@ -74,6 +146,10 @@ func (p *parser) axis() (Axis, bool) {
 }
 
 func (p *parser) step(axis Axis) (*Step, error) {
+	p.steps++
+	if p.lim.MaxSteps > 0 && p.steps > p.lim.MaxSteps {
+		return nil, fmt.Errorf("%w: more than %d steps", ErrLimit, p.lim.MaxSteps)
+	}
 	name, err := p.name()
 	if err != nil {
 		return nil, err
@@ -96,7 +172,20 @@ func (p *parser) step(axis Axis) (*Step, error) {
 	return s, nil
 }
 
+// predicate parses one bracketed predicate. It is the parser's only
+// recursion (predicate → step → predicate), so the nesting-depth limit
+// lives here: it is what keeps a hostile expression like `a[b[c[…` from
+// overflowing the goroutine stack.
 func (p *parser) predicate() (*Predicate, error) {
+	p.preds++
+	if p.lim.MaxPreds > 0 && p.preds > p.lim.MaxPreds {
+		return nil, fmt.Errorf("%w: more than %d predicates", ErrLimit, p.lim.MaxPreds)
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.lim.MaxDepth > 0 && p.depth > p.lim.MaxDepth {
+		return nil, fmt.Errorf("%w: predicates nested deeper than %d", ErrLimit, p.lim.MaxDepth)
+	}
 	pred := &Predicate{}
 	p.skipSpace()
 	// Value-only predicate [.="v"] or [. = "v"].
