@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-json check bench-parallel fuzz-smoke stress
+.PHONY: build vet test race lint lint-json check bench-parallel fuzz-smoke stress ingest-crash
 
 build:
 	$(GO) build ./...
@@ -40,8 +40,18 @@ bench-parallel:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseXML -fuzztime=10s ./internal/xmltree/
 	$(GO) test -fuzz=FuzzParseXPath -fuzztime=10s ./internal/xpath/
+	$(GO) test -fuzz=FuzzIngestRequest -fuzztime=10s ./cmd/fixserve/
 
-# stress hammers the governed fixserve stack (admission gate, breaker,
-# panic containment) with concurrent clients under the race detector.
+# stress hammers the governed fixserve stack — queries through the
+# admission gate, breaker and panic containment, plus concurrent durable
+# ingest against a shallow queue — with concurrent clients under the
+# race detector.
 stress:
-	FIX_STRESS=1 $(GO) test -race -run TestStressGovernedServer -v ./cmd/fixserve/
+	FIX_STRESS=1 $(GO) test -race -run 'TestStressGovernedServer|TestStressIngestAndQuery' -v ./cmd/fixserve/
+
+# ingest-crash runs the write-path crash-recovery sweeps: a simulated
+# crash at every WAL/heap/index write of the ingest path, checking that
+# acknowledged operations survive reopen and unacknowledged ones vanish.
+ingest-crash:
+	$(GO) test -run 'TestIngestCrashSweep|TestIngestBatchRollbackTransient' -v ./fix/
+	$(GO) test -run 'TestCrashDuringDelete|TestIngestLog' -v ./internal/core/

@@ -247,6 +247,11 @@ func run(exp string, scale float64, seed int64, queries int, verify bool, worker
 	}
 	if all || exp == "parallel" {
 		ran = true
+		// A parallel sweep on one scheduler thread measures queueing, not
+		// scaling — say so rather than letting the flat curve mislead.
+		if runtime.GOMAXPROCS(0) == 1 {
+			fmt.Fprintln(os.Stderr, "fixbench: warning: GOMAXPROCS=1; the parallel sweep cannot show speedup on one scheduler thread")
+		}
 		var rows []experiments.ParallelRow
 		counts := experiments.SweepWorkerCounts()
 		for _, ds := range datagen.AllDatasets {
@@ -264,12 +269,13 @@ func run(exp string, scale float64, seed int64, queries int, verify bool, worker
 		fmt.Fprintln(w)
 		if jsonPath != "" {
 			out := struct {
-				NumCPU  int                       `json:"num_cpu"`
-				Scale   float64                   `json:"scale"`
-				Seed    int64                     `json:"seed"`
-				Workers []int                     `json:"worker_counts"`
-				Rows    []experiments.ParallelRow `json:"rows"`
-			}{NumCPU: runtime.NumCPU(), Scale: scale, Seed: seed, Workers: counts, Rows: rows}
+				NumCPU     int                       `json:"num_cpu"`
+				GOMAXPROCS int                       `json:"gomaxprocs"`
+				Scale      float64                   `json:"scale"`
+				Seed       int64                     `json:"seed"`
+				Workers    []int                     `json:"worker_counts"`
+				Rows       []experiments.ParallelRow `json:"rows"`
+			}{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Seed: seed, Workers: counts, Rows: rows}
 			data, err := json.MarshalIndent(out, "", "  ")
 			if err != nil {
 				return err

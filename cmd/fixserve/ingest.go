@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/obs"
+)
+
+// POST /ingest accepts writes in two shapes:
+//
+//   - a raw XML document body (any Content-Type except NDJSON): one
+//     durable insert, responding with its assigned ID;
+//   - a Content-Type: application/x-ndjson body: one JSON operation per
+//     line, {"op":"add","xml":"<doc/>"} or {"op":"delete","rec":7},
+//     executed in order through the shared ingester, so consecutive
+//     adds coalesce into group commits.
+//
+// A 200 response means every operation in the request is durable (the
+// WAL fsync completed) and visible to queries. Backpressure from the
+// bounded ingest queue surfaces as 429 with Retry-After, exactly like
+// admission-gate shedding; malformed input is rejected with 400 before
+// anything is queued.
+
+// defaultMaxIngestBytes bounds the /ingest request body when no flag
+// overrides it.
+const defaultMaxIngestBytes = 8 << 20
+
+// maxIngestOpsPerRequest bounds the number of NDJSON operations one
+// request may carry; larger loads should be split across requests so
+// backpressure can act between them.
+const maxIngestOpsPerRequest = 10000
+
+// ingestOp is one decoded NDJSON operation.
+type ingestOp struct {
+	Op  string  `json:"op"`            // "add" or "delete"
+	XML string  `json:"xml,omitempty"` // add: the document text
+	Rec *uint32 `json:"rec,omitempty"` // delete: the target document ID
+}
+
+// parseIngestOps decodes an NDJSON operation stream: one JSON object
+// per newline-separated line, blank lines ignored. It validates shape
+// only (op names, required fields, op count) — XML payloads are parsed
+// later against the DB's limits. Errors name the offending line.
+func parseIngestOps(data []byte) ([]ingestOp, error) {
+	var ops []ingestOp
+	for lineno, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if len(ops) >= maxIngestOpsPerRequest {
+			return nil, fmt.Errorf("line %d: more than %d operations in one request", lineno+1, maxIngestOpsPerRequest)
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var op ingestOp
+		if err := dec.Decode(&op); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("line %d: trailing data after the JSON object", lineno+1)
+		}
+		switch op.Op {
+		case "add":
+			if op.XML == "" {
+				return nil, fmt.Errorf("line %d: \"add\" needs a non-empty \"xml\" field", lineno+1)
+			}
+			if op.Rec != nil {
+				return nil, fmt.Errorf("line %d: \"add\" does not take a \"rec\" field", lineno+1)
+			}
+		case "delete":
+			if op.Rec == nil {
+				return nil, fmt.Errorf("line %d: \"delete\" needs a \"rec\" field", lineno+1)
+			}
+			if op.XML != "" {
+				return nil, fmt.Errorf("line %d: \"delete\" does not take an \"xml\" field", lineno+1)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown op %q (want \"add\" or \"delete\")", lineno+1, op.Op)
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty request: no operations")
+	}
+	return ops, nil
+}
+
+// ingestResponse is the /ingest JSON shape. IDs lists the assigned
+// document IDs of the request's adds, in request order.
+type ingestResponse struct {
+	IDs       []uint32 `json:"ids"`
+	Added     int      `json:"added"`
+	Deleted   int      `json:"deleted"`
+	IngestLag int      `json:"ingest_lag"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Writes pass the same admission gate as queries: ingest work must
+	// not starve readers, and a saturated server sheds both alike.
+	waitCtx := r.Context()
+	if s.cfg.queueWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, s.cfg.queueWait)
+		defer cancel()
+	}
+	if err := s.gate.Acquire(waitCtx, 1); err != nil {
+		obs.Default().ObserveAdmissionRejected()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer s.gate.Release(1)
+
+	maxBytes := s.cfg.maxIngestBytes
+	if maxBytes <= 0 {
+		maxBytes = defaultMaxIngestBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body over %d bytes", maxBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var ops []ingestOp
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		ops, err = parseIngestOps(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		ops = []ingestOp{{Op: "add", XML: string(body)}}
+	}
+	// Validate every document before anything is queued, so a malformed
+	// line cannot leave the earlier half of the request committed.
+	for i, op := range ops {
+		if op.Op == "add" {
+			if err := s.db.ValidateDocument(op.XML); err != nil {
+				http.Error(w, fmt.Sprintf("op %d: %v", i+1, err), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+
+	resp, err := s.runIngest(r.Context(), ops)
+	if err != nil {
+		if errors.Is(err, fix.ErrIngestQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), ingestStatusFor(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// runIngest executes the decoded operations in order through the shared
+// ingester. Runs of consecutive adds go down as one AddBatch, so a bulk
+// NDJSON request pays roughly one group commit per run rather than one
+// per document.
+func (s *server) runIngest(ctx context.Context, ops []ingestOp) (ingestResponse, error) {
+	resp := ingestResponse{IDs: []uint32{}}
+	var run []string
+	flushAdds := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		ids, err := s.ing.AddBatch(ctx, run)
+		if err != nil {
+			return err
+		}
+		resp.IDs = append(resp.IDs, ids...)
+		resp.Added += len(ids)
+		run = run[:0]
+		return nil
+	}
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			run = append(run, op.XML)
+		case "delete":
+			if err := flushAdds(); err != nil {
+				return resp, err
+			}
+			if err := s.ing.Delete(ctx, *op.Rec); err != nil {
+				return resp, err
+			}
+			resp.Deleted++
+		}
+	}
+	if err := flushAdds(); err != nil {
+		return resp, err
+	}
+	resp.IngestLag = s.db.IngestLag()
+	return resp, nil
+}
+
+// ingestStatusFor maps a commit-phase ingest error onto an HTTP status.
+// Queue-full is handled by the caller (429 + Retry-After); everything
+// reaching here was structurally valid input, so the remaining statuses
+// describe server state.
+func ingestStatusFor(err error) int {
+	switch {
+	case errors.Is(err, fix.ErrIngesterClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, fix.ErrDocumentLimit):
+		return http.StatusBadRequest
+	case errors.Is(err, fix.ErrUnknownDocument):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -13,6 +13,14 @@
 // queries to the exact scan fallback until a recovery probe succeeds.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 //
+// Writes arrive through POST /ingest and run through a shared group-
+// commit ingester: a bounded queue (-ingest-queue) feeds a committer
+// that batches up to -ingest-batch operations per WAL fsync, waiting at
+// most -ingest-wait for stragglers. A full queue sheds with 429 +
+// Retry-After. Acknowledged writes survive a crash via WAL replay; the
+// WAL is absorbed into the base snapshot by Save, which -save-interval
+// runs periodically and shutdown runs once after the drain.
+//
 // Usage:
 //
 //	fixserve -db /tmp/xmarkdb -addr :8080 [-slow 50ms] [-pprof]
@@ -20,6 +28,7 @@
 // Endpoints:
 //
 //	GET /query?q=XPATH[&trace=1]   run a query; JSON result, trace opt-in
+//	POST /ingest                   durable writes: raw XML body, or NDJSON add/delete ops
 //	GET /metrics                   fix.DB.Snapshot() as JSON
 //	GET /debug/vars                expvar (includes the "fix" variable)
 //	GET /debug/pprof/              net/http/pprof (only with -pprof)
@@ -54,6 +63,11 @@ func main() {
 	maxRefine := flag.Int64("max-refine-nodes", 0, "per-query refinement-node budget (0 = unlimited)")
 	maxCand := flag.Int("max-candidates", 0, "per-query candidate cap (0 = unlimited)")
 	maxResults := flag.Int("max-results", 0, "per-query result cap (0 = unlimited)")
+	ingestQueue := flag.Int("ingest-queue", 256, "bounded ingest queue depth in operations (full queue sheds with 429)")
+	ingestBatch := flag.Int("ingest-batch", 64, "max operations per ingest group commit")
+	ingestWait := flag.Duration("ingest-wait", 2*time.Millisecond, "max linger for an ingest group commit to fill")
+	maxIngestBytes := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /ingest request body size")
+	saveInterval := flag.Duration("save-interval", 0, "periodic Save absorbing the ingest WAL into the base snapshot (0 disables)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 	if *dbdir == "" {
@@ -89,6 +103,12 @@ func main() {
 		requestTimeout: *reqTimeout,
 		breakerFaults:  *brkFaults,
 		breakerCool:    *brkCool,
+		ingest: fix.IngestConfig{
+			QueueDepth: *ingestQueue,
+			MaxBatch:   *ingestBatch,
+			MaxWait:    *ingestWait,
+		},
+		maxIngestBytes: *maxIngestBytes,
 		pprof:          *withPprof,
 	})
 	srv := &http.Server{
@@ -102,6 +122,22 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *saveInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*saveInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := db.Save(); err != nil {
+						log.Printf("fixserve: periodic save: %v", err)
+					}
+				}
+			}
+		}()
+	}
 	log.Printf("fixserve: %d documents, listening on %s", db.NumDocuments(), *addr)
 
 	select {
@@ -114,6 +150,13 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("fixserve: drain incomplete: %v", err)
+		}
+		// Flush queued writes, then absorb the WAL so restart starts clean.
+		if err := s.close(); err != nil {
+			log.Printf("fixserve: ingester close: %v", err)
+		}
+		if err := db.Save(); err != nil {
+			log.Printf("fixserve: final save: %v", err)
 		}
 	}
 }

@@ -16,18 +16,31 @@ import (
 
 // serverConfig carries the operational knobs from flags to the server.
 type serverConfig struct {
-	maxInFlight    int64         // admission gate capacity, in weight units
-	queueWait      time.Duration // max wait at the gate before 429
-	requestTimeout time.Duration // per-query deadline (0 disables)
-	breakerFaults  int           // consecutive faults that trip the breaker
-	breakerCool    time.Duration // open-state cooldown before probing
+	maxInFlight    int64            // admission gate capacity, in weight units
+	queueWait      time.Duration    // max wait at the gate before 429
+	requestTimeout time.Duration    // per-query deadline (0 disables)
+	breakerFaults  int              // consecutive faults that trip the breaker
+	breakerCool    time.Duration    // open-state cooldown before probing
+	ingest         fix.IngestConfig // ingester tuning (queue depth, batching)
+	maxIngestBytes int64            // /ingest body cap (0 = defaultMaxIngestBytes)
 	pprof          bool
 }
 
+// ingester is the slice of fix.Ingester the server drives; a seam so
+// handler tests can inject commit-phase failures deterministically.
+type ingester interface {
+	AddBatch(ctx context.Context, docs []string) ([]uint32, error)
+	Delete(ctx context.Context, rec uint32) error
+	QueueLen() int
+	Close() error
+}
+
 // server wires resource governance — the admission gate and the index
-// circuit breaker — around a fix.DB's query path.
+// circuit breaker — around a fix.DB's query path, and a shared group-
+// commit ingester around its write path.
 type server struct {
 	db   *fix.DB
+	ing  ingester
 	gate *gate
 	brk  *breaker
 	cfg  serverConfig
@@ -36,15 +49,21 @@ type server struct {
 func newServer(db *fix.DB, cfg serverConfig) *server {
 	return &server{
 		db:   db,
+		ing:  db.NewIngester(cfg.ingest),
 		gate: newGate(cfg.maxInFlight),
 		brk:  newBreaker(cfg.breakerFaults, cfg.breakerCool),
 		cfg:  cfg,
 	}
 }
 
+// close drains and stops the shared ingester: everything already
+// acknowledged or queued commits before close returns.
+func (s *server) close() error { return s.ing.Close() }
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -135,10 +154,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.db.Snapshot())
 }
 
-// healthResponse is the /healthz JSON body.
+// healthResponse is the /healthz JSON body. IngestLag counts
+// acknowledged operations the ingest WAL holds ahead of the last Save
+// (replayed, not lost, on a crash); IngestQueue counts operations still
+// waiting for their group commit.
 type healthResponse struct {
-	Status string `json:"status"`
-	Cause  string `json:"cause,omitempty"`
+	Status      string `json:"status"`
+	Cause       string `json:"cause,omitempty"`
+	IngestLag   int    `json:"ingest_lag"`
+	IngestQueue int    `json:"ingest_queue"`
 }
 
 // handleHealthz reports index health: 200 when healthy (or there is no
@@ -146,14 +170,20 @@ type healthResponse struct {
 // degraded database still answers queries — exactly, via the scan
 // fallback — so health here means "at full speed", not "alive".
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Status:      "ok",
+		IngestLag:   s.db.IngestLag(),
+		IngestQueue: s.ing.QueueLen(),
+	}
 	if s.db.HasIndex() {
 		if err := s.db.IndexHealth(); err != nil {
-			writeJSONStatus(w, http.StatusServiceUnavailable,
-				healthResponse{Status: "degraded", Cause: err.Error()})
+			resp.Status = "degraded"
+			resp.Cause = err.Error()
+			writeJSONStatus(w, http.StatusServiceUnavailable, resp)
 			return
 		}
 	}
-	writeJSONStatus(w, http.StatusOK, healthResponse{Status: "ok"})
+	writeJSONStatus(w, http.StatusOK, resp)
 }
 
 // readyResponse is the /readyz JSON body.

@@ -57,6 +57,7 @@
 package fix
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -64,6 +65,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -83,15 +85,26 @@ import (
 // full scan of the primary store until RebuildIndex repairs the index.
 var ErrCorrupt = core.ErrCorrupt
 
-// DB is a document database with an optional FIX index. It is not safe
-// for concurrent mutation; concurrent queries are safe once the index is
-// built.
+// DB is a document database with an optional FIX index. Concurrent
+// queries are safe, and concurrent ingest (AddDocument, IngestBatchCtx,
+// DeleteDocument, an Ingester) is safe alongside them: mutations
+// serialize on an internal ingest lock and apply under a write lock
+// that queries share-lock. BuildIndex/RebuildIndex/Save also serialize
+// with ingest.
 type DB struct {
 	dir     string
 	dict    *xmltree.Dict
 	store   *storage.Store
 	index   *core.Index
 	obsOpts Options
+
+	// mu orders queries (read lock) against batch application and
+	// index replacement (write lock). ingestMu serializes the whole
+	// write path — WAL append, batch apply, Save, build — and is
+	// always acquired before mu.
+	mu       sync.RWMutex
+	ingestMu sync.Mutex
+	wal      *core.IngestLog
 }
 
 // IndexOptions configures BuildIndex. The zero value indexes whole
@@ -187,7 +200,7 @@ func Create(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := storage.Create(filepath.Join(dir, "data.heap"))
+	f, err := fileCreate(filepath.Join(dir, "data.heap"))
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +217,13 @@ func Create(dir string) (*DB, error) {
 // discards a commit a crash interrupted (see core.Recover); if the index
 // turns out to be corrupt or stale, the database still opens, IndexHealth
 // reports the problem, and queries answer via the scan fallback.
+//
+// If the database was ingesting when it crashed, a valid ingest log
+// survives: Open truncates the heap back to the log's committed base,
+// replays every acknowledged operation (re-appending documents and
+// re-tombstoning deletes), and keeps the log active — no acknowledged
+// operation is lost, and operations whose group commit never completed
+// are absent.
 func Open(dir string) (*DB, error) {
 	if err := core.Recover(dir); err != nil {
 		return nil, fmt.Errorf("fix: recovering index journal: %w", err)
@@ -217,41 +237,151 @@ func Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := storage.Open(filepath.Join(dir, "data.heap"))
+	wal, replay, err := openIngestLog(dir)
 	if err != nil {
 		return nil, err
+	}
+	f, err := fileOpen(filepath.Join(dir, "data.heap"))
+	if err != nil {
+		return nil, err
+	}
+	if wal != nil {
+		// Drop everything past the log's base — a torn tail from a
+		// batch whose apply the crash interrupted — before the store
+		// scans its records; replay re-appends the acknowledged ops.
+		_, baseEnd := wal.Base()
+		if err := f.Truncate(baseEnd); err != nil {
+			return nil, fmt.Errorf("fix: truncating heap to ingest log base: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("fix: truncating heap to ingest log base: %w", err)
+		}
 	}
 	st, err := storage.OpenStore(f, dict)
 	if err != nil {
 		return nil, err
 	}
+	if wal != nil {
+		if base, _ := wal.Base(); uint32(st.NumRecords()) != base {
+			return nil, fmt.Errorf("fix: heap has %d records, ingest log base says %d", st.NumRecords(), base)
+		}
+	}
 	db := &DB{dir: dir, dict: dict, store: st}
+	if err := db.loadTombs(); err != nil {
+		return nil, err
+	}
 	if _, err := os.Stat(filepath.Join(dir, "fix.meta")); err == nil {
 		db.index, err = core.Open(st, dir)
 		if err != nil {
 			return nil, fmt.Errorf("fix: opening index: %w", err)
 		}
 	}
+	db.wal = wal
+	if len(replay) > 0 {
+		n, err := core.ReplayIngest(st, db.index, replay)
+		if err != nil {
+			return nil, fmt.Errorf("fix: replaying ingest log: %w", err)
+		}
+		obs.Default().ObserveIngestReplayed(n)
+		if db.index != nil && db.index.Health() == nil {
+			// The crash window between a group commit and the next Save can
+			// leak evicted B-tree pages to disk under a meta page the shadow
+			// journal never saw; replay then restores the record count, so
+			// the staleness check that normally degrades a stale index can't
+			// catch the mix. Walk the whole tree now: a failure latches
+			// degraded health, the absorb below is skipped, and queries stay
+			// exact through the scan fallback until RebuildIndex.
+			_ = db.index.Verify()
+		}
+		// Converge: absorb the replayed operations into the base commit
+		// before returning. Leaving the log in place would make every
+		// subsequent Open truncate and replay again, and a process that
+		// exits without Save (a read-only CLI command) could leak
+		// evicted index pages under an unchanged btree meta — detected
+		// later as corruption — while a RebuildIndex would commit a
+		// record count the next truncate-and-replay no longer matches.
+		// A replay that degraded the index skips the absorb (a degraded
+		// index refuses Save): the log keeps guarding the acked ops
+		// until RebuildIndex clears the way.
+		if db.index == nil || db.index.Health() == nil {
+			if err := db.Save(); err != nil {
+				return nil, fmt.Errorf("fix: absorbing replayed ingest log: %w", err)
+			}
+		}
+	}
 	return db, nil
+}
+
+// openIngestLog probes dir for an ingest log. A structurally valid log
+// is returned with its acknowledged operations to replay; a log whose
+// header never became durable (a crash during creation or reset —
+// nothing in it was ever acknowledged) is removed.
+func openIngestLog(dir string) (*core.IngestLog, []core.IngestOp, error) {
+	path := filepath.Join(dir, core.IngestLogName)
+	f, err := fileOpen(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	lg, ops, ok, err := core.OpenIngestLog(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("fix: reading ingest log: %w", err)
+	}
+	if !ok {
+		_ = f.Close()
+		if err := os.Remove(path); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, nil
+	}
+	return lg, ops, nil
 }
 
 // Save flushes the database (and index, if built) to disk. It is an
 // error on in-memory databases. Every file is committed atomically —
-// labels.dict through a fsynced temp file renamed into place, the index
-// through its shadow-commit journal — so a crash during Save leaves
-// either the previous or the new state, never a torn file.
+// labels.dict and fix.tomb through fsynced temp files renamed into
+// place, the index through its shadow-commit journal — so a crash
+// during Save leaves either the previous or the new state, never a torn
+// file. Once the commit is complete the ingest log is reset to the new
+// base: it is truncated only after everything it guarded is durable
+// elsewhere, so there is no instant at which an acknowledged operation
+// is unprotected.
 func (db *DB) Save() error {
 	if db.dir == "" {
 		return fmt.Errorf("fix: Save on an in-memory database")
 	}
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.saveLocked()
+}
+
+// saveLocked is Save's body. Callers hold ingestMu and mu (or have
+// exclusive access, as during Open); BuildIndexCtx and RebuildIndexCtx
+// use it to absorb the ingest log while already holding ingestMu.
+func (db *DB) saveLocked() error {
 	if err := db.store.Sync(); err != nil {
 		return err
 	}
 	if err := db.saveDict(); err != nil {
 		return err
 	}
+	if err := db.saveTombs(); err != nil {
+		return err
+	}
 	if db.index != nil {
-		return db.index.Save()
+		if err := db.index.Save(); err != nil {
+			return err
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.Reset(uint32(db.store.NumRecords()), db.store.Size()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -284,9 +414,21 @@ func (db *DB) saveDict() error {
 	return os.Rename(tmp, path)
 }
 
-// Close releases the underlying files.
+// Close releases the underlying files, including the ingest log. It
+// does not Save: acknowledged-but-unsaved operations stay protected by
+// the log and are replayed on the next Open.
 func (db *DB) Close() error {
-	return db.store.Close()
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	var first error
+	if db.wal != nil {
+		first = db.wal.Close()
+		db.wal = nil
+	}
+	if err := db.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // AddDocument parses one XML document and appends it, returning its
@@ -294,22 +436,30 @@ func (db *DB) Close() error {
 // The document must fit Options.ParseLimits (or the parser defaults);
 // oversized input returns an error wrapping ErrDocumentLimit before
 // anything is stored.
+//
+// AddDocument does not itself create the ingest write-ahead log — bulk
+// loads stay fsync-free until Save — but once streaming ingest has
+// created one (an Ingester, IngestBatchCtx, or DeleteDocument), every
+// AddDocument joins the durable path: it is logged and fsynced before
+// it is applied, so its acknowledgment carries the same crash guarantee.
 func (db *DB) AddDocument(r io.Reader) (id uint32, err error) {
 	defer db.contain("AddDocument", true, &err)
-	n, err := xmltree.ParseWithLimits(r, db.parseLimits())
+	raw, err := io.ReadAll(r)
 	if err != nil {
 		return 0, err
 	}
-	rec, err := db.store.AppendTree(n)
+	n, err := xmltree.ParseWithLimits(bytes.NewReader(raw), db.parseLimits())
 	if err != nil {
 		return 0, err
 	}
-	if db.index != nil {
-		if err := db.index.InsertDocument(rec); err != nil {
-			return rec, fmt.Errorf("fix: document stored but not indexed: %w", err)
-		}
+	p := &pendingOp{kind: core.IngestOpInsert, xml: raw, tree: n}
+	db.ingestMu.Lock()
+	err = db.commitLocked([]*pendingOp{p})
+	db.ingestMu.Unlock()
+	if err != nil {
+		return 0, err
 	}
-	return rec, nil
+	return p.rec, nil
 }
 
 // AddDocumentString is AddDocument for a string.
@@ -353,6 +503,8 @@ func (db *DB) BuildIndex(opts IndexOptions) error {
 // the build works on a replacement, so nothing live was touched.
 func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) (err error) {
 	defer db.contain("BuildIndexCtx", false, &err)
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
 	ix, err := core.BuildCtx(ctx, db.store, core.Options{
 		DepthLimit:   opts.DepthLimit,
 		Clustered:    opts.Clustered,
@@ -367,8 +519,10 @@ func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) (err error) 
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
 	db.index = ix
-	return nil
+	db.mu.Unlock()
+	return db.absorbIngestLogLocked("build")
 }
 
 // HasIndex reports whether an index is available.
@@ -407,6 +561,8 @@ func (db *DB) RebuildIndex() error {
 // for the semantics of an interrupted build.
 func (db *DB) RebuildIndexCtx(ctx context.Context) (err error) {
 	defer db.contain("RebuildIndexCtx", false, &err)
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
 	if db.index == nil {
 		return fmt.Errorf("fix: no index to rebuild")
 	}
@@ -414,9 +570,33 @@ func (db *DB) RebuildIndexCtx(ctx context.Context) (err error) {
 	if err != nil {
 		return err
 	}
-	db.index = ix
 	if db.dir != "" {
-		return ix.Save()
+		// Persist before publishing so readers never see an index whose
+		// pages are mid-flush.
+		if err := ix.Save(); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	db.index = ix
+	db.mu.Unlock()
+	return db.absorbIngestLogLocked("rebuild")
+}
+
+// absorbIngestLogLocked commits the database and resets the ingest log
+// after an index build has covered the log's guarded records. Without
+// it the next Open would truncate the heap back under the fresh index's
+// committed record count and replay operations the tree already holds,
+// duplicating entries. The caller holds ingestMu.
+func (db *DB) absorbIngestLogLocked(why string) error {
+	if db.dir == "" || db.wal == nil {
+		return nil
+	}
+	db.mu.Lock()
+	err := db.saveLocked()
+	db.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("fix: absorbing ingest log after %s: %w", why, err)
 	}
 	return nil
 }
@@ -517,7 +697,9 @@ func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (r
 	if cfg.trace || db.slowQueryEnabled() {
 		tr = &obs.Trace{Query: expr, Start: start}
 	}
+	db.mu.RLock()
 	res, err = db.queryTraced(ctx, expr, tr, lim, cfg.scanOnly)
+	db.mu.RUnlock()
 	total := time.Since(start)
 	if err != nil {
 		observeQueryError(err)
@@ -593,6 +775,8 @@ func (db *DB) Exists(expr string) (bool, error) {
 // worker pool and the first match stops the remaining workers.
 func (db *DB) ExistsCtx(ctx context.Context, expr string) (ok bool, err error) {
 	defer db.contain("ExistsCtx", true, &err)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return false, err
@@ -606,7 +790,7 @@ func (db *DB) ExistsCtx(ctx context.Context, expr string) (ok bool, err error) {
 	}
 	var found atomic.Bool
 	err = par.Do(ctx, db.workers(), db.store.NumRecords(), func(i int) error {
-		if found.Load() {
+		if found.Load() || db.store.IsDeleted(uint32(i)) {
 			return nil
 		}
 		cur, err := db.store.Cursor(uint32(i))
@@ -641,6 +825,8 @@ func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
 // document order regardless of the worker count.
 func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) (docs []uint32, err error) {
 	defer db.contain("QueryDocumentsCtx", true, &err)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -671,6 +857,9 @@ func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) (docs []uint32
 		if candDocs != nil && !candDocs[rec] {
 			return nil
 		}
+		if db.store.IsDeleted(rec) {
+			return nil
+		}
 		cur, err := db.store.Cursor(rec)
 		if err != nil {
 			return err
@@ -694,6 +883,8 @@ func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) (docs []uint32
 // implementation-independent effectiveness measures. It requires an
 // index.
 func (db *DB) Metrics(expr string) (Metrics, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.index == nil {
 		return Metrics{}, fmt.Errorf("fix: Metrics requires an index")
 	}
@@ -729,6 +920,9 @@ func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace, lim L
 	nrec := db.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
+		if db.store.IsDeleted(uint32(i)) {
+			return nil
+		}
 		if tr == nil && bud == nil {
 			cur, err := db.store.Cursor(uint32(i))
 			if err != nil {

@@ -1,0 +1,618 @@
+package fix
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/obs"
+	"github.com/fix-index/fix/internal/storage"
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// Durable batched ingest. The write path mirrors the read path's
+// robustness contract: every acknowledged operation survives a crash,
+// every failure is a typed error, and nothing blocks unboundedly.
+//
+// On a persistent DB the first ingest call creates fix.ingest, a
+// write-ahead log based at the last committed store state. Each batch is
+// appended and fsynced there *before* it touches the heap or the index —
+// one fsync per batch, shared by every operation in it (group commit) —
+// and the batch is applied under a single write-lock acquisition.
+// Save absorbs the log's contents into the regular commit (heap sync,
+// dictionary, tombstones, shadow-committed index) and only then resets
+// the log; Open replays a surviving log after a crash. In-memory DBs get
+// the same batching and backpressure semantics without the log.
+
+// ErrIngestQueueFull reports that the ingester's bounded queue stayed
+// full past the configured enqueue wait. The operation was not accepted
+// and will never be applied; retry with exponential backoff (the queue
+// drains at the disk's group-commit rate), or widen
+// IngestConfig.QueueDepth / EnqueueWait if this is the steady state.
+var ErrIngestQueueFull = errors.New("fix: ingest queue full; retry with backoff")
+
+// ErrIngesterClosed reports an operation submitted to an Ingester after
+// Close.
+var ErrIngesterClosed = errors.New("fix: ingester closed")
+
+// ErrUnknownDocument reports a delete aimed at a record number the
+// store has never assigned; the containing batch fails as a unit.
+var ErrUnknownDocument = errors.New("fix: unknown document")
+
+// ErrRebuildRequired reports an index-maintenance failure only a full
+// rebuild can clear (inserting into a degraded index, or a new element
+// label colliding with a value index's hash range fixed at build time).
+// The document itself is stored durably; the index degrades and queries
+// keep answering exactly via the scan fallback until RebuildIndex.
+var ErrRebuildRequired = core.ErrRebuildRequired
+
+// fileCreate and fileOpen are the seams through which the DB creates and
+// opens its own files (the record heap and the ingest log); ingest crash
+// tests swap them for fault-injecting variants, mirroring the core
+// index's indexFS seam.
+var fileCreate = storage.Create
+var fileOpen = storage.Open
+
+// IngestConfig tunes an Ingester. The zero value is ready to use.
+type IngestConfig struct {
+	// QueueDepth bounds the ingest queue; operations beyond it hit
+	// backpressure. 0 means 256.
+	QueueDepth int
+	// MaxBatch caps how many operations one group commit coalesces.
+	// 0 means 64.
+	MaxBatch int
+	// MaxWait is how long the committer lingers for more operations
+	// after the first of a batch arrives, trading latency for larger
+	// groups. 0 means 2ms.
+	MaxWait time.Duration
+	// EnqueueWait is how long a full queue blocks a submitter before
+	// failing fast with ErrIngestQueueFull. 0 means 50ms; negative
+	// means fail immediately.
+	EnqueueWait time.Duration
+}
+
+func (c *IngestConfig) setDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.EnqueueWait == 0 {
+		c.EnqueueWait = 50 * time.Millisecond
+	}
+}
+
+// pendingOp is one queued ingest operation. done is buffered so the
+// committer never blocks on an abandoned caller.
+type pendingOp struct {
+	kind   byte // core.IngestOpInsert or core.IngestOpDelete
+	xml    []byte
+	tree   *xmltree.Node
+	rec    uint32 // assigned at commit (insert) or targeted (delete)
+	marked bool   // this op set the tombstone (so rollback may clear it)
+	flush  bool   // barrier marker: commit everything queued before it
+	done   chan error
+}
+
+// Ingester is a handle for concurrent streaming ingest into a DB. Many
+// goroutines may call Add/Delete concurrently; a single committer
+// coalesces their operations into group-committed batches, so N
+// concurrent writers cost ~one fsync per batch instead of one each.
+// Acknowledgment (the nil error) means the operation is durable (on a
+// persistent DB) and visible to queries.
+//
+// The queue is bounded: when it stays full past IngestConfig.EnqueueWait
+// the submission fails fast with ErrIngestQueueFull rather than queueing
+// unbounded work.
+type Ingester struct {
+	db  *DB
+	cfg IngestConfig
+
+	mu     sync.RWMutex // guards closed and sends on ops vs. Close
+	closed bool
+	ops    chan *pendingOp
+
+	exited chan struct{} // closed when the committer goroutine returns
+}
+
+// NewIngester starts an ingester over db. Close it when done; an open
+// ingester holds one background goroutine.
+func (db *DB) NewIngester(cfg IngestConfig) *Ingester {
+	cfg.setDefaults()
+	ing := &Ingester{
+		db:     db,
+		cfg:    cfg,
+		ops:    make(chan *pendingOp, cfg.QueueDepth),
+		exited: make(chan struct{}),
+	}
+	go ing.commitLoop()
+	return ing
+}
+
+// commitLoop is the single committer: it drains the queue into batches
+// (up to MaxBatch operations, lingering MaxWait for stragglers), commits
+// each batch with one WAL fsync and one write-lock acquisition, and
+// acknowledges every operation with the batch's outcome.
+func (ing *Ingester) commitLoop() {
+	defer close(ing.exited)
+	for op := range ing.ops {
+		batch := []*pendingOp{op}
+		if !op.flush {
+			timer := time.NewTimer(ing.cfg.MaxWait)
+		collect:
+			for len(batch) < ing.cfg.MaxBatch {
+				select {
+				case next, ok := <-ing.ops:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, next)
+					if next.flush {
+						break collect
+					}
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		work := batch[:0:0]
+		for _, p := range batch {
+			if !p.flush {
+				work = append(work, p)
+			}
+		}
+		err := ing.db.commitPending(work)
+		for _, p := range batch {
+			p.done <- err
+		}
+	}
+}
+
+// enqueue submits p, applying backpressure: an immediate slot if one is
+// free, otherwise a bounded wait, then fail-fast.
+func (ing *Ingester) enqueue(ctx context.Context, p *pendingOp) error {
+	ing.mu.RLock()
+	defer ing.mu.RUnlock()
+	if ing.closed {
+		return ErrIngesterClosed
+	}
+	select {
+	case ing.ops <- p:
+		return nil
+	default:
+	}
+	if ing.cfg.EnqueueWait < 0 {
+		obs.Default().ObserveIngestQueueFull(1)
+		return ErrIngestQueueFull
+	}
+	timer := time.NewTimer(ing.cfg.EnqueueWait)
+	defer timer.Stop()
+	select {
+	case ing.ops <- p:
+		return nil
+	case <-timer.C:
+		obs.Default().ObserveIngestQueueFull(1)
+		return ErrIngestQueueFull
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// await blocks until the committer acknowledges p or ctx is done. A
+// context cancellation abandons the wait, not the operation: the batch
+// may still commit.
+func (ing *Ingester) await(ctx context.Context, p *pendingOp) error {
+	select {
+	case err := <-p.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Add parses one XML document and submits it. The returned ID is
+// assigned at commit; a nil error means the document is durable and
+// visible. Parse failures are rejected before anything is queued.
+func (ing *Ingester) Add(ctx context.Context, doc string) (uint32, error) {
+	p, err := ing.db.insertOp(doc)
+	if err != nil {
+		return 0, err
+	}
+	if err := ing.enqueue(ctx, p); err != nil {
+		return 0, err
+	}
+	if err := ing.await(ctx, p); err != nil {
+		return 0, err
+	}
+	return p.rec, nil
+}
+
+// AddBatch submits several documents. They are queued individually (the
+// committer may split or merge them across group commits); the returned
+// IDs are in argument order. The first submission or commit error stops
+// the remaining waits, but operations already queued may still commit.
+func (ing *Ingester) AddBatch(ctx context.Context, docs []string) ([]uint32, error) {
+	pending := make([]*pendingOp, 0, len(docs))
+	for _, doc := range docs {
+		p, err := ing.db.insertOp(doc)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, p)
+	}
+	for _, p := range pending {
+		if err := ing.enqueue(ctx, p); err != nil {
+			return nil, err
+		}
+	}
+	recs := make([]uint32, len(pending))
+	for i, p := range pending {
+		if err := ing.await(ctx, p); err != nil {
+			return nil, err
+		}
+		recs[i] = p.rec
+	}
+	return recs, nil
+}
+
+// Delete submits a durable delete of document rec: the record is
+// tombstoned (excluded from every query path) and its index entries are
+// removed. Deleting an unknown record fails the containing batch.
+func (ing *Ingester) Delete(ctx context.Context, rec uint32) error {
+	p := &pendingOp{kind: core.IngestOpDelete, rec: rec, done: make(chan error, 1)}
+	if err := ing.enqueue(ctx, p); err != nil {
+		return err
+	}
+	return ing.await(ctx, p)
+}
+
+// Flush blocks until everything queued before it has been committed.
+func (ing *Ingester) Flush(ctx context.Context) error {
+	p := &pendingOp{flush: true, done: make(chan error, 1)}
+	if err := ing.enqueue(ctx, p); err != nil {
+		return err
+	}
+	return ing.await(ctx, p)
+}
+
+// QueueLen reports how many operations are waiting in the queue — the
+// in-memory half of ingest lag (DB.IngestLag is the durable half).
+func (ing *Ingester) QueueLen() int { return len(ing.ops) }
+
+// Close stops accepting operations, waits for the committer to drain
+// and commit everything already queued, and returns. It does not Save:
+// the WAL keeps acknowledged operations durable until the next Save.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if !ing.closed {
+		ing.closed = true
+		close(ing.ops)
+	}
+	ing.mu.Unlock()
+	<-ing.exited
+	return nil
+}
+
+// ValidateDocument parses doc under the DB's parse limits without
+// storing anything. Servers use it to reject malformed or oversized
+// input with a client error before the operation enters the ingest
+// queue (once queued, commit errors are indistinguishable from server
+// faults).
+func (db *DB) ValidateDocument(doc string) error {
+	_, err := xmltree.ParseWithLimits(bytes.NewReader([]byte(doc)), db.parseLimits())
+	return err
+}
+
+// insertOp parses and validates one document into a pending insert.
+func (db *DB) insertOp(doc string) (*pendingOp, error) {
+	raw := []byte(doc)
+	n, err := xmltree.ParseWithLimits(bytes.NewReader(raw), db.parseLimits())
+	if err != nil {
+		return nil, err
+	}
+	return &pendingOp{
+		kind: core.IngestOpInsert,
+		xml:  raw,
+		tree: n,
+		done: make(chan error, 1),
+	}, nil
+}
+
+// IngestBatchCtx ingests a batch of documents in one group commit: one
+// WAL append sharing one fsync, one write-lock acquisition for the whole
+// batch. It returns the assigned document IDs in argument order. On
+// error nothing in the batch is visible or durable (the batch rolls
+// back as a unit). For continuous concurrent ingest prefer an Ingester,
+// which coalesces batches across callers.
+func (db *DB) IngestBatchCtx(ctx context.Context, docs []string) ([]uint32, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	pending := make([]*pendingOp, 0, len(docs))
+	for _, doc := range docs {
+		p, err := db.insertOp(doc)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, p)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := db.commitPending(pending); err != nil {
+		return nil, err
+	}
+	recs := make([]uint32, len(pending))
+	for i, p := range pending {
+		recs[i] = p.rec
+	}
+	return recs, nil
+}
+
+// DeleteDocument durably deletes document rec: the record is tombstoned
+// — excluded from queries, scans, and Exists — and its index entries are
+// removed. The record's bytes stay in the append-only heap until a
+// rebuild. It is DeleteDocumentCtx with context.Background().
+func (db *DB) DeleteDocument(rec uint32) error {
+	return db.DeleteDocumentCtx(context.Background(), rec)
+}
+
+// DeleteDocumentCtx is DeleteDocument with cancellation (observed before
+// the commit starts; the commit itself is not interruptible).
+func (db *DB) DeleteDocumentCtx(ctx context.Context, rec uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := &pendingOp{kind: core.IngestOpDelete, rec: rec, done: make(chan error, 1)}
+	return db.commitPending([]*pendingOp{p})
+}
+
+// commitPending serializes one batch against every other mutation and
+// commits it. Ingest entry points call it; the legacy AddDocument path
+// shares commitLocked underneath.
+func (db *DB) commitPending(ops []*pendingOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	if err := db.ensureIngestLog(); err != nil {
+		return err
+	}
+	return db.commitLocked(ops)
+}
+
+// ensureIngestLog lazily creates fix.ingest on a persistent DB, first
+// making the log's base durable: the heap prefix is fsynced and the
+// dictionary and tombstone sidecar saved, so replay re-parses documents
+// against exactly the label assignments the original encoding used.
+// Requires ingestMu. In-memory DBs never have a log.
+func (db *DB) ensureIngestLog() error {
+	if db.wal != nil || db.dir == "" {
+		return nil
+	}
+	if err := db.store.Sync(); err != nil {
+		return fmt.Errorf("fix: syncing heap for ingest log base: %w", err)
+	}
+	if err := db.saveDict(); err != nil {
+		return fmt.Errorf("fix: saving dictionary for ingest log base: %w", err)
+	}
+	if err := db.saveTombs(); err != nil {
+		return fmt.Errorf("fix: saving tombstones for ingest log base: %w", err)
+	}
+	f, err := fileCreate(filepath.Join(db.dir, core.IngestLogName))
+	if err != nil {
+		return fmt.Errorf("fix: creating ingest log: %w", err)
+	}
+	lg, err := core.NewIngestLog(f, uint32(db.store.NumRecords()), db.store.Size())
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	db.wal = lg
+	return nil
+}
+
+// commitLocked is the group commit. Requires ingestMu (so the record
+// count is stable and the WAL is appended in commit order).
+//
+// Protocol: assign record numbers and validate every operation; append
+// the batch to the WAL and fsync it (the durability point — after this
+// returns success, recovery will replay the batch); apply the batch to
+// the heap and index under the write lock. An apply failure or panic
+// rolls the whole batch back — WAL suffix truncated first so a crash
+// cannot resurrect the unacknowledged batch, then heap and tombstones
+// restored — and conservatively degrades the index, because a partial
+// apply may have left entries behind.
+func (db *DB) commitLocked(ops []*pendingOp) error {
+	preRecords := db.store.NumRecords()
+	preEnd := db.store.Size()
+	nrec := uint32(preRecords)
+	walOps := make([]core.IngestOp, 0, len(ops))
+	docs, deletes := 0, 0
+	for _, p := range ops {
+		switch p.kind {
+		case core.IngestOpInsert:
+			p.rec = nrec
+			nrec++
+			docs++
+			walOps = append(walOps, core.IngestOp{Kind: core.IngestOpInsert, Rec: p.rec, XML: p.xml})
+		case core.IngestOpDelete:
+			if int(p.rec) >= preRecords {
+				return fmt.Errorf("%w: delete of record %d out of range (have %d)", ErrUnknownDocument, p.rec, preRecords)
+			}
+			deletes++
+			walOps = append(walOps, core.IngestOp{Kind: core.IngestOpDelete, Rec: p.rec})
+		default:
+			return fmt.Errorf("fix: unknown ingest op kind %d", p.kind)
+		}
+	}
+	var walSize0 int64
+	if db.wal != nil {
+		walSize0 = db.wal.Size()
+		if err := db.wal.AppendBatch(walOps); err != nil {
+			return err // nothing durable, nothing applied, nothing acked
+		}
+	}
+	if err := db.applyBatch(ops); err != nil {
+		db.rollbackBatch(ops, preRecords, preEnd, walSize0, len(walOps), err)
+		return err
+	}
+	fsyncs := 0
+	if db.wal != nil {
+		fsyncs = 1
+	}
+	obs.Default().ObserveIngestBatch(docs, deletes, fsyncs)
+	return nil
+}
+
+// applyBatch applies a WAL-durable batch to the heap and the index under
+// one write-lock acquisition. A panic anywhere inside is contained into
+// an error wrapping ErrPanic (and counted), so the caller can roll back.
+// An operation that stores fine but cannot be indexed
+// (ErrRebuildRequired) degrades the index and does not fail the batch —
+// durability never depends on the index.
+func (db *DB) applyBatch(ops []*pendingOp) (err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Default().ObservePanicRecovered()
+			err = fmt.Errorf("%w: ingest batch: %v\n%s", ErrPanic, r, debug.Stack())
+		}
+	}()
+	for _, p := range ops {
+		switch p.kind {
+		case core.IngestOpInsert:
+			rec, aerr := db.store.AppendTree(p.tree)
+			if aerr != nil {
+				return aerr
+			}
+			if rec != p.rec {
+				return fmt.Errorf("fix: ingest batch applied record %d, expected %d", rec, p.rec)
+			}
+			if db.index != nil && db.index.Health() == nil {
+				if ierr := db.index.InsertDocument(rec); ierr != nil {
+					if !errors.Is(ierr, ErrRebuildRequired) {
+						return ierr
+					}
+					db.index.Degrade(ierr)
+				}
+			}
+		case core.IngestOpDelete:
+			marked, derr := db.store.MarkDeleted(p.rec)
+			if derr != nil {
+				return derr
+			}
+			p.marked = marked
+			if db.index != nil && db.index.Health() == nil {
+				if _, derr := db.index.DeleteDocument(p.rec); derr != nil {
+					return derr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rollbackBatch undoes a failed batch: the WAL suffix goes first (so a
+// crash mid-rollback cannot replay the unacknowledged batch), then the
+// heap and tombstones are restored to their pre-batch state, and the
+// index is conservatively degraded — a partial apply may have inserted
+// entries that now point past the truncated heap, and degradation routes
+// queries to the exact scan fallback until a rebuild. Rollback steps are
+// best-effort: if the disk is failing they may fail too, in which case
+// reopening the database replays only acknowledged batches.
+func (db *DB) rollbackBatch(ops []*pendingOp, preRecords int, preEnd int64, walSize0 int64, nwal int, cause error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		_ = db.wal.TruncateBatch(walSize0, nwal)
+	}
+	for _, p := range ops {
+		if p.kind == core.IngestOpDelete && p.marked {
+			db.store.UnmarkDeleted(p.rec)
+			p.marked = false
+		}
+	}
+	_ = db.store.TruncateTo(preRecords, preEnd)
+	if db.index != nil {
+		db.index.Degrade(fmt.Errorf("fix: ingest batch rolled back: %w", cause))
+	}
+}
+
+// IngestLag returns the number of acknowledged operations the ingest
+// log is carrying ahead of the last Save — the work a crash would
+// replay, cleared by Save. It is 0 for in-memory DBs and before the
+// first ingest.
+func (db *DB) IngestLag() int {
+	db.ingestMu.Lock()
+	defer db.ingestMu.Unlock()
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.Ops()
+}
+
+// DeletedDocuments returns how many documents are tombstoned (deleted
+// but still occupying heap space until a rebuild).
+func (db *DB) DeletedDocuments() int { return db.store.NumDeleted() }
+
+// saveTombs writes the tombstone sidecar (fix.tomb) atomically: temp
+// file, fsync, rename — the same crash-safety bar as labels.dict. An
+// empty set still writes the file, so a reopened DB never resurrects
+// documents deleted before the last Save.
+func (db *DB) saveTombs() error {
+	path := filepath.Join(db.dir, "fix.tomb")
+	data := storage.EncodeTombstones(db.store.DeletedRecords())
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadTombs restores the tombstone set from fix.tomb; a missing sidecar
+// means no deletes were ever committed. A corrupt sidecar fails the open
+// loudly — silently dropping it would resurrect deleted documents.
+func (db *DB) loadTombs() error {
+	data, err := os.ReadFile(filepath.Join(db.dir, "fix.tomb"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	recs, err := storage.DecodeTombstones(data)
+	if err != nil {
+		return fmt.Errorf("fix: loading tombstones: %w", err)
+	}
+	return db.store.SetDeleted(recs)
+}

@@ -1,0 +1,725 @@
+package fix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fix-index/fix/internal/storage"
+)
+
+// withFaultFiles routes the DB's own file I/O (record heap and ingest
+// log) through pl, mirroring the core crash tests' faultFS seam, and
+// returns a restore function standing in for the process reboot: after
+// the "crash", recovery runs against the real files.
+func withFaultFiles(pl *storage.FaultPlan) (restore func()) {
+	origCreate, origOpen := fileCreate, fileOpen
+	fileCreate = func(path string) (storage.File, error) {
+		f, err := storage.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		return pl.Wrap(f), nil
+	}
+	fileOpen = func(path string) (storage.File, error) {
+		f, err := storage.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return pl.Wrap(f), nil
+	}
+	return func() { fileCreate, fileOpen = origCreate, origOpen }
+}
+
+func mustExist(t *testing.T, db *DB, expr string, want bool) {
+	t.Helper()
+	ok, err := db.Exists(expr)
+	if err != nil {
+		t.Fatalf("Exists(%s): %v", expr, err)
+	}
+	if ok != want {
+		t.Errorf("Exists(%s) = %v, want %v", expr, ok, want)
+	}
+}
+
+func TestIngestBatchCtx(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.IngestBatchCtx(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(docs) {
+		t.Fatalf("got %d ids for %d docs", len(ids), len(docs))
+	}
+	for i, id := range ids {
+		if id != uint32(i) {
+			t.Fatalf("ids = %v, want sequential from 0", ids)
+		}
+	}
+	mustExist(t, db, "//author[phone]", true)
+
+	// Empty and invalid batches.
+	if ids, err := db.IngestBatchCtx(context.Background(), nil); err != nil || ids != nil {
+		t.Fatalf("empty batch: %v, %v", ids, err)
+	}
+	if _, err := db.IngestBatchCtx(context.Background(), []string{"<a/>", "<broken"}); err == nil {
+		t.Fatal("batch with a parse error was accepted")
+	}
+	if db.NumDocuments() != len(docs) {
+		t.Fatalf("rejected batch changed the store: %d documents", db.NumDocuments())
+	}
+}
+
+func TestDeleteDocument(t *testing.T) {
+	db := newTestDB(t, IndexOptions{})
+	pre, err := db.Query("//author[email]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteDocument(1); err != nil { // the only doc with a phone
+		t.Fatal(err)
+	}
+	if db.NumDocuments() != len(docs) {
+		t.Errorf("NumDocuments = %d after delete, want %d (tombstoned, not compacted)", db.NumDocuments(), len(docs))
+	}
+	if db.DeletedDocuments() != 1 {
+		t.Errorf("DeletedDocuments = %d, want 1", db.DeletedDocuments())
+	}
+	mustExist(t, db, "//author[phone]", false)
+	res, err := db.Query("//author[email]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanFallback {
+		t.Error("delete degraded the index")
+	}
+	if res.Count != pre.Count-1 {
+		t.Errorf("count after delete = %d, want %d", res.Count, pre.Count-1)
+	}
+	// Indexed and scan-only answers agree on the tombstoned collection.
+	scan, err := db.Query("//author[email]", WithScanOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Count != res.Count {
+		t.Errorf("scan count %d != indexed count %d", scan.Count, res.Count)
+	}
+	ids, err := db.QueryDocuments("//author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == 1 {
+			t.Error("QueryDocuments returned a deleted document")
+		}
+	}
+	// Idempotent; out-of-range fails.
+	if err := db.DeleteDocument(1); err != nil {
+		t.Errorf("re-delete: %v", err)
+	}
+	if err := db.DeleteDocument(uint32(len(docs))); err == nil {
+		t.Error("delete out of range succeeded")
+	}
+}
+
+func TestIngesterBasic(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := db.NewIngester(IngestConfig{})
+	ctx := context.Background()
+
+	recs, err := ing.AddBatch(ctx, docs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0] != 0 || recs[1] != 1 || recs[2] != 2 {
+		t.Fatalf("AddBatch ids = %v, want [0 1 2]", recs)
+	}
+	id, err := ing.Add(ctx, docs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Fatalf("Add id = %d, want 3", id)
+	}
+	if err := ing.Delete(ctx, recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumDocuments() != 4 || db.DeletedDocuments() != 1 {
+		t.Fatalf("have %d docs / %d deleted, want 4 / 1", db.NumDocuments(), db.DeletedDocuments())
+	}
+	mustExist(t, db, "//author[phone]", false)
+
+	if _, err := ing.Add(ctx, "<broken"); err == nil {
+		t.Error("parse error accepted")
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := ing.Add(ctx, "<a/>"); !errors.Is(err, ErrIngesterClosed) {
+		t.Errorf("Add after Close = %v, want ErrIngesterClosed", err)
+	}
+	if err := ing.Delete(ctx, 0); !errors.Is(err, ErrIngesterClosed) {
+		t.Errorf("Delete after Close = %v, want ErrIngesterClosed", err)
+	}
+	if err := ing.Flush(ctx); !errors.Is(err, ErrIngesterClosed) {
+		t.Errorf("Flush after Close = %v, want ErrIngesterClosed", err)
+	}
+}
+
+func TestIngestBackpressure(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := db.NewIngester(IngestConfig{QueueDepth: 2, EnqueueWait: -1})
+	defer func() { _ = ing.Close() }()
+	before := db.Snapshot().IngestQueueFull
+
+	// Stall the committer on the ingest lock, so the queue cannot drain.
+	db.ingestMu.Lock()
+	accepted, rejected := 0, 0
+	for i := 0; i < 6; i++ {
+		p, err := db.insertOp(fmt.Sprintf("<d><v>%d</v></d>", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch err := ing.enqueue(context.Background(), p); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrIngestQueueFull):
+			rejected++
+		default:
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	db.ingestMu.Unlock()
+
+	// Queue depth 2 plus at most one operation already in the
+	// committer's hands.
+	if accepted < 2 || accepted > 3 {
+		t.Errorf("accepted %d operations on a depth-2 queue", accepted)
+	}
+	if rejected == 0 {
+		t.Error("no operation hit backpressure")
+	}
+	// Flush competes with the backlog for the still-full queue
+	// (EnqueueWait < 0 fails fast), so retry until it fits.
+	for {
+		err := ing.Flush(context.Background())
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrIngestQueueFull) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if db.NumDocuments() != accepted {
+		t.Errorf("committed %d documents, accepted %d", db.NumDocuments(), accepted)
+	}
+	// Every rejection counted (retried Flushes may add more).
+	if got := db.Snapshot().IngestQueueFull - before; got < int64(rejected) {
+		t.Errorf("queue-full counter grew by %d, want at least %d", got, rejected)
+	}
+}
+
+func TestIngestRebuildRequiredDegrades(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if _, err := db.AddDocumentString(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.BuildIndex(IndexOptions{Values: true}); err != nil {
+		t.Fatal(err)
+	}
+	// A document with element labels the value-hash range cannot absorb:
+	// it must still be stored and acknowledged; the index degrades.
+	id, err := db.AddDocumentString(`<zzz><qqq>new</qqq></zzz>`)
+	if err != nil {
+		t.Fatalf("ingest across a rebuild boundary failed: %v", err)
+	}
+	if id != uint32(len(docs)) {
+		t.Fatalf("id = %d, want %d", id, len(docs))
+	}
+	health := db.IndexHealth()
+	if health == nil || !errors.Is(health, ErrRebuildRequired) {
+		t.Fatalf("IndexHealth = %v, want an error wrapping ErrRebuildRequired", health)
+	}
+	res, err := db.Query("//zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ScanFallback || res.Count != 1 {
+		t.Fatalf("query on degraded index: count=%d fallback=%v, want 1/true", res.Count, res.ScanFallback)
+	}
+	if err := db.RebuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if db.IndexHealth() != nil {
+		t.Fatalf("rebuilt index unhealthy: %v", db.IndexHealth())
+	}
+	res, err = db.Query("//zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanFallback || res.Count != 1 {
+		t.Fatalf("query after rebuild: count=%d fallback=%v, want 1/false", res.Count, res.ScanFallback)
+	}
+}
+
+func TestIngestLogLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "fix.ingest")
+	if _, err := db.AddDocumentString(docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walPath); !os.IsNotExist(err) {
+		t.Fatal("bulk-load AddDocument created the ingest log")
+	}
+	if db.IngestLag() != 0 {
+		t.Fatalf("IngestLag = %d before any streaming ingest", db.IngestLag())
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := db.IngestBatchCtx(context.Background(), docs[1:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids = %v, want [1 2]", ids)
+	}
+	if _, err := os.Stat(walPath); err != nil {
+		t.Fatalf("streaming ingest did not create the ingest log: %v", err)
+	}
+	if db.IngestLag() != 2 {
+		t.Fatalf("IngestLag = %d after a 2-op batch, want 2", db.IngestLag())
+	}
+	if err := db.DeleteDocument(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// With a live log, plain AddDocument joins the durable path.
+	if _, err := db.AddDocumentString(docs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if db.IngestLag() != 4 {
+		t.Fatalf("IngestLag = %d, want 4", db.IngestLag())
+	}
+	snap := db.Snapshot()
+	if snap.IngestLag != 4 || snap.DocumentsDeleted != 1 {
+		t.Fatalf("snapshot lag/deleted = %d/%d, want 4/1", snap.IngestLag, snap.DocumentsDeleted)
+	}
+
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if db.IngestLag() != 0 {
+		t.Fatalf("IngestLag = %d after Save, want 0", db.IngestLag())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if re.NumDocuments() != 4 || re.DeletedDocuments() != 1 {
+		t.Fatalf("reopened: %d docs / %d deleted, want 4 / 1", re.NumDocuments(), re.DeletedDocuments())
+	}
+	if re.IngestLag() != 0 {
+		t.Fatalf("reopened IngestLag = %d, want 0", re.IngestLag())
+	}
+	mustExist(t, re, "//author[phone]", false) // docs[1] stayed deleted
+	mustExist(t, re, "//author[address]", true)
+}
+
+func TestIngestReplayOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddDocumentString(docs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndex(IndexOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged but never Saved: the log alone protects these.
+	if _, err := db.IngestBatchCtx(context.Background(), docs[1:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteDocument(0); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Snapshot().IngestReplayed
+	if err := db.Close(); err != nil { // crash stand-in: no Save
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if got := db.Snapshot().IngestReplayed - before; got != 3 {
+		t.Errorf("replayed counter grew by %d, want 3", got)
+	}
+	if re.NumDocuments() != 3 || re.DeletedDocuments() != 1 {
+		t.Fatalf("replayed: %d docs / %d deleted, want 3 / 1", re.NumDocuments(), re.DeletedDocuments())
+	}
+	if re.IngestLag() != 0 {
+		t.Fatalf("IngestLag = %d after replay, want 0 (Open absorbs the log)", re.IngestLag())
+	}
+	// The replay re-indexed incrementally: exact answers, no fallback.
+	res, err := re.Query("//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 { // docs[1] and docs[2]; docs[0] deleted
+		t.Errorf("count = %d, want 2", res.Count)
+	}
+	if res.ScanFallback {
+		t.Error("replayed index fell back to scanning")
+	}
+	mustExist(t, re, "//author[phone]", true)
+
+	// Open already absorbed the log into the base commit, so a second
+	// reopen replays nothing.
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re2.Close() }()
+	if re2.NumDocuments() != 3 || re2.DeletedDocuments() != 1 || re2.IngestLag() != 0 {
+		t.Fatalf("second reopen: %d docs / %d deleted / lag %d", re2.NumDocuments(), re2.DeletedDocuments(), re2.IngestLag())
+	}
+}
+
+// ingestScript drives a fixed sequence of group commits and reports how
+// far it got: the number of fully acknowledged steps.
+//
+//	step 1: batch insert <u0/>, <u1/>
+//	step 2: delete the base document <base0/>
+//	step 3: batch insert <u2/>
+func ingestScript(db *DB) (ackedSteps int, err error) {
+	if _, err = db.IngestBatchCtx(context.Background(), []string{"<u0/>", "<u1/>"}); err != nil {
+		return 0, err
+	}
+	if err = db.DeleteDocument(0); err != nil {
+		return 1, err
+	}
+	if _, err = db.IngestBatchCtx(context.Background(), []string{"<u2/>"}); err != nil {
+		return 2, err
+	}
+	return 3, nil
+}
+
+// setupIngestBase creates a DB under dir with two base documents.
+func setupIngestBase(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"<base0/>", "<base1/>"} {
+		if _, err := db.AddDocumentString(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// checkIngestOutcome verifies the recovery oracle over a reopened DB:
+// every acknowledged step is fully visible, every unattempted step fully
+// absent. (An attempted-but-unacknowledged step may appear — the
+// documented at-least-once window when a batch reached the disk but its
+// fsync result was lost — so only the acknowledged floor and the
+// attempted ceiling are asserted.)
+func checkIngestOutcome(t *testing.T, db *DB, ackedSteps int, ctx string) {
+	t.Helper()
+	mustExist(t, db, "//base1", true)
+	if ackedSteps >= 1 {
+		mustExist(t, db, "//u0", true)
+		mustExist(t, db, "//u1", true)
+	}
+	if ackedSteps >= 2 {
+		mustExist(t, db, "//base0", false)
+	}
+	if ackedSteps >= 3 {
+		mustExist(t, db, "//u2", true)
+	}
+	// Steps run strictly in order, so anything past the failed step was
+	// never attempted and must not exist in any form.
+	if ackedSteps < 2 {
+		mustExist(t, db, "//u2", false)
+	}
+	if n := db.NumDocuments(); n < 2+2*min(ackedSteps, 1) || n > 5 {
+		t.Errorf("%s: implausible document count %d for %d acked steps", ctx, n, ackedSteps)
+	}
+}
+
+// TestIngestCrashSweep simulates a crash at every write operation of the
+// streaming-ingest window — WAL creation, batch appends and fsyncs, heap
+// applies — in plain and torn variants, then reopens the directory like
+// a rebooted process and requires that no acknowledged operation is lost
+// and nothing unattempted appears.
+func TestIngestCrashSweep(t *testing.T) {
+	// Dry run: learn the deterministic write-op count of the window.
+	dry := &storage.FaultPlan{}
+	restore := withFaultFiles(dry)
+	dir := t.TempDir()
+	db := setupIngestBase(t, dir)
+	w1 := dry.Writes()
+	if acked, err := ingestScript(db); err != nil || acked != 3 {
+		t.Fatalf("dry run: acked %d steps, err %v", acked, err)
+	}
+	w2 := dry.Writes()
+	restore()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= w1 {
+		t.Fatalf("ingest window did no writes (%d..%d)", w1, w2)
+	}
+
+	for n := w1 + 1; n <= w2; n++ {
+		for _, torn := range []bool{false, true} {
+			pl := &storage.FaultPlan{FailWrite: n, Torn: torn}
+			restore := withFaultFiles(pl)
+			dir := t.TempDir()
+			db := setupIngestBase(t, dir)
+			acked, err := ingestScript(db)
+			if err == nil {
+				t.Fatalf("write %d (torn=%t): expected an injected failure", n, torn)
+			}
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("write %d (torn=%t): unexpected error: %v", n, torn, err)
+			}
+			_ = db.Close()
+			restore() // "reboot": recovery sees the real files
+
+			re, err := Open(dir)
+			if err != nil {
+				// The crash hit before the first group commit made the
+				// database durable (labels.dict is written on the way to
+				// the WAL): nothing was acknowledged, so there is
+				// legitimately nothing to open.
+				if acked == 0 && errors.Is(err, os.ErrNotExist) {
+					continue
+				}
+				t.Fatalf("write %d (torn=%t): reopen: %v", n, torn, err)
+			}
+			ctx := fmt.Sprintf("write %d (torn=%t)", n, torn)
+			checkIngestOutcome(t, re, acked, ctx)
+
+			// The reopened DB is fully usable: Save absorbs the replayed
+			// log and a further reopen is stable.
+			if err := re.Save(); err != nil {
+				t.Fatalf("%s: save after recovery: %v", ctx, err)
+			}
+			if re.IngestLag() != 0 {
+				t.Errorf("%s: IngestLag = %d after Save", ctx, re.IngestLag())
+			}
+			if err := re.Close(); err != nil {
+				t.Fatalf("%s: close: %v", ctx, err)
+			}
+			re2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("%s: second reopen: %v", ctx, err)
+			}
+			checkIngestOutcome(t, re2, acked, ctx+" (saved)")
+			_ = re2.Close()
+		}
+	}
+}
+
+// TestIngestBatchRollbackTransient injects one transient write fault at
+// every point of a batch commit and requires all-or-nothing semantics on
+// the live DB: either the batch was acknowledged and is fully visible,
+// or it failed and nothing of it is visible — and in both cases the DB
+// keeps accepting ingest afterwards (the disk recovered).
+func TestIngestBatchRollbackTransient(t *testing.T) {
+	dry := &storage.FaultPlan{}
+	restore := withFaultFiles(dry)
+	dir := t.TempDir()
+	db := setupIngestBase(t, dir)
+	w1 := dry.Writes()
+	if _, err := db.IngestBatchCtx(context.Background(), []string{"<u0/>", "<u1/>"}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := dry.Writes()
+	restore()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for n := w1 + 1; n <= w2; n++ {
+		pl := &storage.FaultPlan{FailWrite: n, OneShot: true}
+		restore := withFaultFiles(pl)
+		dir := t.TempDir()
+		db := setupIngestBase(t, dir)
+		_, err := db.IngestBatchCtx(context.Background(), []string{"<u0/>", "<u1/>"})
+		if err == nil {
+			// The fault landed on a write the commit can tolerate
+			// (none currently; guard against future protocol changes).
+			mustExist(t, db, "//u0", true)
+			mustExist(t, db, "//u1", true)
+		} else {
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("write %d: unexpected error: %v", n, err)
+			}
+			mustExist(t, db, "//u0", false)
+			mustExist(t, db, "//u1", false)
+			if db.NumDocuments() != 2 {
+				t.Fatalf("write %d: rolled-back batch left %d documents", n, db.NumDocuments())
+			}
+		}
+		// The transient fault has passed: ingest must work again.
+		if _, err := db.IngestBatchCtx(context.Background(), []string{"<u2/>"}); err != nil {
+			t.Fatalf("write %d: ingest after recovery: %v", n, err)
+		}
+		mustExist(t, db, "//u2", true)
+		_ = db.Close()
+		restore()
+
+		re, err := Open(dir)
+		if err != nil {
+			t.Fatalf("write %d: reopen: %v", n, err)
+		}
+		mustExist(t, re, "//u2", true)
+		if err2 := re.Close(); err2 != nil {
+			t.Fatal(err2)
+		}
+	}
+}
+
+// TestConcurrentIngestAndQuery runs writers (inserts and deletes through
+// one Ingester) against readers (queries, Exists, snapshots) and checks
+// the final state is exact. Run under -race, this is the data-race proof
+// for the ingest/query lock protocol.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	db := newTestDB(t, IndexOptions{})
+	ing := db.NewIngester(IngestConfig{MaxWait: 100 * time.Microsecond})
+	ctx := context.Background()
+
+	const writers = 4
+	const perWriter = 24
+	var wg sync.WaitGroup
+	var deleted atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				doc := fmt.Sprintf(`<article><title>w%d-%d</title><author><email>e</email></author></article>`, w, i)
+				rec, err := ing.Add(ctx, doc)
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%4 == 3 {
+					if err := ing.Delete(ctx, rec); err != nil {
+						t.Errorf("writer %d delete: %v", w, err)
+						return
+					}
+					deleted.Add(1)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Query("//article[author]/title"); err != nil {
+					t.Errorf("reader query: %v", err)
+					return
+				}
+				if _, err := db.Exists("//author[email]"); err != nil {
+					t.Errorf("reader exists: %v", err)
+					return
+				}
+				_ = db.Snapshot()
+				_ = db.IngestLag()
+				_ = ing.QueueLen()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantDocs := len(docs) + writers*perWriter
+	if db.NumDocuments() != wantDocs {
+		t.Fatalf("NumDocuments = %d, want %d", db.NumDocuments(), wantDocs)
+	}
+	if int64(db.DeletedDocuments()) != deleted.Load() {
+		t.Fatalf("DeletedDocuments = %d, want %d", db.DeletedDocuments(), deleted.Load())
+	}
+	// Indexed and scan-only answers agree exactly on the final state.
+	idx, err := db.Query("//article[author]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := db.Query("//article[author]/title", WithScanOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.ScanFallback {
+		t.Error("index degraded during concurrent ingest")
+	}
+	if idx.Count != scan.Count {
+		t.Fatalf("indexed count %d != scan count %d", idx.Count, scan.Count)
+	}
+	want := 2 + writers*perWriter - int(deleted.Load()) // base docs 0 and 1 match too
+	if idx.Count != want {
+		t.Fatalf("count = %d, want %d", idx.Count, want)
+	}
+}

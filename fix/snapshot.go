@@ -41,16 +41,32 @@ type Snapshot struct {
 	BuildUnits   int64         `json:"build_units"`
 	BuildWall    time.Duration `json:"build_wall_ns"`
 
+	// Ingest pipeline totals across the process: committed group-commit
+	// batches, the inserts/deletes they carried, the fsyncs they cost,
+	// operations rejected by backpressure, and operations replayed from
+	// the ingest WAL during crash recovery. See docs/ROBUSTNESS.md.
+	IngestBatches   int64 `json:"ingest_batches"`
+	IngestDocs      int64 `json:"ingest_docs"`
+	IngestDeletes   int64 `json:"ingest_deletes"`
+	IngestFsyncs    int64 `json:"ingest_fsyncs"`
+	IngestQueueFull int64 `json:"ingest_queue_full"`
+	IngestReplayed  int64 `json:"ingest_replayed"`
+
 	// Latency is the bounded query-latency histogram with estimated
 	// quantiles (upper-bound error is one power-of-two bucket).
 	Latency obs.LatencySnapshot `json:"query_latency"`
 
-	// This DB's shape and cumulative I/O.
-	Documents      int          `json:"documents"`
-	IndexEntries   int          `json:"index_entries"`
-	IndexSizeBytes int64        `json:"index_size_bytes"`
-	BTree          BTreeStats   `json:"btree"`
-	Storage        StorageStats `json:"storage"`
+	// This DB's shape and cumulative I/O. DocumentsDeleted counts
+	// tombstoned records still occupying the heap; IngestLag is the
+	// number of WAL operations applied in memory but not yet folded into
+	// a durable index commit (Save resets it to zero).
+	Documents        int          `json:"documents"`
+	DocumentsDeleted int          `json:"documents_deleted"`
+	IngestLag        int          `json:"ingest_lag"`
+	IndexEntries     int          `json:"index_entries"`
+	IndexSizeBytes   int64        `json:"index_size_bytes"`
+	BTree            BTreeStats   `json:"btree"`
+	Storage          StorageStats `json:"storage"`
 }
 
 // BTreeStats are the index B-tree's cumulative pager counters.
@@ -95,12 +111,22 @@ func (db *DB) Snapshot() Snapshot {
 		DeadlineExceeded:  reg.DeadlineExceeded,
 		BudgetExceeded:    reg.BudgetExceeded,
 		PanicsRecovered:   reg.PanicsRecovered,
-		Builds:        reg.Builds,
-		BuildRecords:  reg.BuildRecords,
-		BuildUnits:    reg.BuildUnits,
-		BuildWall:     reg.BuildWall,
-		Latency:       reg.Latency,
-		Documents:     db.NumDocuments(),
+		Builds:            reg.Builds,
+		BuildRecords:      reg.BuildRecords,
+		BuildUnits:        reg.BuildUnits,
+		BuildWall:         reg.BuildWall,
+
+		IngestBatches:   reg.IngestBatches,
+		IngestDocs:      reg.IngestDocs,
+		IngestDeletes:   reg.IngestDeletes,
+		IngestFsyncs:    reg.IngestFsyncs,
+		IngestQueueFull: reg.IngestQueueFull,
+		IngestReplayed:  reg.IngestReplayed,
+
+		Latency:          reg.Latency,
+		Documents:        db.NumDocuments(),
+		DocumentsDeleted: db.store.NumDeleted(),
+		IngestLag:        db.IngestLag(),
 	}
 	st := db.store.Stats()
 	s.Storage = StorageStats{

@@ -55,7 +55,8 @@ func memStoreFromDocs(t *testing.T, docs []string) *storage.Store {
 }
 
 // oracleCounts answers the queries by full navigational scan — the
-// ground truth every post-crash state must reproduce.
+// ground truth every post-crash state must reproduce. Tombstoned
+// records are not part of the collection, so the oracle skips them.
 func oracleCounts(t *testing.T, st *storage.Store, queries []string) map[string]int {
 	t.Helper()
 	out := make(map[string]int, len(queries))
@@ -66,6 +67,9 @@ func oracleCounts(t *testing.T, st *storage.Store, queries []string) map[string]
 		}
 		total := 0
 		for rec := 0; rec < st.NumRecords(); rec++ {
+			if st.IsDeleted(uint32(rec)) {
+				continue
+			}
 			cur, err := st.Cursor(uint32(rec))
 			if err != nil {
 				t.Fatal(err)
@@ -239,6 +243,96 @@ func TestCrashDuringIncrementalSave(t *testing.T) {
 			t.Fatalf("write %d: reopen: %v", n, err)
 		}
 		checkOracle(t, re, oracle, dir)
+	}
+}
+
+// TestCrashDuringDelete drives DeleteDocument+Save into a simulated
+// crash at every write operation. The store keeps the tombstone (the
+// ingest WAL restores it after a real reboot), so whatever the crash
+// point the index must end in one of exactly two live states — it fully
+// forgot the record, or it degraded but still answers via the scan
+// fallback — and both the live index and a reopen of the on-disk commit
+// must match the tombstone-aware oracle.
+func TestCrashDuringDelete(t *testing.T) {
+	const target = uint32(1)
+
+	build := func(pl *storage.FaultPlan) (*storage.Store, *Index, string) {
+		st := memStoreFromDocs(t, bibDocs)
+		o := Options{Dir: t.TempDir(), fs: faultFS(pl)}
+		ix, err := Build(st, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Save(); err != nil {
+			t.Fatal(err)
+		}
+		return st, ix, o.Dir
+	}
+	// delDoc mirrors the database layer's apply path: tombstone the
+	// store, drop the index entries, persist; an index error degrades.
+	delDoc := func(st *storage.Store, ix *Index) error {
+		if _, err := st.MarkDeleted(target); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.DeleteDocument(target); err != nil {
+			ix.Degrade(err)
+			return err
+		}
+		return ix.Save()
+	}
+
+	// Dry run: find the write-op window of the delete phase.
+	dry := &storage.FaultPlan{}
+	st, ix, _ := build(dry)
+	w1 := dry.Writes()
+	if err := delDoc(st, ix); err != nil {
+		t.Fatal(err)
+	}
+	w2 := dry.Writes()
+	if w2 <= w1 {
+		t.Fatalf("delete+save did no writes (%d..%d)", w1, w2)
+	}
+	oracle := oracleCounts(t, st, crashQueries)
+	if full := oracleCounts(t, memStoreFromDocs(t, bibDocs), crashQueries); oracle[crashQueries[0]] >= full[crashQueries[0]] {
+		t.Fatalf("deleting record %d did not change the oracle; pick a better target", target)
+	}
+
+	for n := w1 + 1; n <= w2; n++ {
+		for _, torn := range []bool{false, true} {
+			pl := &storage.FaultPlan{FailWrite: n, Torn: torn}
+			st, ix, dir := build(pl)
+			err := delDoc(st, ix)
+			if err == nil {
+				t.Fatalf("write %d (torn=%t): expected an injected failure", n, torn)
+			}
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("write %d (torn=%t): unexpected error: %v", n, torn, err)
+			}
+
+			// Live state: degraded-but-queryable or fully applied; both
+			// must match the oracle (the scan fallback and the index
+			// refinement each skip tombstoned records).
+			checkOracle(t, ix, oracle, "live")
+			if ix.Health() == nil {
+				// A healthy live index must have genuinely forgotten the
+				// record: an indexed query may not touch it.
+				res, qerr := ix.Query(xpath.MustParse(crashQueries[0]))
+				if qerr != nil {
+					t.Fatalf("write %d (torn=%t): healthy query: %v", n, torn, qerr)
+				}
+				if res.Fallback {
+					t.Errorf("write %d (torn=%t): healthy index fell back to scanning", n, torn)
+				}
+			}
+
+			// "Reboot": the on-disk commit is either pre- or post-delete;
+			// with the tombstone restored, both answer correctly.
+			re, err := Open(st, dir)
+			if err != nil {
+				t.Fatalf("write %d (torn=%t): reopen: %v", n, torn, err)
+			}
+			checkOracle(t, re, oracle, "reopened")
+		}
 	}
 }
 

@@ -673,6 +673,9 @@ func (ix *Index) QueryGoverned(ctx context.Context, path *xpath.Path, tr *obs.Tr
 		if rootAnchored && c.Primary.Off() != 0 {
 			return nil // a /-anchored query only matches document roots
 		}
+		if ix.store.IsDeleted(c.Primary.Rec()) {
+			return nil // tombstoned: entries may outlive the delete until rebuild
+		}
 		if tr == nil {
 			cur, ref, err := ix.candidateCursor(c)
 			if err != nil {
@@ -792,6 +795,9 @@ func (ix *Index) ExistsCtx(ctx context.Context, path *xpath.Path) (bool, error) 
 		if rootAnchored && c.Primary.Off() != 0 {
 			return nil
 		}
+		if ix.store.IsDeleted(c.Primary.Rec()) {
+			return nil
+		}
 		cur, ref, err := ix.candidateCursor(c)
 		if err != nil {
 			return err
@@ -851,6 +857,9 @@ func (ix *Index) scanFallback(ctx context.Context, qt *xpath.QNode, tr *obs.Trac
 	nrec := ix.store.NumRecords()
 	counts := make([]int, nrec)
 	err = par.Do(ctx, ix.opts.Workers, nrec, func(i int) error {
+		if ix.store.IsDeleted(uint32(i)) {
+			return nil // tombstoned records are not part of the collection
+		}
 		if tr == nil {
 			cur, err := ix.store.Cursor(uint32(i))
 			if err != nil {
@@ -922,7 +931,7 @@ func (ix *Index) existsFallback(ctx context.Context, qt *xpath.QNode) (bool, err
 	}
 	var found atomic.Bool
 	err = par.Do(ctx, ix.opts.Workers, ix.store.NumRecords(), func(i int) error {
-		if found.Load() {
+		if found.Load() || ix.store.IsDeleted(uint32(i)) {
 			return nil
 		}
 		cur, err := ix.store.Cursor(uint32(i))

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/fix-index/fix/internal/storage"
+)
+
+// Ingest write-ahead log. The shadow journal (journal.go) makes Save
+// atomic, but anything ingested between Saves used to live only in
+// memory. The ingest log closes that window: every batch of inserts and
+// deletes is appended to fix.ingest and fsynced *before* it is applied
+// to the heap and the index, so the fsync is the durability point at
+// which the batch is acknowledged. After a crash, recovery truncates the
+// heap back to the log's recorded base and replays the log's valid
+// prefix, reproducing exactly the acknowledged operations; the log is
+// reset only after the next successful shadow-commit Save has made its
+// contents durable elsewhere.
+//
+// Layout (all integers big-endian):
+//
+//	header:  magic "FIXWAL01" (8) | base records u32 | base heap end u64 |
+//	         CRC-32C of the 20 bytes above, u32
+//	batches: payload length u32 | payload | CRC-32C of the payload, u32
+//	payload: op count u32, then per op:
+//	         kind u8 (1=insert, 2=delete) | record u32 |
+//	         for inserts: XML length u32 | raw XML bytes
+//
+// The header is fsynced at creation, so a log whose header fails its
+// checksum was being created or reset when the crash hit — nothing in
+// that generation was ever acknowledged, and the whole file is
+// discarded. Batches are validated front to back; the longest valid
+// prefix is exactly the set of acknowledged batches (a batch whose fsync
+// did not complete was never acknowledged, so dropping a torn tail
+// loses nothing).
+const ingestMagic = "FIXWAL01"
+
+// IngestLogName is the file name of the ingest write-ahead log inside an
+// index directory.
+const IngestLogName = "fix.ingest"
+
+const ingestHeaderSize = 8 + 4 + 8 + 4
+
+// Decode guards: a batch larger than these bounds is treated as a torn
+// tail rather than allocated on faith.
+const (
+	maxIngestBatchBytes = 1 << 30
+	maxIngestBatchOps   = 1 << 20
+)
+
+// Kinds of ingest log operations.
+const (
+	// IngestOpInsert appends a document; Rec is the record number the
+	// replayed append must produce, XML the raw document text.
+	IngestOpInsert = byte(1)
+	// IngestOpDelete tombstones record Rec and removes its index
+	// entries.
+	IngestOpDelete = byte(2)
+)
+
+// IngestOp is one logged ingest operation.
+type IngestOp struct {
+	Kind byte   // IngestOpInsert or IngestOpDelete
+	Rec  uint32 // record number appended (insert) or targeted (delete)
+	XML  []byte // raw document text, inserts only
+}
+
+// IngestLog is an append-only write-ahead log of ingest batches over a
+// single file. It is not internally locked: the fix layer serializes all
+// appends and resets under its ingest mutex.
+type IngestLog struct {
+	f           storage.File
+	size        int64 // end of the durable, valid prefix
+	baseRecords uint32
+	baseEnd     int64
+	ops         int // operations appended since the base (ingest lag)
+}
+
+// NewIngestLog initializes an empty log over f, recording the current
+// committed store state (record count and heap byte size) as the base
+// that recovery truncates back to, and fsyncs the header. The caller
+// must have made that base durable (heap synced, dictionary saved)
+// before calling.
+func NewIngestLog(f storage.File, baseRecords uint32, baseEnd int64) (*IngestLog, error) {
+	lg := &IngestLog{f: f, baseRecords: baseRecords, baseEnd: baseEnd}
+	if err := lg.writeHeader(); err != nil {
+		return nil, err
+	}
+	return lg, nil
+}
+
+func (lg *IngestLog) writeHeader() error {
+	hdr := make([]byte, 0, ingestHeaderSize)
+	hdr = append(hdr, ingestMagic...)
+	hdr = binary.BigEndian.AppendUint32(hdr, lg.baseRecords)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(lg.baseEnd))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.Checksum(hdr, journalCRC))
+	if _, err := lg.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("core: writing ingest log header: %w", err)
+	}
+	if err := lg.f.Sync(); err != nil {
+		return fmt.Errorf("core: syncing ingest log header: %w", err)
+	}
+	lg.size = ingestHeaderSize
+	lg.ops = 0
+	return nil
+}
+
+// OpenIngestLog reads an existing log, validating the header and the
+// longest valid prefix of batches. It truncates the file back to that
+// prefix (dropping any torn tail — by construction never acknowledged)
+// and returns the log positioned for further appends plus the decoded
+// operations to replay. ok is false when the header itself is invalid:
+// the log was being created or reset when the crash hit, nothing in it
+// was acknowledged, and the caller should discard the file.
+func OpenIngestLog(f storage.File) (lg *IngestLog, ops []IngestOp, ok bool, err error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("core: sizing ingest log: %w", err)
+	}
+	if size < ingestHeaderSize {
+		return nil, nil, false, nil
+	}
+	hdr := make([]byte, ingestHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, nil, false, fmt.Errorf("core: reading ingest log header: %w", err)
+	}
+	if string(hdr[:8]) != ingestMagic ||
+		crc32.Checksum(hdr[:ingestHeaderSize-4], journalCRC) != binary.BigEndian.Uint32(hdr[ingestHeaderSize-4:]) {
+		return nil, nil, false, nil
+	}
+	lg = &IngestLog{
+		f:           f,
+		baseRecords: binary.BigEndian.Uint32(hdr[8:12]),
+		baseEnd:     int64(binary.BigEndian.Uint64(hdr[12:20])),
+	}
+	pos := int64(ingestHeaderSize)
+	var lenBuf [4]byte
+	for pos+8 <= size {
+		if _, err := f.ReadAt(lenBuf[:], pos); err != nil {
+			return nil, nil, false, fmt.Errorf("core: reading ingest batch at %d: %w", pos, err)
+		}
+		n := int64(binary.BigEndian.Uint32(lenBuf[:]))
+		if n > maxIngestBatchBytes || pos+8+n > size {
+			break // torn tail: the batch never finished reaching the disk
+		}
+		buf := make([]byte, n+4)
+		if _, err := f.ReadAt(buf, pos+4); err != nil {
+			return nil, nil, false, fmt.Errorf("core: reading ingest batch at %d: %w", pos, err)
+		}
+		payload, tail := buf[:n], buf[n:]
+		if crc32.Checksum(payload, journalCRC) != binary.BigEndian.Uint32(tail) {
+			break // torn tail: checksum cannot match a partial write
+		}
+		batch, decodeErr := decodeIngestBatch(payload)
+		if decodeErr != nil {
+			break // structurally damaged, same verdict as a bad checksum
+		}
+		ops = append(ops, batch...)
+		pos += 8 + n
+	}
+	if pos < size {
+		if err := f.Truncate(pos); err != nil {
+			return nil, nil, false, fmt.Errorf("core: dropping torn ingest tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, nil, false, fmt.Errorf("core: dropping torn ingest tail: %w", err)
+		}
+	}
+	lg.size = pos
+	lg.ops = len(ops)
+	return lg, ops, true, nil
+}
+
+// Base returns the committed store state the log was created over: the
+// record count and heap byte size that recovery truncates back to before
+// replaying.
+func (lg *IngestLog) Base() (records uint32, end int64) {
+	return lg.baseRecords, lg.baseEnd
+}
+
+// Ops returns the number of operations appended since the base — the
+// ingest lag a Save would clear.
+func (lg *IngestLog) Ops() int { return lg.ops }
+
+// Size returns the byte size of the durable log prefix.
+func (lg *IngestLog) Size() int64 { return lg.size }
+
+// AppendBatch encodes the batch, appends it after the current prefix,
+// and fsyncs — the single group-commit fsync that makes every operation
+// in the batch durable at once. On any error the log file is rolled back
+// to its previous size (best effort) and the batch must be treated as
+// never acknowledged.
+func (lg *IngestLog) AppendBatch(ops []IngestOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	buf := encodeIngestBatch(ops)
+	if _, err := lg.f.WriteAt(buf, lg.size); err != nil {
+		lg.rollbackTo(lg.size)
+		return fmt.Errorf("core: appending ingest batch: %w", err)
+	}
+	if err := lg.f.Sync(); err != nil {
+		lg.rollbackTo(lg.size)
+		return fmt.Errorf("core: syncing ingest batch: %w", err)
+	}
+	lg.size += int64(len(buf))
+	lg.ops += len(ops)
+	return nil
+}
+
+// rollbackTo tries to truncate the file back to size after a failed
+// append. Failure is tolerable: the partial batch fails its checksum on
+// the next open and is dropped there instead.
+func (lg *IngestLog) rollbackTo(size int64) {
+	if err := lg.f.Truncate(size); err != nil {
+		return
+	}
+	_ = lg.f.Sync()
+}
+
+// TruncateBatch removes the most recently appended batch after its
+// apply failed: the file is truncated back to prevSize and fsynced, so
+// a later crash cannot replay the unacknowledged batch, and the
+// operation count drops by nops.
+func (lg *IngestLog) TruncateBatch(prevSize int64, nops int) error {
+	if err := lg.f.Truncate(prevSize); err != nil {
+		return fmt.Errorf("core: truncating failed ingest batch: %w", err)
+	}
+	if err := lg.f.Sync(); err != nil {
+		return fmt.Errorf("core: truncating failed ingest batch: %w", err)
+	}
+	lg.size = prevSize
+	lg.ops -= nops
+	return nil
+}
+
+// Reset truncates the log to empty and writes a fresh header recording
+// the new committed base. Save calls it only after the shadow commit has
+// durably absorbed everything the log held; a crash inside Reset leaves
+// an invalid header, which recovery treats as "no log" — correct,
+// because the previous contents are already committed elsewhere.
+func (lg *IngestLog) Reset(baseRecords uint32, baseEnd int64) error {
+	if err := lg.f.Truncate(0); err != nil {
+		return fmt.Errorf("core: resetting ingest log: %w", err)
+	}
+	lg.baseRecords = baseRecords
+	lg.baseEnd = baseEnd
+	return lg.writeHeader()
+}
+
+// Close closes the underlying file.
+func (lg *IngestLog) Close() error { return lg.f.Close() }
+
+func encodeIngestBatch(ops []IngestOp) []byte {
+	var b bytes.Buffer
+	var u [8]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(u[:4], v)
+		b.Write(u[:4])
+	}
+	put32(0) // payload length, patched below
+	put32(uint32(len(ops)))
+	for _, op := range ops {
+		b.WriteByte(op.Kind)
+		put32(op.Rec)
+		if op.Kind == IngestOpInsert {
+			put32(uint32(len(op.XML)))
+			b.Write(op.XML)
+		}
+	}
+	buf := b.Bytes()
+	payload := buf[4:]
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, journalCRC))
+}
+
+func decodeIngestBatch(payload []byte) ([]IngestOp, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("core: ingest batch too short")
+	}
+	nops := binary.BigEndian.Uint32(payload)
+	if nops > maxIngestBatchOps {
+		return nil, fmt.Errorf("core: ingest batch claims %d ops", nops)
+	}
+	pos := 4
+	ops := make([]IngestOp, 0, nops)
+	for i := uint32(0); i < nops; i++ {
+		if pos+5 > len(payload) {
+			return nil, fmt.Errorf("core: ingest batch truncated at op %d", i)
+		}
+		op := IngestOp{Kind: payload[pos], Rec: binary.BigEndian.Uint32(payload[pos+1:])}
+		pos += 5
+		switch op.Kind {
+		case IngestOpInsert:
+			if pos+4 > len(payload) {
+				return nil, fmt.Errorf("core: ingest batch truncated at op %d", i)
+			}
+			n := int(binary.BigEndian.Uint32(payload[pos:]))
+			pos += 4
+			if n > maxIngestBatchBytes || pos+n > len(payload) {
+				return nil, fmt.Errorf("core: ingest batch truncated at op %d", i)
+			}
+			op.XML = payload[pos : pos+n : pos+n]
+			pos += n
+		case IngestOpDelete:
+		default:
+			return nil, fmt.Errorf("core: unknown ingest op kind %d", op.Kind)
+		}
+		ops = append(ops, op)
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("core: %d trailing bytes in ingest batch", len(payload)-pos)
+	}
+	return ops, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/fix-index/fix/internal/bisim"
@@ -13,6 +14,14 @@ import (
 // structure: InsertDocument indexes a newly appended record without a
 // rebuild, DeleteDocument removes a record's entries.
 
+// ErrRebuildRequired marks maintenance failures that only a full index
+// rebuild can clear: inserting into a degraded index, or inserting a
+// document whose new element labels collide with the value-hash range a
+// value index fixed at build time. Callers match it with errors.Is and
+// respond by degrading (the data stays durable and queryable through the
+// scan fallback) rather than retrying.
+var ErrRebuildRequired = errors.New("core: index rebuild required")
+
 // InsertDocument indexes the record rec, which must have been appended to
 // the primary store after the index was built. For clustered indexes the
 // new subtree copies are appended at the end of the heap, so their
@@ -20,12 +29,12 @@ import (
 // (query results are unaffected).
 func (ix *Index) InsertDocument(rec uint32) error {
 	if err := ix.Health(); err != nil {
-		return fmt.Errorf("core: cannot index into a degraded index (rebuild required): %w", err)
+		return fmt.Errorf("%w: cannot index into a degraded index: %w", ErrRebuildRequired, err)
 	}
 	if ix.opts.Values && ix.dict.MaxID() > ix.vh.alpha {
 		// New element labels would collide with the value-hash range
 		// (α, α+β] fixed at build time.
-		return fmt.Errorf("core: new element labels appeared after a value index was built; rebuild the index")
+		return fmt.Errorf("%w: new element labels appeared after a value index was built", ErrRebuildRequired)
 	}
 	cur, err := ix.store.Cursor(rec)
 	if err != nil {
@@ -111,7 +120,7 @@ func (ix *Index) InsertDocument(rec uint32) error {
 // deletion is a maintenance operation, not a hot path.
 func (ix *Index) DeleteDocument(rec uint32) (int, error) {
 	if err := ix.Health(); err != nil {
-		return 0, fmt.Errorf("core: cannot delete from a degraded index (rebuild required): %w", err)
+		return 0, fmt.Errorf("%w: cannot delete from a degraded index: %w", ErrRebuildRequired, err)
 	}
 	var keys [][]byte
 	err := ix.bt.Scan(nil, nil, func(k, v []byte) bool {

@@ -38,6 +38,18 @@ type Registry struct {
 	buildUnits   atomic.Int64
 	buildWallNS  atomic.Int64
 
+	// Ingest pipeline counters. A batch is one group commit (one WAL
+	// append sharing one fsync); docs and deletes count the operations
+	// inside batches; queueFull counts operations rejected by
+	// backpressure; replayed counts operations re-applied from the WAL
+	// during crash recovery.
+	ingestBatches   atomic.Int64
+	ingestDocs      atomic.Int64
+	ingestDeletes   atomic.Int64
+	ingestFsyncs    atomic.Int64
+	ingestQueueFull atomic.Int64
+	ingestReplayed  atomic.Int64
+
 	latency Histogram
 }
 
@@ -84,6 +96,25 @@ func (r *Registry) ObserveBudgetExceeded() { r.budgetExceeded.Add(1) }
 // containment barrier (the fix public API or a par worker).
 func (r *Registry) ObservePanicRecovered() { r.panicsRecovered.Add(1) }
 
+// ObserveIngestBatch records one committed ingest batch: the number of
+// document inserts and deletes it carried, and how many fsyncs it cost
+// (one, for the group commit — recorded explicitly so the docs/fsyncs
+// ratio exposes the amortization).
+func (r *Registry) ObserveIngestBatch(docs, deletes, fsyncs int) {
+	r.ingestBatches.Add(1)
+	r.ingestDocs.Add(int64(docs))
+	r.ingestDeletes.Add(int64(deletes))
+	r.ingestFsyncs.Add(int64(fsyncs))
+}
+
+// ObserveIngestQueueFull records operations rejected by ingest
+// backpressure (the bounded queue stayed full past the enqueue wait).
+func (r *Registry) ObserveIngestQueueFull(ops int) { r.ingestQueueFull.Add(int64(ops)) }
+
+// ObserveIngestReplayed records operations re-applied from the ingest
+// WAL during crash recovery.
+func (r *Registry) ObserveIngestReplayed(ops int) { r.ingestReplayed.Add(int64(ops)) }
+
 // ObserveBuild records one completed index construction.
 func (r *Registry) ObserveBuild(records, units int, wall time.Duration) {
 	r.builds.Add(1)
@@ -117,6 +148,14 @@ type RegistrySnapshot struct {
 	BuildUnits   int64         `json:"build_units"`
 	BuildWall    time.Duration `json:"build_wall_ns"`
 
+	// Ingest pipeline counters (group-commit WAL write path).
+	IngestBatches   int64 `json:"ingest_batches"`
+	IngestDocs      int64 `json:"ingest_docs"`
+	IngestDeletes   int64 `json:"ingest_deletes"`
+	IngestFsyncs    int64 `json:"ingest_fsyncs"`
+	IngestQueueFull int64 `json:"ingest_queue_full"`
+	IngestReplayed  int64 `json:"ingest_replayed"`
+
 	Latency LatencySnapshot `json:"query_latency"`
 }
 
@@ -142,7 +181,15 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		BuildRecords: r.buildRecords.Load(),
 		BuildUnits:   r.buildUnits.Load(),
 		BuildWall:    time.Duration(r.buildWallNS.Load()),
-		Latency:      r.latency.Snapshot(),
+
+		IngestBatches:   r.ingestBatches.Load(),
+		IngestDocs:      r.ingestDocs.Load(),
+		IngestDeletes:   r.ingestDeletes.Load(),
+		IngestFsyncs:    r.ingestFsyncs.Load(),
+		IngestQueueFull: r.ingestQueueFull.Load(),
+		IngestReplayed:  r.ingestReplayed.Load(),
+
+		Latency: r.latency.Snapshot(),
 	}
 }
 

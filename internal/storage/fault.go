@@ -109,5 +109,14 @@ func (f *FaultFile) Sync() error {
 	return f.inner.Sync()
 }
 
+// Truncate counts as a write operation: log resets and rollback
+// truncations are durability-relevant crash points just like appends.
+func (f *FaultFile) Truncate(size int64) error {
+	if _, fail := f.plan.nextWrite(); fail {
+		return fmt.Errorf("truncate to %d: %w", size, ErrInjected)
+	}
+	return f.inner.Truncate(size)
+}
+
 func (f *FaultFile) Size() (int64, error) { return f.inner.Size() }
 func (f *FaultFile) Close() error         { return f.inner.Close() }

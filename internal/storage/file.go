@@ -16,11 +16,14 @@ import (
 )
 
 // File is the minimal random-access file interface needed by the storage
-// heap and the B-tree pager.
+// heap, the B-tree pager, and the ingest write-ahead log. Truncate
+// discards everything past the given size; the ingest log uses it to
+// drop a torn tail on recovery and to roll back a failed batch.
 type File interface {
 	io.ReaderAt
 	io.WriterAt
 	Size() (int64, error)
+	Truncate(size int64) error
 	Sync() error
 	Close() error
 }
@@ -112,6 +115,24 @@ func (f *MemFile) Size() (int64, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return int64(len(f.buf)), nil
+}
+
+// Truncate discards all bytes at or past size. Growing the file (size
+// beyond the current length) extends it with zeros, matching os.File.
+func (f *MemFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("storage: negative truncate size %d", size)
+	}
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.buf)
+	f.buf = grown
+	return nil
 }
 
 func (f *MemFile) Sync() error  { return nil }

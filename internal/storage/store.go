@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/fix-index/fix/internal/xmltree"
@@ -83,6 +84,13 @@ type Store struct {
 	end     int64 // next append position
 	lastEnd int64 // end offset of the last physical read, for seq/random
 	stats   Stats
+
+	// deleted marks records removed by DeleteDocument. The heap is
+	// append-only, so deletion is a tombstone: the bytes stay on disk
+	// but every scan and refinement path skips the record. The set is
+	// persisted in a sidecar file by the fix layer and restored from
+	// the ingest log on recovery.
+	deleted map[uint32]bool
 
 	cacheRec uint32
 	cacheBuf []byte
@@ -246,6 +254,104 @@ func (s *Store) ReadSubtree(p Pointer) (xmltree.Cursor, xmltree.Ref, error) {
 	s.stats.SubtreeBytes += int64(cur.SubtreeEnd(ref) - ref)
 	s.mu.Unlock()
 	return cur, ref, nil
+}
+
+// MarkDeleted tombstones a record. It reports whether the record was
+// live (a repeated delete of the same record returns false), and errors
+// only when the record number is out of range.
+func (s *Store) MarkDeleted(rec uint32) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(rec) >= len(s.offs) {
+		return false, fmt.Errorf("storage: record %d out of range (have %d)", rec, len(s.offs))
+	}
+	if s.deleted[rec] {
+		return false, nil
+	}
+	if s.deleted == nil {
+		s.deleted = make(map[uint32]bool)
+	}
+	s.deleted[rec] = true
+	return true, nil
+}
+
+// UnmarkDeleted removes a tombstone, reviving the record. Batch rollback
+// uses it to undo the deletes of a failed ingest batch.
+func (s *Store) UnmarkDeleted(rec uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.deleted, rec)
+}
+
+// IsDeleted reports whether a record carries a tombstone.
+func (s *Store) IsDeleted(rec uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleted[rec]
+}
+
+// NumDeleted returns the number of tombstoned records.
+func (s *Store) NumDeleted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deleted)
+}
+
+// DeletedRecords returns the tombstoned record numbers in ascending
+// order, for persistence.
+func (s *Store) DeletedRecords() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]uint32, 0, len(s.deleted))
+	for r := range s.deleted {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i] < recs[j] })
+	return recs
+}
+
+// SetDeleted replaces the tombstone set wholesale, used when loading the
+// persisted sidecar on open. Out-of-range records are rejected so a
+// corrupt sidecar cannot poison the in-memory state.
+func (s *Store) SetDeleted(recs []uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[uint32]bool, len(recs))
+	for _, r := range recs {
+		if int(r) >= len(s.offs) {
+			return fmt.Errorf("storage: tombstone for record %d out of range (have %d)", r, len(s.offs))
+		}
+		m[r] = true
+	}
+	s.deleted = m
+	return nil
+}
+
+// TruncateTo rolls the heap back to exactly nrecords records and byte
+// size end, discarding later appends and any tombstones on discarded
+// records. Ingest batch rollback uses it: a failed batch must leave the
+// heap exactly as it was before the batch started.
+func (s *Store) TruncateTo(nrecords int, end int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nrecords < 0 || nrecords > len(s.offs) {
+		return fmt.Errorf("storage: truncate to %d records (have %d)", nrecords, len(s.offs))
+	}
+	if err := s.f.Truncate(end); err != nil {
+		return fmt.Errorf("storage: truncating heap: %w", err)
+	}
+	s.offs = s.offs[:nrecords]
+	s.lens = s.lens[:nrecords]
+	s.end = end
+	for r := range s.deleted {
+		if int(r) >= nrecords {
+			delete(s.deleted, r)
+		}
+	}
+	s.hasCache = false
+	s.cacheBuf = nil
+	s.lastEnd = -1
+	return nil
 }
 
 // Sync flushes the underlying file.

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// tombMagic identifies the tombstone sidecar that persists the deleted-
+// record set across restarts. The heap itself is append-only, so the
+// sidecar is the only durable trace of a committed delete once the
+// ingest log has been truncated.
+const tombMagic = "FIXTOMB1"
+
+// tombCRC is the CRC-32C (Castagnoli) table shared with the index
+// journal and the ingest log.
+var tombCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeTombstones serializes a deleted-record set:
+//
+//	magic (8) | count (u32) | rec (u32) × count | CRC-32C (u32)
+//
+// The CRC covers magic through the last record, so a torn sidecar write
+// is detected on load rather than silently reviving deleted documents.
+func EncodeTombstones(recs []uint32) []byte {
+	buf := make([]byte, 0, len(tombMagic)+4+4*len(recs)+4)
+	buf = append(buf, tombMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = binary.BigEndian.AppendUint32(buf, r)
+	}
+	sum := crc32.Checksum(buf, tombCRC)
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// DecodeTombstones parses a sidecar produced by EncodeTombstones,
+// validating magic, length, and checksum.
+func DecodeTombstones(b []byte) ([]uint32, error) {
+	if len(b) < len(tombMagic)+8 {
+		return nil, fmt.Errorf("storage: tombstone sidecar too short (%d bytes)", len(b))
+	}
+	if string(b[:len(tombMagic)]) != tombMagic {
+		return nil, fmt.Errorf("storage: tombstone sidecar bad magic %q", b[:len(tombMagic)])
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, tombCRC) != binary.BigEndian.Uint32(tail) {
+		return nil, fmt.Errorf("storage: tombstone sidecar checksum mismatch")
+	}
+	count := binary.BigEndian.Uint32(b[len(tombMagic):])
+	want := len(tombMagic) + 4 + 4*int(count) + 4
+	if len(b) != want {
+		return nil, fmt.Errorf("storage: tombstone sidecar length %d, want %d for %d records", len(b), want, count)
+	}
+	recs := make([]uint32, count)
+	for i := range recs {
+		recs[i] = binary.BigEndian.Uint32(b[len(tombMagic)+4+4*i:])
+	}
+	return recs, nil
+}

@@ -18,7 +18,8 @@ var obscheckAnalyzer = &Analyzer{
 	Name: "obscheck",
 	Doc: "writes through *obs.Trace need a nil guard; *Start timers must " +
 		"be observed with time.Since; expvar registration only in " +
-		"internal/obs, with unique literal names",
+		"internal/obs, with unique literal names; package-level atomic " +
+		"counters only in internal/obs",
 	Run: runObscheck,
 }
 
@@ -30,6 +31,7 @@ func runObscheck(pass *Pass) {
 		})
 	}
 	checkExpvarRegistration(pass)
+	checkCounterVars(pass)
 }
 
 // checkTimerPairs flags `x := time.Now()` locals following the phase-
@@ -304,6 +306,61 @@ func checkExpvarRegistration(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// atomicCounterTypes are the sync/atomic types that act as process-wide
+// counters when declared at package level.
+var atomicCounterTypes = map[string]bool{
+	"Int32": true, "Int64": true, "Uint32": true, "Uint64": true,
+}
+
+// checkCounterVars keeps process-wide counters in the metrics registry:
+// a package-level sync/atomic counter var outside internal/obs is
+// invisible to Snapshot, /metrics and expvar, so the count it gathers
+// never reaches an operator. Local and struct-field atomics (worker
+// cursors, per-query accumulators) are fine.
+func checkCounterVars(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, "/internal/obs") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !isAtomicCounter(pass, name) {
+						continue
+					}
+					pass.Reportf(name.Pos(), "package-level atomic counter %s outside internal/obs; process-wide counters belong in the obs registry so they reach Snapshot and expvar", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isAtomicCounter reports whether the declared name's static type is one
+// of the sync/atomic counter types.
+func isAtomicCounter(pass *Pass, name *ast.Ident) bool {
+	if pass.Info == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[name]
+	if !ok || obj == nil {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || !atomicCounterTypes[named.Obj().Name()] {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
 }
 
 // isPkgIdent reports whether the qualifier of a call resolves to the

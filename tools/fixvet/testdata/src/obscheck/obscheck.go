@@ -5,10 +5,27 @@ package fixture
 
 import (
 	"expvar"
+	"sync/atomic"
 	"time"
 
 	"github.com/fix-index/fix/internal/obs"
 )
+
+var strayCounter atomic.Int64 // want `package-level atomic counter strayCounter outside internal/obs`
+
+// cursorHolder is fine: struct-field atomics are state, not metrics.
+type cursorHolder struct {
+	next atomic.Int64
+}
+
+func localAtomicOK() int64 {
+	var inFlight atomic.Int64 // ok: function-local
+	inFlight.Add(1)
+	var h cursorHolder
+	h.next.Add(1)
+	_ = strayCounter.Load()
+	return inFlight.Load() + h.next.Load()
+}
 
 func unpaired(tr *obs.Trace) {
 	probeStart := time.Now() // want `phase timer probeStart is started but never observed`
