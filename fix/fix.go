@@ -267,7 +267,7 @@ func Open(dir string) (*DB, error) {
 		}
 	}
 	db := &DB{dir: dir, dict: dict, store: st}
-	if err := db.loadTombs(); err != nil {
+	if err := db.loadTombs(wal); err != nil {
 		return nil, err
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fix.meta")); err == nil {
@@ -444,7 +444,11 @@ func (db *DB) Close() error {
 // it is applied, so its acknowledgment carries the same crash guarantee.
 func (db *DB) AddDocument(r io.Reader) (id uint32, err error) {
 	defer db.contain("AddDocument", true, &err)
-	raw, err := io.ReadAll(r)
+	// The raw bytes are buffered for the ingest WAL, so the read itself
+	// must be bounded like the streaming parse: ReadDocument stops at the
+	// MaxBytes limit instead of letting an unbounded reader exhaust
+	// memory before the parser's guards ever run.
+	raw, err := xmltree.ReadDocument(r, db.parseLimits())
 	if err != nil {
 		return 0, err
 	}

@@ -43,7 +43,9 @@ var ErrIngestQueueFull = errors.New("fix: ingest queue full; retry with backoff"
 var ErrIngesterClosed = errors.New("fix: ingester closed")
 
 // ErrUnknownDocument reports a delete aimed at a record number the
-// store has never assigned; the containing batch fails as a unit.
+// store has never assigned. Only the offending delete fails: group
+// commit coalesces operations from unrelated callers into one batch,
+// and their valid operations still commit.
 var ErrUnknownDocument = errors.New("fix: unknown document")
 
 // ErrRebuildRequired reports an index-maintenance failure only a full
@@ -102,6 +104,7 @@ type pendingOp struct {
 	rec    uint32 // assigned at commit (insert) or targeted (delete)
 	marked bool   // this op set the tombstone (so rollback may clear it)
 	flush  bool   // barrier marker: commit everything queued before it
+	err    error  // per-op rejection (validation), overriding the batch outcome
 	done   chan error
 }
 
@@ -175,7 +178,14 @@ func (ing *Ingester) commitLoop() {
 		}
 		err := ing.db.commitPending(work)
 		for _, p := range batch {
-			p.done <- err
+			// An op rejected during validation (p.err) reports its own
+			// failure; the batch outcome belongs to the ops that were
+			// actually committed.
+			if p.err != nil {
+				p.done <- p.err
+			} else {
+				p.done <- err
+			}
 		}
 	}
 }
@@ -269,7 +279,9 @@ func (ing *Ingester) AddBatch(ctx context.Context, docs []string) ([]uint32, err
 
 // Delete submits a durable delete of document rec: the record is
 // tombstoned (excluded from every query path) and its index entries are
-// removed. Deleting an unknown record fails the containing batch.
+// removed. Deleting an unknown record fails only this operation with
+// ErrUnknownDocument; other operations sharing its group commit are
+// unaffected.
 func (ing *Ingester) Delete(ctx context.Context, rec uint32) error {
 	p := &pendingOp{kind: core.IngestOpDelete, rec: rec, done: make(chan error, 1)}
 	if err := ing.enqueue(ctx, p); err != nil {
@@ -376,7 +388,10 @@ func (db *DB) DeleteDocumentCtx(ctx context.Context, rec uint32) error {
 		return err
 	}
 	p := &pendingOp{kind: core.IngestOpDelete, rec: rec, done: make(chan error, 1)}
-	return db.commitPending([]*pendingOp{p})
+	if err := db.commitPending([]*pendingOp{p}); err != nil {
+		return err
+	}
+	return p.err
 }
 
 // commitPending serializes one batch against every other mutation and
@@ -436,11 +451,18 @@ func (db *DB) ensureIngestLog() error {
 // cannot resurrect the unacknowledged batch, then heap and tombstones
 // restored — and conservatively degrades the index, because a partial
 // apply may have left entries behind.
+//
+// Validation failures are per-op, not per-batch: a delete aimed at a
+// record the store never assigned marks only that op's err field
+// (ErrUnknownDocument) and is excluded from the WAL and the apply.
+// Group commit coalesces unrelated callers into one batch, so one
+// client's bad delete must not fail another client's valid operations.
 func (db *DB) commitLocked(ops []*pendingOp) error {
 	preRecords := db.store.NumRecords()
 	preEnd := db.store.Size()
 	nrec := uint32(preRecords)
 	walOps := make([]core.IngestOp, 0, len(ops))
+	valid := make([]*pendingOp, 0, len(ops))
 	docs, deletes := 0, 0
 	for _, p := range ops {
 		switch p.kind {
@@ -449,15 +471,21 @@ func (db *DB) commitLocked(ops []*pendingOp) error {
 			nrec++
 			docs++
 			walOps = append(walOps, core.IngestOp{Kind: core.IngestOpInsert, Rec: p.rec, XML: p.xml})
+			valid = append(valid, p)
 		case core.IngestOpDelete:
 			if int(p.rec) >= preRecords {
-				return fmt.Errorf("%w: delete of record %d out of range (have %d)", ErrUnknownDocument, p.rec, preRecords)
+				p.err = fmt.Errorf("%w: delete of record %d out of range (have %d)", ErrUnknownDocument, p.rec, preRecords)
+				continue
 			}
 			deletes++
 			walOps = append(walOps, core.IngestOp{Kind: core.IngestOpDelete, Rec: p.rec})
+			valid = append(valid, p)
 		default:
 			return fmt.Errorf("fix: unknown ingest op kind %d", p.kind)
 		}
+	}
+	if len(valid) == 0 {
+		return nil // every op was rejected individually; nothing to commit
 	}
 	var walSize0 int64
 	if db.wal != nil {
@@ -466,8 +494,8 @@ func (db *DB) commitLocked(ops []*pendingOp) error {
 			return err // nothing durable, nothing applied, nothing acked
 		}
 	}
-	if err := db.applyBatch(ops); err != nil {
-		db.rollbackBatch(ops, preRecords, preEnd, walSize0, len(walOps), err)
+	if err := db.applyBatch(valid); err != nil {
+		db.rollbackBatch(valid, preRecords, preEnd, walSize0, len(walOps), err)
 		return err
 	}
 	fsyncs := 0
@@ -602,7 +630,15 @@ func (db *DB) saveTombs() error {
 // loadTombs restores the tombstone set from fix.tomb; a missing sidecar
 // means no deletes were ever committed. A corrupt sidecar fails the open
 // loudly — silently dropping it would resurrect deleted documents.
-func (db *DB) loadTombs() error {
+//
+// A sidecar written by a Save that crashed before resetting the ingest
+// log (wal, when non-nil) may carry tombstones for records at or past
+// the log's base; the heap has just been truncated back to that base,
+// so those records do not exist yet. Every such delete is necessarily
+// still in the log — the sidecar is only rewritten while the log guards
+// all post-base operations — so they are dropped here and re-applied by
+// replay instead of failing the open.
+func (db *DB) loadTombs(wal *core.IngestLog) error {
 	data, err := os.ReadFile(filepath.Join(db.dir, "fix.tomb"))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -613,6 +649,16 @@ func (db *DB) loadTombs() error {
 	recs, err := storage.DecodeTombstones(data)
 	if err != nil {
 		return fmt.Errorf("fix: loading tombstones: %w", err)
+	}
+	if wal != nil {
+		base, _ := wal.Base()
+		kept := recs[:0]
+		for _, r := range recs {
+			if r < base {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
 	}
 	return db.store.SetDeleted(recs)
 }

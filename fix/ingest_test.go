@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/fix-index/fix/internal/core"
 	"github.com/fix-index/fix/internal/storage"
 )
 
@@ -721,5 +723,163 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	want := 2 + writers*perWriter - int(deleted.Load()) // base docs 0 and 1 match too
 	if idx.Count != want {
 		t.Fatalf("count = %d, want %d", idx.Count, want)
+	}
+}
+
+// TestTombstonesPastLogBaseDroppedOnOpen simulates a crash inside Save
+// after the tombstone sidecar was rewritten but before the ingest log
+// was reset: fix.tomb then carries tombstones for records at or past
+// the log's base, which the recovery truncation removes from the heap.
+// Open must drop those tombstones (the deletes are still in the log and
+// are re-applied by replay) instead of failing permanently.
+func TestTombstonesPastLogBaseDroppedOnOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0 predates the ingest log (AddDocument stays fsync-free
+	// until a log exists); the durable batch then creates the log with
+	// base 1 and appends record 1.
+	if _, err := db.AddDocumentString("<a><b/></a>"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := db.IngestBatchCtx(context.Background(), []string{"<c><d/></c>"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteDocument(ids[0]); err != nil { // past the base
+		t.Fatal(err)
+	}
+	if err := db.DeleteDocument(0); err != nil { // before the base
+		t.Fatal(err)
+	}
+	// Run Save's sub-steps up to (not including) the log reset, then
+	// "crash": Close without Save keeps the log's contents.
+	if err := db.store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.saveDict(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.saveTombs(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Save crashed before the log reset: %v", err)
+	}
+	defer re.Close()
+	if re.NumDocuments() != 2 {
+		t.Errorf("NumDocuments = %d, want 2", re.NumDocuments())
+	}
+	if re.DeletedDocuments() != 2 {
+		t.Errorf("DeletedDocuments = %d, want 2", re.DeletedDocuments())
+	}
+	mustExist(t, re, "//b", false)
+	mustExist(t, re, "//d", false)
+}
+
+// TestIngestReplayHonorsLooseParseLimits: a document admitted under
+// custom limits looser than the parser defaults must replay on Open,
+// which cannot know the original limits (they are not persisted).
+func TestIngestReplayHonorsLooseParseLimits(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetOptions(Options{ParseLimits: ParseLimits{MaxDepth: -1}})
+	const depth = 600 // over the default MaxDepth of 512
+	deep := strings.Repeat("<a>", depth) + "x" + strings.Repeat("</a>", depth)
+	if _, err := db.IngestBatchCtx(context.Background(), []string{deep}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // no Save: the log still guards the doc
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open failed to replay a document ingested under loose limits: %v", err)
+	}
+	defer re.Close()
+	if re.NumDocuments() != 1 {
+		t.Fatalf("NumDocuments = %d, want 1", re.NumDocuments())
+	}
+	if _, err := re.Document(0); err != nil {
+		t.Fatalf("replayed document unreadable: %v", err)
+	}
+}
+
+// TestBadDeleteDoesNotFailBatch: an out-of-range delete must be
+// rejected individually — group commit coalesces unrelated callers, so
+// it must not take their valid operations down with it.
+func TestBadDeleteDoesNotFailBatch(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.insertOp("<a><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &pendingOp{kind: core.IngestOpDelete, rec: 99, done: make(chan error, 1)}
+	if err := db.commitPending([]*pendingOp{ins, bad}); err != nil {
+		t.Fatalf("batch with one bad delete failed wholesale: %v", err)
+	}
+	if !errors.Is(bad.err, ErrUnknownDocument) {
+		t.Fatalf("bad delete err = %v, want ErrUnknownDocument", bad.err)
+	}
+	if db.NumDocuments() != 1 {
+		t.Fatalf("NumDocuments = %d, want 1 (insert sharing the batch must commit)", db.NumDocuments())
+	}
+	mustExist(t, db, "//b", true)
+}
+
+// TestIngesterBadDeleteDoesNotFailConcurrentAdds drives the same
+// guarantee through the shared-ingester path a server exposes: one
+// client's bad delete, coalesced with other clients' adds, fails only
+// its own acknowledgment.
+func TestIngesterBadDeleteDoesNotFailConcurrentAdds(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing := db.NewIngester(IngestConfig{MaxWait: 50 * time.Millisecond})
+	defer ing.Close()
+	ctx := context.Background()
+
+	const adds = 8
+	var wg sync.WaitGroup
+	var delErr error
+	addErrs := make([]error, adds)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		delErr = ing.Delete(ctx, 1<<30)
+	}()
+	for i := 0; i < adds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, addErrs[i] = ing.Add(ctx, "<a><b/></a>")
+		}(i)
+	}
+	wg.Wait()
+	if !errors.Is(delErr, ErrUnknownDocument) {
+		t.Fatalf("bad delete = %v, want ErrUnknownDocument", delErr)
+	}
+	for i, err := range addErrs {
+		if err != nil {
+			t.Fatalf("add %d sharing the ingester failed: %v", i, err)
+		}
+	}
+	if db.NumDocuments() != adds {
+		t.Fatalf("NumDocuments = %d, want %d", db.NumDocuments(), adds)
 	}
 }

@@ -41,7 +41,7 @@ var ErrQueryLimit = xpath.ErrLimit
 
 // ErrDocumentLimit reports a document rejected by AddDocument for
 // exceeding the document parse limits (depth, token size, fan-out,
-// node count); see Options.ParseLimits.
+// node count, total input bytes); see Options.ParseLimits.
 var ErrDocumentLimit = xmltree.ErrLimit
 
 // Limits caps what one query may consume. The zero value imposes
@@ -77,6 +77,7 @@ type ParseLimits struct {
 	MaxTokenBytes int // one element name or text node
 	MaxChildren   int // fan-out of one element
 	MaxNodes      int // total tree nodes
+	MaxBytes      int // total serialized input of one document
 }
 
 // WithLimits sets this query's resource limits, overriding the DB-wide
@@ -191,5 +192,6 @@ func (db *DB) parseLimits() xmltree.ParseLimits {
 		MaxTokenBytes: l.MaxTokenBytes,
 		MaxChildren:   l.MaxChildren,
 		MaxNodes:      l.MaxNodes,
+		MaxBytes:      l.MaxBytes,
 	}
 }

@@ -297,3 +297,23 @@ func BenchmarkQueryGovernanceOverhead(b *testing.B) {
 		}
 	})
 }
+
+func TestAddDocumentMaxBytes(t *testing.T) {
+	db, err := CreateMem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetOptions(Options{ParseLimits: ParseLimits{MaxBytes: 32}})
+	big := "<a>" + strings.Repeat("x", 64) + "</a>"
+	// The reader is cut off at the bound before parsing, so an
+	// arbitrarily large input cannot be buffered wholesale.
+	if _, err := db.AddDocument(strings.NewReader(big)); !errors.Is(err, ErrDocumentLimit) {
+		t.Fatalf("oversized document = %v, want ErrDocumentLimit", err)
+	}
+	if db.NumDocuments() != 0 {
+		t.Fatalf("rejected document was stored: %d documents", db.NumDocuments())
+	}
+	if _, err := db.AddDocumentString("<a>ok</a>"); err != nil {
+		t.Fatalf("document within the byte limit: %v", err)
+	}
+}

@@ -9,6 +9,20 @@ import (
 	"github.com/fix-index/fix/internal/xmltree"
 )
 
+// replayParseLimits disables every parse bound for recovery. The logged
+// bytes were already validated against the DB's configured limits when
+// the operation was acknowledged, and those limits live only in memory
+// (they are not persisted), so re-parsing under the defaults could
+// reject a document admitted under looser custom limits and leave the
+// database unopenable.
+var replayParseLimits = xmltree.ParseLimits{
+	MaxDepth:      -1,
+	MaxTokenBytes: -1,
+	MaxChildren:   -1,
+	MaxNodes:      -1,
+	MaxBytes:      -1,
+}
+
 // ReplayIngest re-applies the acknowledged operations of an ingest log
 // to a store that has been truncated back to the log's base. Inserts are
 // re-parsed and re-appended — the dictionary already holds every label
@@ -30,7 +44,7 @@ func ReplayIngest(st *storage.Store, ix *Index, ops []IngestOp) (int, error) {
 	for i, op := range ops {
 		switch op.Kind {
 		case IngestOpInsert:
-			n, err := xmltree.Parse(bytes.NewReader(op.XML))
+			n, err := xmltree.ParseWithLimits(bytes.NewReader(op.XML), replayParseLimits)
 			if err != nil {
 				return i, fmt.Errorf("core: replaying ingest op %d: document no longer parses: %w", i, err)
 			}

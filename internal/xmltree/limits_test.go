@@ -87,3 +87,29 @@ func TestParseLimitErrorsAreNotSyntaxErrors(t *testing.T) {
 		t.Fatalf("malformed XML = %v, want a non-limit parse error", err)
 	}
 }
+
+func TestParseLimitBytes(t *testing.T) {
+	doc := "<a>12345</a>"
+	if _, err := ParseWithLimits(strings.NewReader(doc), ParseLimits{MaxBytes: len(doc)}); err != nil {
+		t.Fatalf("input exactly at the byte limit: %v", err)
+	}
+	_, err := ParseWithLimits(strings.NewReader(doc), ParseLimits{MaxBytes: len(doc) - 1})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("input over the byte limit = %v, want ErrLimit", err)
+	}
+}
+
+func TestReadDocumentLimitBytes(t *testing.T) {
+	doc := "<a>hello</a>"
+	got, err := ReadDocument(strings.NewReader(doc), ParseLimits{MaxBytes: len(doc)})
+	if err != nil || string(got) != doc {
+		t.Fatalf("ReadDocument at the limit = %q, %v", got, err)
+	}
+	if _, err := ReadDocument(strings.NewReader(doc), ParseLimits{MaxBytes: len(doc) - 1}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("ReadDocument over the limit = %v, want ErrLimit", err)
+	}
+	// Negative disables the bound entirely.
+	if _, err := ReadDocument(strings.NewReader(doc), ParseLimits{MaxBytes: -1}); err != nil {
+		t.Fatalf("ReadDocument with the bound disabled: %v", err)
+	}
+}

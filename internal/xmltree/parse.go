@@ -9,7 +9,7 @@ import (
 )
 
 // ErrLimit reports that a document exceeded a parse limit (depth, token
-// size, fan-out, or node count). Test with errors.Is; the wrapped
+// size, fan-out, node count, or input bytes). Test with errors.Is; the wrapped
 // message names the violated dimension. Limit errors are deliberate
 // rejections of well-formed but oversized input, distinct from the
 // malformed-XML errors Parse otherwise returns.
@@ -32,6 +32,11 @@ type ParseLimits struct {
 	MaxChildren int
 	// MaxNodes caps the total number of tree nodes (elements plus text).
 	MaxNodes int
+	// MaxBytes caps the total serialized input consumed for one
+	// document. It is the outermost guard: the other limits bound the
+	// parsed tree, MaxBytes bounds the raw bytes before the parser (or a
+	// caller buffering for a write-ahead log) trusts them.
+	MaxBytes int
 }
 
 // Default parse limits: generous for any realistic document (XMark
@@ -42,6 +47,7 @@ const (
 	DefaultMaxTokenBytes = 1 << 20 // 1 MiB per name or text node
 	DefaultMaxChildren   = 1 << 20
 	DefaultMaxNodes      = 1 << 26
+	DefaultMaxBytes      = 1 << 28 // 256 MiB of raw document input
 )
 
 // effective resolves the zero-means-default, negative-means-unlimited
@@ -62,6 +68,7 @@ func (l ParseLimits) effective() ParseLimits {
 		MaxTokenBytes: resolve(l.MaxTokenBytes, DefaultMaxTokenBytes),
 		MaxChildren:   resolve(l.MaxChildren, DefaultMaxChildren),
 		MaxNodes:      resolve(l.MaxNodes, DefaultMaxNodes),
+		MaxBytes:      resolve(l.MaxBytes, DefaultMaxBytes),
 	}
 }
 
@@ -79,6 +86,11 @@ func Parse(r io.Reader) (*Node, error) {
 // error wrapping ErrLimit.
 func ParseWithLimits(r io.Reader, lim ParseLimits) (*Node, error) {
 	lim = lim.effective()
+	var lr *byteLimitReader
+	if lim.MaxBytes > 0 {
+		lr = &byteLimitReader{r: r, left: int64(lim.MaxBytes)}
+		r = lr
+	}
 	dec := xml.NewDecoder(r)
 	var stack []*Node
 	var root *Node
@@ -96,6 +108,9 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Node, error) {
 			break
 		}
 		if err != nil {
+			if lr != nil && lr.exceeded {
+				return nil, fmt.Errorf("%w: document larger than %d bytes", ErrLimit, lim.MaxBytes)
+			}
 			return nil, fmt.Errorf("xmltree: parse: %w", err)
 		}
 		switch t := tok.(type) {
@@ -158,6 +173,58 @@ func ParseWithLimits(r io.Reader, lim ParseLimits) (*Node, error) {
 // ParseString is a convenience wrapper around Parse.
 func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// byteLimitReader hands out at most left bytes, then fails the first
+// read that would go past them — but only if the source actually has
+// more data, so an input of exactly the limit still reaches its EOF.
+// exceeded lets the parser map the failure to ErrLimit however the xml
+// decoder propagates reader errors.
+type byteLimitReader struct {
+	r        io.Reader
+	left     int64
+	exceeded bool
+}
+
+func (l *byteLimitReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if l.left <= 0 {
+		var one [1]byte
+		n, err := l.r.Read(one[:])
+		if n > 0 {
+			l.exceeded = true
+			return 0, fmt.Errorf("%w: document input over byte limit", ErrLimit)
+		}
+		return 0, err
+	}
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
+}
+
+// ReadDocument buffers all of r, bounded by the effective MaxBytes of
+// lim (the only field it consults); oversized input returns an error
+// wrapping ErrLimit. Callers that must hold a document's raw bytes —
+// the ingest write-ahead log logs them verbatim — use it so buffering
+// is as bounded as the streaming parse itself.
+func ReadDocument(r io.Reader, lim ParseLimits) ([]byte, error) {
+	max := lim.effective().MaxBytes
+	if max <= 0 {
+		return io.ReadAll(r)
+	}
+	data, err := io.ReadAll(io.LimitReader(r, int64(max)+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > max {
+		return nil, fmt.Errorf("%w: document larger than %d bytes", ErrLimit, max)
+	}
+	return data, nil
 }
 
 // Marshal writes the subtree rooted at n as compact XML (no indentation,
