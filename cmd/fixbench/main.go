@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,13 +25,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|parallel|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|parallel|generations|all")
 		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ one tenth of the paper's element counts)")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		queries  = flag.Int("queries", 200, "random queries per dataset for fig5 (paper: 1000)")
 		verify   = flag.Bool("verify", false, "verify the integrity of every index built during the run")
 		workers  = flag.Int("workers", 0, "worker pool bound for every index build (0 = one per CPU)")
-		jsonPath = flag.String("json", "", "also write the parallel sweep rows as JSON to this file")
+		jsonPath = flag.String("json", "", "also write the parallel or generations sweep rows as JSON to this file (single-experiment runs only)")
 	)
 	flag.Parse()
 	if err := run(*exp, *scale, *seed, *queries, *verify, *workers, *jsonPath); err != nil {
@@ -267,7 +268,7 @@ func run(exp string, scale float64, seed int64, queries int, verify bool, worker
 		}
 		experiments.PrintParallelSweep(w, rows)
 		fmt.Fprintln(w)
-		if jsonPath != "" {
+		if jsonPath != "" && exp == "parallel" {
 			out := struct {
 				NumCPU     int                       `json:"num_cpu"`
 				GOMAXPROCS int                       `json:"gomaxprocs"`
@@ -276,6 +277,42 @@ func run(exp string, scale float64, seed int64, queries int, verify bool, worker
 				Workers    []int                     `json:"worker_counts"`
 				Rows       []experiments.ParallelRow `json:"rows"`
 			}{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Seed: seed, Workers: counts, Rows: rows}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "[json] wrote %s\n", jsonPath)
+		}
+	}
+	if all || exp == "generations" {
+		ran = true
+		var rows []experiments.GenerationRow
+		counts := experiments.GenerationSweepCounts()
+		for _, ds := range datagen.AllDatasets {
+			env, err := e.get(ds)
+			if err != nil {
+				return err
+			}
+			dsRows, err := experiments.GenerationSweep(context.Background(), env, counts, 300*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, dsRows...)
+		}
+		experiments.PrintGenerationSweep(w, rows)
+		fmt.Fprintln(w)
+		if jsonPath != "" && exp == "generations" {
+			out := struct {
+				NumCPU     int                         `json:"num_cpu"`
+				GOMAXPROCS int                         `json:"gomaxprocs"`
+				Scale      float64                     `json:"scale"`
+				Seed       int64                       `json:"seed"`
+				Goroutines []int                       `json:"goroutine_counts"`
+				Rows       []experiments.GenerationRow `json:"rows"`
+			}{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Seed: seed, Goroutines: counts, Rows: rows}
 			data, err := json.MarshalIndent(out, "", "  ")
 			if err != nil {
 				return err

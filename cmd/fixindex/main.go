@@ -116,7 +116,7 @@ func run(dbdir string, args []string) error {
 		defer db.Close()
 		var opts []fix.QueryOption
 		if *trace {
-			opts = append(opts, fix.WithTrace())
+			opts = append(opts, fix.Trace())
 		}
 		res, err := db.Query(fs.Arg(0), opts...)
 		if err != nil {
@@ -143,7 +143,7 @@ func run(dbdir string, args []string) error {
 			return err
 		}
 		defer db.Close()
-		m, err := db.Metrics(rest[0])
+		m, err := db.Effectiveness(rest[0])
 		if err != nil {
 			return err
 		}
@@ -205,7 +205,7 @@ func run(dbdir string, args []string) error {
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			return enc.Encode(db.Snapshot())
+			return enc.Encode(db.Metrics())
 		}
 		fmt.Printf("documents: %d\n", db.NumDocuments())
 		if db.HasIndex() {
@@ -216,7 +216,7 @@ func run(dbdir string, args []string) error {
 		} else {
 			fmt.Println("index: none")
 		}
-		s := db.Snapshot()
+		s := db.Metrics()
 		fmt.Printf("governance: %d admission-rejected, %d deadline-exceeded, %d budget-exceeded, %d panics recovered\n",
 			s.RejectedAdmission, s.DeadlineExceeded, s.BudgetExceeded, s.PanicsRecovered)
 		return nil

@@ -28,7 +28,7 @@ func (s breakerState) String() string {
 // breaker guards the index read path. Repeated internal faults
 // (corruption surfacing mid-query, contained panics, storage errors)
 // trip it open, after which every query is forced onto the exact
-// scan fallback (fix.WithScanOnly) — slower, but correct and not
+// scan fallback (fix.ScanOnly) — slower, but correct and not
 // exercising the faulty path. After the cooldown one query at a time is
 // let through as a recovery probe; a clean probe closes the breaker, a
 // faulty one reopens it. Client errors, deadlines and budget kills say

@@ -29,7 +29,7 @@
 //
 //	GET /query?q=XPATH[&trace=1]   run a query; JSON result, trace opt-in
 //	POST /ingest                   durable writes: raw XML body, or NDJSON add/delete ops
-//	GET /metrics                   fix.DB.Snapshot() as JSON
+//	GET /metrics                   fix.DB.Metrics() as JSON
 //	GET /debug/vars                expvar (includes the "fix" variable)
 //	GET /debug/pprof/              net/http/pprof (only with -pprof)
 //	GET /healthz                   200 if the index is healthy, 503 + JSON cause if degraded

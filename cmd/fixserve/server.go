@@ -125,11 +125,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := []fix.QueryOption{}
 	if traced {
-		opts = append(opts, fix.WithTrace())
+		opts = append(opts, fix.Trace())
 	}
 	useIndex := s.brk.Allow()
 	if !useIndex {
-		opts = append(opts, fix.WithScanOnly())
+		opts = append(opts, fix.ScanOnly())
 	}
 	res, err := s.db.QueryCtx(qctx, expr, opts...)
 	if useIndex && s.db.HasIndex() {
@@ -151,7 +151,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.db.Snapshot())
+	writeJSON(w, s.db.Metrics())
 }
 
 // healthResponse is the /healthz JSON body. IngestLag counts
@@ -161,6 +161,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type healthResponse struct {
 	Status      string `json:"status"`
 	Cause       string `json:"cause,omitempty"`
+	Generation  uint64 `json:"generation"`
 	IngestLag   int    `json:"ingest_lag"`
 	IngestQueue int    `json:"ingest_queue"`
 }
@@ -172,6 +173,7 @@ type healthResponse struct {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
 		Status:      "ok",
+		Generation:  s.db.GenerationID(),
 		IngestLag:   s.db.IngestLag(),
 		IngestQueue: s.ing.QueueLen(),
 	}

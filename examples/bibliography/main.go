@@ -94,7 +94,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := db.Metrics(q)
+		m, err := db.Effectiveness(q)
 		if err != nil {
 			log.Fatal(err)
 		}

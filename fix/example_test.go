@@ -51,7 +51,7 @@ func ExampleDB_Metrics() {
 	db.AddDocumentString(`<a><c/></a>`)
 	db.AddDocumentString(`<a/>`)
 	db.BuildIndex(fix.IndexOptions{})
-	m, _ := db.Metrics(`//a[b][c]`)
+	m, _ := db.Effectiveness(`//a[b][c]`)
 	fmt.Printf("sel=%.2f pp=%.2f\n", m.Selectivity, m.PruningPower)
 	// Output: sel=0.75 pp=0.75
 }

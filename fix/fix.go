@@ -46,9 +46,9 @@
 // # Observability
 //
 // Every query and build is recorded in a process-wide lock-free metrics
-// registry; Snapshot returns it merged with the DB's cumulative B-tree
+// registry; Metrics returns it merged with the DB's cumulative B-tree
 // and storage I/O counters, and PublishExpvar exposes the same view as
-// an expvar variable. Per-query detail is opt-in: the WithTrace query
+// an expvar variable. Per-query detail is opt-in: the Trace query
 // option returns a full per-phase QueryTrace on Result.Trace, and
 // Options.OnSlowQuery installs a threshold-triggered slow-query log.
 // The counters are named after the paper's §6 accounting (entries,
@@ -59,7 +59,6 @@ package fix
 import (
 	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -70,9 +69,7 @@ import (
 	"time"
 
 	"github.com/fix-index/fix/internal/core"
-	"github.com/fix-index/fix/internal/nok"
 	"github.com/fix-index/fix/internal/obs"
-	"github.com/fix-index/fix/internal/par"
 	"github.com/fix-index/fix/internal/storage"
 	"github.com/fix-index/fix/internal/xmltree"
 	"github.com/fix-index/fix/internal/xpath"
@@ -86,11 +83,17 @@ import (
 var ErrCorrupt = core.ErrCorrupt
 
 // DB is a document database with an optional FIX index. Concurrent
-// queries are safe, and concurrent ingest (AddDocument, IngestBatchCtx,
-// DeleteDocument, an Ingester) is safe alongside them: mutations
-// serialize on an internal ingest lock and apply under a write lock
-// that queries share-lock. BuildIndex/RebuildIndex/Save also serialize
-// with ingest.
+// queries are safe and lock-free: every read runs against an immutable
+// published generation — a frozen B-tree image, record table, and
+// tombstone set — pinned for the duration of the call, so queries scale
+// across cores and never contend with writers. Concurrent ingest
+// (AddDocument, IngestBatchCtx, DeleteDocument, an Ingester) is safe
+// alongside them: mutations serialize on an internal ingest lock, apply
+// under a write lock, and publish the next generation with one atomic
+// pointer swap — in-flight queries keep reading the generation they
+// pinned and never see a torn index. BuildIndex/RebuildIndex/Save also
+// serialize with ingest. For repeatable reads across several queries,
+// pin a snapshot explicitly with View.
 type DB struct {
 	dir     string
 	dict    *xmltree.Dict
@@ -98,13 +101,23 @@ type DB struct {
 	index   *core.Index
 	obsOpts Options
 
-	// mu orders queries (read lock) against batch application and
-	// index replacement (write lock). ingestMu serializes the whole
-	// write path — WAL append, batch apply, Save, build — and is
+	// mu orders batch application and index replacement (write lock)
+	// against generation freezes (read lock). ingestMu serializes the
+	// whole write path — WAL append, batch apply, Save, build — and is
 	// always acquired before mu.
 	mu       sync.RWMutex
 	ingestMu sync.Mutex
 	wal      *core.IngestLog
+
+	// pubMu serializes generation publication. Lock order: ingestMu →
+	// pubMu → mu (read); pubMu is never held while acquiring ingestMu
+	// or the mu write lock.
+	pubMu sync.Mutex
+	// gen is the published generation queries pin; swapped atomically
+	// by publish, never mutated in place.
+	gen      atomic.Pointer[core.Generation]
+	genSeq   atomic.Uint64
+	liveGens atomic.Int64
 }
 
 // IndexOptions configures BuildIndex. The zero value indexes whole
@@ -172,14 +185,16 @@ type Result struct {
 	// from a full sequential scan instead. The count is still exact.
 	ScanFallback bool
 	// Trace is the full execution trace when tracing was enabled for
-	// this query (the WithTrace option, or a configured slow-query
+	// this query (the Trace option, or a configured slow-query
 	// log), nil otherwise.
 	Trace *QueryTrace
 }
 
-// Metrics are the implementation-independent effectiveness measures of
-// the paper's §6.2.
-type Metrics struct {
+// Effectiveness are the implementation-independent effectiveness
+// measures of the paper's §6.2, returned by DB.Effectiveness. (This type
+// was called Metrics before that name moved to the operational metrics
+// snapshot — see the migration note on Metrics.)
+type Effectiveness struct {
 	Selectivity   float64 // 1 - rst/ent
 	PruningPower  float64 // 1 - cdt/ent
 	FalsePosRatio float64 // 1 - rst/cdt
@@ -192,7 +207,9 @@ func CreateMem() (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dict: dict, store: st}, nil
+	db := &DB{dict: dict, store: st}
+	db.publish()
+	return db, nil
 }
 
 // Create creates an empty database persisted under dir.
@@ -209,7 +226,9 @@ func Create(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{dir: dir, dict: dict, store: st}, nil
+	db := &DB{dir: dir, dict: dict, store: st}
+	db.publish()
+	return db, nil
 }
 
 // Open opens a database previously persisted with Save, including its
@@ -304,11 +323,15 @@ func Open(dir string) (*DB, error) {
 		// index refuses Save): the log keeps guarding the acked ops
 		// until RebuildIndex clears the way.
 		if db.index == nil || db.index.Health() == nil {
-			if err := db.Save(); err != nil {
+			if err := db.commitAll(); err != nil {
 				return nil, fmt.Errorf("fix: absorbing replayed ingest log: %w", err)
 			}
 		}
 	}
+	// Publish exactly one generation for the recovered state; the absorb
+	// above deliberately skips publishing so a recovered database never
+	// transiently exposes two.
+	db.publish()
 	return db, nil
 }
 
@@ -350,6 +373,18 @@ func openIngestLog(dir string) (*core.IngestLog, []core.IngestOp, error) {
 // elsewhere, so there is no instant at which an acknowledged operation
 // is unprotected.
 func (db *DB) Save() error {
+	if err := db.commitAll(); err != nil {
+		return err
+	}
+	db.publish()
+	return nil
+}
+
+// commitAll is Save without the generation publish: it takes the write
+// locks, commits every file, and resets the ingest log. Open's recovery
+// absorb uses it directly so recovery publishes exactly once, at the
+// end.
+func (db *DB) commitAll() error {
 	if db.dir == "" {
 		return fmt.Errorf("fix: Save on an in-memory database")
 	}
@@ -526,6 +561,10 @@ func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) (err error) 
 	db.mu.Lock()
 	db.index = ix
 	db.mu.Unlock()
+	// Publish before absorbing the ingest log: the new index was built
+	// from the full store, so it already covers any WAL-applied records,
+	// and queries should start using it even if the absorb fails.
+	db.publish()
 	return db.absorbIngestLogLocked("build")
 }
 
@@ -584,6 +623,7 @@ func (db *DB) RebuildIndexCtx(ctx context.Context) (err error) {
 	db.mu.Lock()
 	db.index = ix
 	db.mu.Unlock()
+	db.publish()
 	return db.absorbIngestLogLocked("rebuild")
 }
 
@@ -674,7 +714,7 @@ func (db *DB) Query(expr string, opts ...QueryOption) (Result, error) {
 // enormous subtree cannot stall a deadline.
 //
 // Resource governance: the query runs under the DB-wide Options.Limits
-// unless WithLimits overrides them. A Timeout wraps ctx with
+// unless QueryLimits overrides them. A Timeout wraps ctx with
 // context.WithTimeout (expiry returns context.DeadlineExceeded); work
 // budgets return an error wrapping ErrBudgetExceeded; a panic anywhere
 // below the API comes back as an error wrapping ErrPanic instead of
@@ -682,314 +722,63 @@ func (db *DB) Query(expr string, opts ...QueryOption) (Result, error) {
 // partial trace (when tracing was on) attributing where the time went.
 //
 // Every query is recorded in the process-wide metrics registry (see
-// Snapshot) — a handful of atomic adds. Pass WithTrace to additionally
+// Metrics) — a handful of atomic adds. Pass Trace to additionally
 // collect a full per-phase execution trace on Result.Trace.
-func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (res Result, err error) {
-	var cfg queryConfig
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	defer db.contain("QueryCtx", true, &err)
-	lim := db.limitsFor(&cfg)
-	if lim.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
-		defer cancel()
-	}
-	var tr *obs.Trace
-	start := time.Now()
-	if cfg.trace || db.slowQueryEnabled() {
-		tr = &obs.Trace{Query: expr, Start: start}
-	}
-	db.mu.RLock()
-	res, err = db.queryTraced(ctx, expr, tr, lim, cfg.scanOnly)
-	db.mu.RUnlock()
-	total := time.Since(start)
-	if err != nil {
-		observeQueryError(err)
-		res = Result{}
-		if tr != nil {
-			// Keep the partial trace: the phases that did run are
-			// attributed, so a deadline kill shows where the time went.
-			tr.Total = total
-			res.Trace = traceFromObs(tr)
-		}
-		return res, err
-	}
-	var visited int64
-	if tr != nil {
-		tr.Total = total
-		visited = tr.NodesVisited
-		pub := traceFromObs(tr)
-		res.Trace = pub
-		if db.slowQueryEnabled() && total >= db.obsOpts.SlowQueryThreshold {
-			db.obsOpts.OnSlowQuery(*pub)
-		}
-	}
-	var scanned int
-	if tr != nil {
-		scanned = tr.Scanned
-	}
-	obs.Default().ObserveQuery(total, scanned, res.Candidates, res.MatchedEntries, res.Count, res.ScanFallback, visited)
-	return res, nil
-}
-
-// queryTraced runs the query pipeline, filling tr (which may be nil)
-// along the way, under lim. scanOnly bypasses the index entirely — the
-// degraded-operation path WithScanOnly requests.
-func (db *DB) queryTraced(ctx context.Context, expr string, tr *obs.Trace, lim Limits, scanOnly bool) (Result, error) {
-	parseStart := time.Now()
-	q, err := xpath.Parse(expr)
-	if tr != nil {
-		tr.Phase[obs.PhaseParse] += time.Since(parseStart)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-	if !scanOnly && db.index != nil && db.index.Covered(q) {
-		res, err := db.index.QueryGoverned(ctx, q, tr, coreLimits(lim))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{
-			Count:          res.Count,
-			Entries:        res.Entries,
-			Candidates:     res.Candidates,
-			MatchedEntries: res.Matched,
-			ScanFallback:   res.Fallback,
-		}, nil
-	}
-	if tr != nil && scanOnly {
-		tr.Fallback = true
-	}
-	count, err := db.scanCount(ctx, q, tr, lim)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Count: count, ScanFallback: scanOnly}, nil
+func (db *DB) QueryCtx(ctx context.Context, expr string, opts ...QueryOption) (Result, error) {
+	v := db.View()
+	defer v.Close()
+	return v.QueryCtx(ctx, expr, opts...)
 }
 
 // Exists reports whether the query has at least one match. It is
 // ExistsCtx with context.Background().
-func (db *DB) Exists(expr string) (bool, error) {
-	return db.ExistsCtx(context.Background(), expr)
+func (db *DB) Exists(expr string, opts ...QueryOption) (bool, error) {
+	return db.ExistsCtx(context.Background(), expr, opts...)
 }
 
 // ExistsCtx is Exists with cancellation; verification fans out over the
-// worker pool and the first match stops the remaining workers.
-func (db *DB) ExistsCtx(ctx context.Context, expr string) (ok bool, err error) {
-	defer db.contain("ExistsCtx", true, &err)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	q, err := xpath.Parse(expr)
-	if err != nil {
-		return false, err
-	}
-	if db.index != nil && db.index.Covered(q) {
-		return db.index.ExistsCtx(ctx, q)
-	}
-	nq, err := nok.Compile(q.Tree(), db.dict)
-	if err != nil {
-		return false, err
-	}
-	var found atomic.Bool
-	err = par.Do(ctx, db.workers(), db.store.NumRecords(), func(i int) error {
-		if found.Load() || db.store.IsDeleted(uint32(i)) {
-			return nil
-		}
-		cur, err := db.store.Cursor(uint32(i))
-		if err != nil {
-			return err
-		}
-		if nq.Exists(cur, 0) {
-			found.Store(true)
-			return errStopScan
-		}
-		return nil
-	})
-	if err != nil && !errors.Is(err, errStopScan) {
-		return false, err
-	}
-	return found.Load(), nil
+// worker pool and the first match stops the remaining workers. It pins
+// the current generation for the duration of the call; see View.ExistsCtx.
+func (db *DB) ExistsCtx(ctx context.Context, expr string, opts ...QueryOption) (bool, error) {
+	v := db.View()
+	defer v.Close()
+	return v.ExistsCtx(ctx, expr, opts...)
 }
-
-// errStopScan is the sentinel the parallel scan paths use to stop the
-// worker pool early once the answer is known.
-var errStopScan = errors.New("fix: scan satisfied")
 
 // QueryDocuments returns the IDs of documents containing at least one
 // match, in document order. It is QueryDocumentsCtx with
 // context.Background().
-func (db *DB) QueryDocuments(expr string) ([]uint32, error) {
-	return db.QueryDocumentsCtx(context.Background(), expr)
+func (db *DB) QueryDocuments(expr string, opts ...QueryOption) ([]uint32, error) {
+	return db.QueryDocumentsCtx(context.Background(), expr, opts...)
 }
 
 // QueryDocumentsCtx is QueryDocuments with cancellation. Documents are
 // verified in parallel over the worker pool; the result order is still
-// document order regardless of the worker count.
-func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string) (docs []uint32, err error) {
-	defer db.contain("QueryDocumentsCtx", true, &err)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	q, err := xpath.Parse(expr)
-	if err != nil {
-		return nil, err
-	}
-	nq, err := nok.Compile(q.Tree(), db.dict)
-	if err != nil {
-		return nil, err
-	}
-	var candDocs map[uint32]bool
-	if db.index != nil && db.index.Covered(q) {
-		cands, _, err := db.index.CandidatesCtx(ctx, q)
-		switch {
-		case errors.Is(err, core.ErrDegraded):
-			// The index cannot be trusted; scan every document instead.
-		case err != nil:
-			return nil, err
-		default:
-			candDocs = make(map[uint32]bool, len(cands))
-			for _, c := range cands {
-				candDocs[c.Primary.Rec()] = true
-			}
-		}
-	}
-	nrec := db.store.NumRecords()
-	hits := make([]bool, nrec)
-	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
-		rec := uint32(i)
-		if candDocs != nil && !candDocs[rec] {
-			return nil
-		}
-		if db.store.IsDeleted(rec) {
-			return nil
-		}
-		cur, err := db.store.Cursor(rec)
-		if err != nil {
-			return err
-		}
-		hits[i] = nq.Exists(cur, 0)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []uint32
-	for rec, hit := range hits {
-		if hit {
-			out = append(out, uint32(rec))
-		}
-	}
-	return out, nil
+// document order regardless of the worker count. It pins the current
+// generation for the duration of the call; see View.QueryDocumentsCtx.
+func (db *DB) QueryDocumentsCtx(ctx context.Context, expr string, opts ...QueryOption) ([]uint32, error) {
+	v := db.View()
+	defer v.Close()
+	return v.QueryDocumentsCtx(ctx, expr, opts...)
 }
 
-// Metrics evaluates the query and reports the paper's §6.2
+// Effectiveness evaluates the query and reports the paper's §6.2
 // implementation-independent effectiveness measures. It requires an
-// index.
-func (db *DB) Metrics(expr string) (Metrics, error) {
+// index. (Before the Snapshot→Metrics rename this method was called
+// Metrics; DB.Metrics now returns the operational metrics snapshot.)
+func (db *DB) Effectiveness(expr string) (Effectiveness, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.index == nil {
-		return Metrics{}, fmt.Errorf("fix: Metrics requires an index")
+		return Effectiveness{}, fmt.Errorf("fix: Effectiveness requires an index")
 	}
 	q, err := xpath.Parse(expr)
 	if err != nil {
-		return Metrics{}, err
+		return Effectiveness{}, err
 	}
 	m, err := db.index.Evaluate(q)
 	if err != nil {
-		return Metrics{}, err
+		return Effectiveness{}, err
 	}
-	return Metrics{Selectivity: m.Sel, PruningPower: m.PP, FalsePosRatio: m.FPR}, nil
-}
-
-// scanCount counts matches by navigational refinement of every record,
-// fanned out over the worker pool with per-record result slots, so the
-// total is deterministic for any worker count. A non-nil tr records the
-// scan as fetch + refinement work (the pruning counters stay zero: no
-// index, no pruning). The scan honors lim exactly like the index path:
-// a shared refinement-node budget (which also carries deadline checks
-// into large subtrees) and a running result cap.
-func (db *DB) scanCount(ctx context.Context, q *xpath.Path, tr *obs.Trace, lim Limits) (int, error) {
-	nq, err := nok.Compile(q.Tree(), db.dict)
-	if err != nil {
-		return 0, err
-	}
-	var st0 storage.Stats
-	if tr != nil {
-		st0 = db.store.Stats()
-	}
-	bud := scanBudget(ctx, lim)
-	var fetchNS, refineNS, visited, running atomic.Int64
-	nrec := db.store.NumRecords()
-	counts := make([]int, nrec)
-	err = par.Do(ctx, db.workers(), nrec, func(i int) error {
-		if db.store.IsDeleted(uint32(i)) {
-			return nil
-		}
-		if tr == nil && bud == nil {
-			cur, err := db.store.Cursor(uint32(i))
-			if err != nil {
-				return err
-			}
-			counts[i] = nq.Count(cur, 0)
-			if lim.MaxResults > 0 {
-				return resultCapErr(running.Add(int64(counts[i])), lim)
-			}
-			return nil
-		}
-		fetchStart := time.Now()
-		cur, err := db.store.Cursor(uint32(i))
-		refineStart := time.Now()
-		fetchNS.Add(int64(refineStart.Sub(fetchStart)))
-		if err != nil {
-			return err
-		}
-		var n, nodes int
-		var evalErr error
-		if bud == nil {
-			n, nodes = nq.Eval(cur, 0)
-		} else {
-			n, nodes, evalErr = nq.EvalBudget(cur, 0, bud)
-		}
-		refineNS.Add(int64(time.Since(refineStart)))
-		visited.Add(int64(nodes))
-		if evalErr != nil {
-			return mapBudgetErr(evalErr)
-		}
-		counts[i] = n
-		if lim.MaxResults > 0 {
-			return resultCapErr(running.Add(int64(n)), lim)
-		}
-		return nil
-	})
-	if tr != nil {
-		tr.Workers = par.Workers(db.workers())
-		tr.Phase[obs.PhaseFetch] += time.Duration(fetchNS.Load())
-		tr.Phase[obs.PhaseRefine] += time.Duration(refineNS.Load())
-		tr.NodesVisited += visited.Load()
-		d := db.store.Stats().Sub(st0)
-		tr.Storage = tr.Storage.Add(obs.StorageDelta{
-			SeqReads:     d.SeqReads,
-			RandomReads:  d.RandomReads,
-			CachedReads:  d.CachedReads,
-			BytesRead:    d.BytesRead,
-			SubtreeReads: d.SubtreeReads,
-			SubtreeBytes: d.SubtreeBytes,
-		})
-	}
-	if err != nil {
-		return 0, err
-	}
-	total := 0
-	for _, n := range counts {
-		total += n
-		if n > 0 && tr != nil {
-			tr.Matched++
-		}
-	}
-	if tr != nil {
-		tr.Count = total
-	}
-	return total, nil
+	return Effectiveness{Selectivity: m.Sel, PruningPower: m.PP, FalsePosRatio: m.FPR}, nil
 }

@@ -64,7 +64,7 @@ func TestQueryDocuments(t *testing.T) {
 
 func TestMetrics(t *testing.T) {
 	db := newTestDB(t, IndexOptions{})
-	m, err := db.Metrics("//author[email]")
+	m, err := db.Effectiveness("//author[email]")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestErrorPaths(t *testing.T) {
 	if err := db.Save(); err == nil {
 		t.Error("Save on in-memory database succeeded")
 	}
-	if _, err := db.Metrics("//a"); err == nil {
+	if _, err := db.Effectiveness("//a"); err == nil {
 		t.Error("Metrics without an index succeeded")
 	}
 	if _, err := db.Query("not a path"); err == nil {

@@ -503,6 +503,11 @@ func (db *DB) commitLocked(ops []*pendingOp) error {
 		fsyncs = 1
 	}
 	obs.Default().ObserveIngestBatch(docs, deletes, fsyncs)
+	// Publish the post-batch state as a new generation so new Views (and
+	// the pin-per-call DB query methods) observe the acknowledged writes.
+	// The rollback path above deliberately does not publish: the previous
+	// generation remains an exact snapshot of the pre-batch state.
+	db.publish()
 	return nil
 }
 

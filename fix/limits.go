@@ -80,24 +80,17 @@ type ParseLimits struct {
 	MaxBytes      int // total serialized input of one document
 }
 
-// WithLimits sets this query's resource limits, overriding the DB-wide
-// Options.Limits entirely (fields are not merged).
-func WithLimits(l Limits) QueryOption {
-	return func(c *queryConfig) {
-		c.limits = l
-		c.limitsSet = true
-	}
-}
+// WithLimits sets this query's resource limits.
+//
+// Deprecated: use QueryLimits, the canonical spelling in the unified
+// QueryOption set. WithLimits remains as an alias.
+func WithLimits(l Limits) QueryOption { return QueryLimits(l) }
 
-// WithScanOnly forces this query to bypass the index and answer from a
-// sequential scan of the primary store. The result is exact — a full
-// refinement pass has no false negatives — just slower, and
-// Result.ScanFallback is set. It exists for operational degradation:
-// cmd/fixserve's circuit breaker routes queries here while the index is
-// suspected faulty, trading speed for availability.
-func WithScanOnly() QueryOption {
-	return func(c *queryConfig) { c.scanOnly = true }
-}
+// WithScanOnly forces this query to bypass the index.
+//
+// Deprecated: use ScanOnly, the canonical spelling in the unified
+// QueryOption set. WithScanOnly remains as an alias.
+func WithScanOnly() QueryOption { return ScanOnly() }
 
 // limitsFor resolves the effective limits for one query: the per-query
 // option wins wholesale, otherwise the DB default.
@@ -138,6 +131,11 @@ func (db *DB) contain(op string, degrade bool, errp *error) {
 	obs.Default().ObservePanicRecovered()
 	if degrade && db.index != nil {
 		db.index.Degrade(*errp)
+		// Republish so generations pinned from now on carry the degraded
+		// health and route to the exact scan fallback. Views pinned before
+		// the panic keep their (possibly inconsistent) image, but their
+		// in-flight queries are already guarded by their own barriers.
+		db.publish()
 	}
 }
 

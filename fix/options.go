@@ -75,3 +75,40 @@ func (db *DB) BuildIndexWith(ctx context.Context, opts ...BuildOption) error {
 	}
 	return db.BuildIndexCtx(ctx, o)
 }
+
+// Canonical query options. Every query method — Query, Exists,
+// QueryDocuments and their Ctx variants, on DB and View alike — accepts
+// the same QueryOption set, mirroring the BuildOption pattern above.
+//
+// Migration note: these replace the earlier WithTrace, WithScanOnly and
+// WithLimits helpers, which remain as deprecated aliases. The rename is
+// mechanical: WithTrace() → Trace(), WithScanOnly() → ScanOnly(),
+// WithLimits(l) → QueryLimits(l).
+
+// Trace requests a full execution trace for this query; it comes back
+// on Result.Trace. Tracing costs a few timer reads and counter
+// snapshots per query — cheap, but not free, which is why it is
+// per-query opt-in. Exists and QueryDocuments accept but ignore it
+// (they produce no Result to carry a trace).
+func Trace() QueryOption {
+	return func(c *queryConfig) { c.trace = true }
+}
+
+// ScanOnly forces this query to bypass the index and answer from a
+// sequential scan of the primary store. The result is exact — a full
+// refinement pass has no false negatives — just slower, and
+// Result.ScanFallback is set. It exists for operational degradation:
+// cmd/fixserve's circuit breaker routes queries here while the index is
+// suspected faulty, trading speed for availability.
+func ScanOnly() QueryOption {
+	return func(c *queryConfig) { c.scanOnly = true }
+}
+
+// QueryLimits sets this query's resource limits, overriding the DB-wide
+// Options.Limits entirely (fields are not merged).
+func QueryLimits(l Limits) QueryOption {
+	return func(c *queryConfig) {
+		c.limits = l
+		c.limitsSet = true
+	}
+}

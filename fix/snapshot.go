@@ -6,13 +6,18 @@ import (
 	"github.com/fix-index/fix/internal/obs"
 )
 
-// Snapshot is a point-in-time view of the process-wide metrics registry
+// Metrics is a point-in-time view of the process-wide metrics registry
 // merged with this DB's cumulative subsystem counters. The registry part
 // (query/build totals, latency) is shared by every DB in the process;
 // the BTree/Storage parts are this DB's own exact counters. All fields
-// carry JSON tags, so a Snapshot marshals directly onto a metrics
+// carry JSON tags, so a Metrics marshals directly onto a metrics
 // endpoint (cmd/fixserve serves exactly this at /metrics).
-type Snapshot struct {
+//
+// Migration note: this type was named Snapshot until the generation
+// read path arrived, where "snapshot" means a pinned point-in-time View
+// of the data; the operational counters are now Metrics/DB.Metrics, and
+// Snapshot/DB.Snapshot remain as deprecated aliases.
+type Metrics struct {
 	// Query totals. Scanned/Candidates/Matched/Results sum the §6.2
 	// pipeline counters over all queries; NodesVisited covers traced
 	// queries only (untraced refinement skips the counter).
@@ -59,15 +64,26 @@ type Snapshot struct {
 	// This DB's shape and cumulative I/O. DocumentsDeleted counts
 	// tombstoned records still occupying the heap; IngestLag is the
 	// number of WAL operations applied in memory but not yet folded into
-	// a durable index commit (Save resets it to zero).
+	// a durable index commit (Save resets it to zero). Generation is the
+	// publish sequence number of the currently published snapshot and
+	// LiveGenerations how many generations are retained (the published
+	// one plus older ones still pinned by open Views).
 	Documents        int          `json:"documents"`
 	DocumentsDeleted int          `json:"documents_deleted"`
 	IngestLag        int          `json:"ingest_lag"`
 	IndexEntries     int          `json:"index_entries"`
 	IndexSizeBytes   int64        `json:"index_size_bytes"`
+	Generation       uint64       `json:"generation"`
+	LiveGenerations  int64        `json:"live_generations"`
 	BTree            BTreeStats   `json:"btree"`
 	Storage          StorageStats `json:"storage"`
 }
+
+// Snapshot is the former name of Metrics.
+//
+// Deprecated: use Metrics; "snapshot" now refers to pinned point-in-time
+// Views of the data (see DB.View).
+type Snapshot = Metrics
 
 // BTreeStats are the index B-tree's cumulative pager counters.
 // PageReads are physical page reads, which are exactly the cache misses;
@@ -92,12 +108,12 @@ type StorageStats struct {
 	SubtreeBytes   int64 `json:"subtree_bytes"`
 }
 
-// Snapshot returns the current metrics snapshot; see Snapshot (type).
+// Metrics returns the current operational counters; see Metrics (type).
 // It is safe to call concurrently with queries — reads are atomic or
 // mutex-guarded copies, never locks held across I/O.
-func (db *DB) Snapshot() Snapshot {
+func (db *DB) Metrics() Metrics {
 	reg := obs.Default().Snapshot()
-	s := Snapshot{
+	s := Metrics{
 		Queries:       reg.Queries,
 		QueryErrors:   reg.QueryErrors,
 		ScanFallbacks: reg.Fallbacks,
@@ -127,6 +143,8 @@ func (db *DB) Snapshot() Snapshot {
 		Documents:        db.NumDocuments(),
 		DocumentsDeleted: db.store.NumDeleted(),
 		IngestLag:        db.IngestLag(),
+		Generation:       db.GenerationID(),
+		LiveGenerations:  db.LiveGenerations(),
 	}
 	st := db.store.Stats()
 	s.Storage = StorageStats{
@@ -166,12 +184,18 @@ func (db *DB) Snapshot() Snapshot {
 	return s
 }
 
-// PublishExpvar exposes db's Snapshot as the expvar variable "fix", so
+// Snapshot returns the current operational counters.
+//
+// Deprecated: use Metrics; "snapshot" now refers to pinned point-in-time
+// Views of the data (see DB.View).
+func (db *DB) Snapshot() Snapshot { return db.Metrics() }
+
+// PublishExpvar exposes db's Metrics as the expvar variable "fix", so
 // any handler serving expvar's /debug/vars (cmd/fixserve mounts one)
 // reports it alongside the runtime's memstats. expvar names are
 // process-global and cannot be unregistered, so only the first call in
 // a process takes effect; later calls (for this or any other DB) are
 // no-ops.
 func PublishExpvar(db *DB) {
-	obs.Publish(func() any { return db.Snapshot() })
+	obs.Publish(func() any { return db.Metrics() })
 }

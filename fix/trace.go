@@ -75,6 +75,11 @@ type QueryTrace struct {
 	// pruning counters are then zero. Entries == 0 with ScanFallback
 	// false means the query ran without (or not covered by) an index.
 	ScanFallback bool `json:"scan_fallback"`
+
+	// Generation is the publish sequence number of the snapshot the
+	// query ran against (see DB.View), so traces collected across a
+	// concurrent Save/RebuildIndex attribute to the right index image.
+	Generation uint64 `json:"generation"`
 }
 
 // String formats the trace as a compact human-readable block, the form
@@ -130,10 +135,16 @@ func traceFromObs(tr *obs.Trace) *QueryTrace {
 		SubtreeReads: tr.Storage.SubtreeReads,
 		SubtreeBytes: tr.Storage.SubtreeBytes,
 		ScanFallback: tr.Fallback,
+		Generation:   tr.Generation,
 	}
 }
 
-// A QueryOption configures one Query/QueryCtx evaluation.
+// A QueryOption configures one query evaluation. The same option set is
+// accepted uniformly by every query method — Query, Exists,
+// QueryDocuments and their Ctx variants, on both DB and View. The
+// canonical constructors are Trace, ScanOnly and QueryLimits (in
+// options.go, mirroring the BuildOption set); WithTrace, WithScanOnly
+// and WithLimits are their deprecated spellings.
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
@@ -143,13 +154,11 @@ type queryConfig struct {
 	scanOnly  bool
 }
 
-// WithTrace requests a full execution trace for this query; it comes
-// back on Result.Trace. Tracing costs a few timer reads and counter
-// snapshots per query — cheap, but not free, which is why it is
-// per-query opt-in.
-func WithTrace() QueryOption {
-	return func(c *queryConfig) { c.trace = true }
-}
+// WithTrace requests a full execution trace for this query.
+//
+// Deprecated: use Trace, the canonical spelling in the unified
+// QueryOption set. WithTrace remains as an alias.
+func WithTrace() QueryOption { return Trace() }
 
 // Options configures the observability and resource-governance behavior
 // of a DB. Set it with SetOptions before serving queries; it is not safe

@@ -81,7 +81,7 @@ func TestTraceReconcilesWithMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := db.Metrics(q)
+	m, err := db.Effectiveness(q)
 	if err != nil {
 		t.Fatal(err)
 	}

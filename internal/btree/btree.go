@@ -25,12 +25,15 @@ const (
 // concurrent use; even read-only operations need the exclusion because
 // they move pages through the LRU cache. Scan holds the lock for the
 // whole pass, so scan callbacks must not call back into the same Tree.
+// For mutex-free concurrent reads, FreezeView materializes an immutable
+// View that many goroutines can Get/Scan without any lock.
 type Tree struct {
 	mu     sync.Mutex
 	p      *pager // guarded by mu (the pager owns the page cache, I/O counters, and npages)
 	root   uint32 // guarded by mu
 	height uint32 // guarded by mu
 	count  uint64 // guarded by mu
+	vs     viewStats
 }
 
 // Create initializes an empty tree on f.
@@ -139,18 +142,27 @@ func (t *Tree) Size() int64 {
 	return int64(t.p.npages) * int64(t.p.pageSize)
 }
 
-// Stats returns a snapshot of pager I/O counters.
+// Stats returns a snapshot of I/O counters: the pager's, merged with the
+// counters of every View frozen from this tree, so a caller differencing
+// Stats around a query sees the same deltas whether the query ran against
+// the live tree or a frozen view.
 func (t *Tree) Stats() Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.p.stats
+	s := t.p.stats
+	t.mu.Unlock()
+	vs := t.vs.load()
+	s.PageReads += vs.PageReads
+	s.CacheHits += vs.CacheHits
+	return s
 }
 
-// ResetStats zeroes the pager counters.
+// ResetStats zeroes the pager and view counters.
 func (t *Tree) ResetStats() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.p.stats = Stats{}
+	t.mu.Unlock()
+	t.vs.pageReads.Store(0)
+	t.vs.cacheHits.Store(0)
 }
 
 // Flush writes all dirty pages and the meta page.

@@ -46,6 +46,11 @@ type pager struct {
 	cache    map[uint32]*page
 	lru      *list.List // front = most recent
 	stats    Stats
+	// changed records pages whose content diverged from the most recent
+	// frozen View (dirtied or freshly allocated since then). FreezeView
+	// copies exactly these pages and clears the set, so consecutive views
+	// share the buffers of everything else.
+	changed map[uint32]bool
 	// writeErr is the first background write-back failure since the last
 	// fully successful flush. Eviction write-backs are best effort (the
 	// victim stays resident and dirty on failure), so the error must be
@@ -75,6 +80,7 @@ func newPager(f storage.File, pageSize, cacheSize int) *pager {
 		cap:      cacheSize,
 		cache:    make(map[uint32]*page, cacheSize),
 		lru:      list.New(),
+		changed:  make(map[uint32]bool),
 	}
 }
 
@@ -102,6 +108,7 @@ func (p *pager) alloc() (*page, error) {
 	p.npages++
 	pg := p.admit(id, make([]byte, p.pageSize))
 	pg.dirty = true
+	p.changed[id] = true
 	return pg, nil
 }
 
@@ -131,7 +138,10 @@ func (p *pager) admit(id uint32, buf []byte) *page {
 	return pg
 }
 
-func (p *pager) markDirty(pg *page) { pg.dirty = true }
+func (p *pager) markDirty(pg *page) {
+	pg.dirty = true
+	p.changed[pg.id] = true
+}
 
 func (p *pager) writePage(pg *page) error {
 	stampPage(pg.buf)

@@ -1,0 +1,183 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fix-index/fix/internal/storage"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%04d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val%04d", i)) }
+
+// TestFreezeViewSnapshotIsolation freezes a view and keeps mutating the
+// live tree: the view must keep answering exactly from the frozen state.
+func TestFreezeViewSnapshotIsolation(t *testing.T) {
+	tr := newTree(t, 512)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := tr.FreezeView(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live tree: overwrite every even key, add new keys.
+	for i := 0; i < n; i += 2 {
+		if err := tr.Put(key(i), []byte("LIVE")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Len() != n {
+		t.Errorf("view Len = %d, want %d (frozen before inserts)", v.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := v.Get(key(i))
+		if err != nil || !ok || string(got) != string(val(i)) {
+			t.Fatalf("view Get(%s) = %q, %v, %v; want %q", key(i), got, ok, err, val(i))
+		}
+	}
+	if _, ok, _ := v.Get(key(n)); ok {
+		t.Error("view sees a key inserted after the freeze")
+	}
+	// The live tree sees all mutations.
+	got, ok, err := tr.Get(key(0))
+	if err != nil || !ok || string(got) != "LIVE" {
+		t.Fatalf("live Get(key0) = %q, %v, %v; want LIVE", got, ok, err)
+	}
+	// A full view scan yields exactly the frozen entries, in order.
+	count := 0
+	err = v.Scan(nil, nil, func(k, val []byte) bool {
+		if string(k) != string(key(count)) {
+			t.Fatalf("scan key %d = %s, want %s", count, k, key(count))
+		}
+		count++
+		return true
+	})
+	if err != nil || count != n {
+		t.Fatalf("view scan: count = %d, err = %v; want %d", count, err, n)
+	}
+}
+
+// TestFreezeViewSharesUnchangedPages verifies the copy-on-write contract:
+// consecutive views share the buffers of pages untouched between freezes.
+func TestFreezeViewSharesUnchangedPages(t *testing.T) {
+	tr := newTree(t, 512)
+	for i := 0; i < 200; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1, err := tr.FreezeView(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No mutation in between: the second view must share every buffer.
+	v2, err := tr.FreezeView(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < len(v1.pages); id++ {
+		if v1.pages[id] == nil {
+			continue
+		}
+		if &v1.pages[id][0] != &v2.pages[id][0] {
+			t.Fatalf("page %d not shared across an unchanged freeze", id)
+		}
+	}
+	// One insert dirties a handful of pages; the rest stay shared.
+	if err := tr.Put(key(1000), val(1000)); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := tr.FreezeView(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, copied := 0, 0
+	for id := 1; id < len(v2.pages); id++ {
+		if v2.pages[id] == nil || id >= len(v3.pages) || v3.pages[id] == nil {
+			continue
+		}
+		if &v2.pages[id][0] == &v3.pages[id][0] {
+			shared++
+		} else {
+			copied++
+		}
+	}
+	if shared == 0 {
+		t.Error("no pages shared after a single-key insert")
+	}
+	if copied == 0 {
+		t.Error("no pages copied after a single-key insert (dirty tracking broken?)")
+	}
+	if copied >= shared {
+		t.Errorf("copied %d >= shared %d pages for one insert; expected a small dirty set", copied, shared)
+	}
+	// The new view sees the insert, the old one does not.
+	if _, ok, _ := v3.Get(key(1000)); !ok {
+		t.Error("v3 missing the key inserted before its freeze")
+	}
+	if _, ok, _ := v2.Get(key(1000)); ok {
+		t.Error("v2 sees a key inserted after its freeze")
+	}
+}
+
+// TestFreezeViewAfterEviction drives the cache small enough that freeze
+// must materialize evicted pages from the file, and verifies the image.
+func TestFreezeViewAfterEviction(t *testing.T) {
+	tr, err := Create(storage.NewMemFile(), 512, 4) // tiny cache: evicts constantly
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := tr.FreezeView(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != n {
+		t.Fatalf("view Len = %d, want %d", v.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := v.Get(key(i))
+		if err != nil || !ok || string(got) != string(val(i)) {
+			t.Fatalf("view Get(%s) = %q, %v, %v", key(i), got, ok, err)
+		}
+	}
+	if v.Stats().PageReads == 0 {
+		t.Error("freeze over a tiny cache reported no physical page reads")
+	}
+}
+
+// TestFreezeViewStatsMerge checks that view activity lands in the owning
+// tree's cumulative Stats.
+func TestFreezeViewStatsMerge(t *testing.T) {
+	tr := newTree(t, 512)
+	for i := 0; i < 50; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := tr.FreezeView(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Stats().CacheHits
+	if _, _, err := v.Get(key(7)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().CacheHits <= before {
+		t.Error("view node accesses not merged into Tree.Stats")
+	}
+}

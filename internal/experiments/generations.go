@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fix-index/fix/internal/core"
+	"github.com/fix-index/fix/internal/xpath"
+)
+
+// The generation sweep is not a paper experiment: it measures the
+// repository's lock-free read path (immutable index generations, PR 7)
+// against the locked path it replaced. Both evaluate the same §6.2
+// representative workload over the same index; the locked path goes
+// through Index.QueryGoverned (B-tree probes serialize on the tree
+// mutex), the generation path through Generation.QueryGoverned (probes
+// read a frozen page image, no lock anywhere). The interesting column is
+// throughput as reader goroutines grow: the locked path flattens where
+// the mutex saturates, the generation path scales with the cores.
+
+// GenerationRow is one (dataset, goroutine count) throughput measurement.
+type GenerationRow struct {
+	Dataset    string  `json:"dataset"`
+	Goroutines int     `json:"goroutines"`
+	LockedQPS  float64 `json:"locked_qps"`
+	ViewQPS    float64 `json:"view_qps"`
+	// Speedup is ViewQPS/LockedQPS at this concurrency.
+	Speedup float64 `json:"view_vs_locked"`
+	// LockedScale and ViewScale are each path's throughput relative to
+	// its own single-goroutine row — the scaling curve.
+	LockedScale float64 `json:"locked_scale_vs_1"`
+	ViewScale   float64 `json:"view_scale_vs_1"`
+	// Queries is the total evaluated across both paths at this level.
+	Queries int64 `json:"queries"`
+}
+
+// GenerationSweepCounts returns the canonical reader sweep: 1, 2, 4 and
+// GOMAXPROCS goroutines, deduplicated and sorted.
+func GenerationSweepCounts() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var counts []int
+	for n := range set {
+		counts = append(counts, n)
+	}
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j] < counts[j-1]; j-- {
+			counts[j], counts[j-1] = counts[j-1], counts[j]
+		}
+	}
+	return counts
+}
+
+// GenerationSweep measures locked vs generation query throughput on the
+// env's dataset for each goroutine count, running each configuration for
+// window wall time. Before measuring it cross-checks that both paths
+// return identical counts for every workload query. ctx bounds the
+// whole sweep (each query observes it).
+func GenerationSweep(ctx context.Context, env *Env, goroutines []int, window time.Duration) ([]GenerationRow, error) {
+	ix, err := env.Unclustered()
+	if err != nil {
+		return nil, err
+	}
+	reps := RepresentativeQueries[env.Dataset]
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("experiments: no representative queries for %s", env.Dataset)
+	}
+	var paths []*xpath.Path
+	for _, rq := range reps {
+		p, err := xpath.Parse(rq.XPath)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parsing %s: %w", rq.Name, err)
+		}
+		paths = append(paths, p)
+	}
+	gen := core.NewGeneration(1, ix, env.Store, env.Store.Dict(), nil, nil)
+	defer gen.Unpin()
+	if err := gen.Health(); err != nil {
+		return nil, fmt.Errorf("experiments: generation frozen degraded: %w", err)
+	}
+
+	// Soundness gate: the frozen image must answer exactly like the
+	// locked index before any throughput number means anything.
+	for i, p := range paths {
+		lr, err := ix.QueryGoverned(ctx, p, nil, core.Limits{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: locked %s: %w", reps[i].Name, err)
+		}
+		vr, err := gen.QueryGoverned(ctx, p, nil, core.Limits{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generation %s: %w", reps[i].Name, err)
+		}
+		if lr.Count != vr.Count {
+			return nil, fmt.Errorf("experiments: %s: locked count %d != generation count %d",
+				reps[i].Name, lr.Count, vr.Count)
+		}
+	}
+
+	run := func(n int, query func(p *xpath.Path) error) (float64, int64, error) {
+		var (
+			wg    sync.WaitGroup
+			total atomic.Int64
+			fail  atomic.Value
+		)
+		deadline := time.Now().Add(window)
+		start := time.Now()
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; time.Now().Before(deadline); i++ {
+					if err := query(paths[i%len(paths)]); err != nil {
+						fail.Store(err)
+						return
+					}
+					total.Add(1)
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, ok := fail.Load().(error); ok && err != nil {
+			return 0, 0, err
+		}
+		return float64(total.Load()) / elapsed.Seconds(), total.Load(), nil
+	}
+
+	var rows []GenerationRow
+	var locked1, view1 float64
+	for _, n := range goroutines {
+		lockedQPS, lq, err := run(n, func(p *xpath.Path) error {
+			_, err := ix.QueryGoverned(ctx, p, nil, core.Limits{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: locked sweep, %d goroutines: %w", n, err)
+		}
+		viewQPS, vq, err := run(n, func(p *xpath.Path) error {
+			_, err := gen.QueryGoverned(ctx, p, nil, core.Limits{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generation sweep, %d goroutines: %w", n, err)
+		}
+		row := GenerationRow{
+			Dataset:    string(env.Dataset),
+			Goroutines: n,
+			LockedQPS:  lockedQPS,
+			ViewQPS:    viewQPS,
+			Queries:    lq + vq,
+		}
+		if lockedQPS > 0 {
+			row.Speedup = viewQPS / lockedQPS
+		}
+		if len(rows) == 0 {
+			locked1, view1 = lockedQPS, viewQPS
+		}
+		if locked1 > 0 {
+			row.LockedScale = lockedQPS / locked1
+		}
+		if view1 > 0 {
+			row.ViewScale = viewQPS / view1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintGenerationSweep renders the sweep as a throughput table.
+func PrintGenerationSweep(w io.Writer, rows []GenerationRow) {
+	fmt.Fprintf(w, "Generation read-path sweep (NumCPU=%d, GOMAXPROCS=%d; locked=Index.QueryGoverned, view=Generation.QueryGoverned)\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-10s %11s %12s %12s %10s %13s %11s\n",
+		"dataset", "goroutines", "locked q/s", "view q/s", "view/lock", "locked scale", "view scale")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11d %12.0f %12.0f %9.2fx %12.2fx %10.2fx\n",
+			r.Dataset, r.Goroutines, r.LockedQPS, r.ViewQPS, r.Speedup, r.LockedScale, r.ViewScale)
+	}
+}

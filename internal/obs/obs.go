@@ -126,4 +126,8 @@ type Trace struct {
 	// Fallback reports that the index was degraded and the result came
 	// from a full sequential scan; the pruning counters are then zero.
 	Fallback bool
+	// Generation is the publish sequence number of the index generation
+	// the query ran against (0 when unknown), for attributing traces
+	// across concurrent index swaps.
+	Generation uint64
 }

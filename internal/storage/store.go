@@ -84,6 +84,7 @@ type Store struct {
 	end     int64 // next append position
 	lastEnd int64 // end offset of the last physical read, for seq/random
 	stats   Stats
+	rs      readStats // shared with every ReadView frozen from this store
 
 	// deleted marks records removed by DeleteDocument. The heap is
 	// append-only, so deletion is a tombstone: the bytes stay on disk
@@ -152,20 +153,32 @@ func (s *Store) Size() int64 {
 	return s.end
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters: the store's own, merged
+// with the counters of every ReadView frozen from it, so a caller
+// differencing Stats around a query sees the same deltas whether the
+// query read through the store or a frozen view.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	rs := s.rs.load()
+	st.SeqReads += rs.SeqReads
+	st.RandomReads += rs.RandomReads
+	st.CachedReads += rs.CachedReads
+	st.BytesRead += rs.BytesRead
+	st.SubtreeReads += rs.SubtreeReads
+	st.SubtreeBytes += rs.SubtreeBytes
+	return st
 }
 
-// ResetStats zeroes the I/O counters, so an experiment can measure a
-// single query in isolation.
+// ResetStats zeroes the I/O counters (store and view side), so an
+// experiment can measure a single query in isolation.
 func (s *Store) ResetStats() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats = Stats{}
 	s.lastEnd = -1
+	s.mu.Unlock()
+	s.rs.reset()
 }
 
 // AppendTree encodes and appends a document tree, returning its record

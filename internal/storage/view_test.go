@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fix-index/fix/internal/xmltree"
+)
+
+// TestReadViewSnapshotIsolation freezes a view and keeps appending to
+// the live store: the view's record set must not grow, and its records
+// must read back byte-identical.
+func TestReadViewSnapshotIsolation(t *testing.T) {
+	st, err := NewStore(NewMemFile(), xmltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		b := bytes.Repeat([]byte{byte('a' + i)}, 20+i)
+		if _, err := st.AppendBytes(b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b)
+	}
+	v := st.Freeze()
+	if v.NumRecords() != len(want) {
+		t.Fatalf("view NumRecords = %d, want %d", v.NumRecords(), len(want))
+	}
+	// Keep appending: invisible to the frozen view.
+	for i := 0; i < 5; i++ {
+		if _, err := st.AppendBytes([]byte("later")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.NumRecords() != len(want) {
+		t.Errorf("view grew to %d records after appends", v.NumRecords())
+	}
+	for rec, b := range want {
+		got, err := v.Record(uint32(rec))
+		if err != nil || !bytes.Equal(got, b) {
+			t.Fatalf("view Record(%d) = %q, %v; want %q", rec, got, err, b)
+		}
+	}
+	if _, err := v.Record(uint32(len(want))); err == nil {
+		t.Error("view served a record appended after the freeze")
+	}
+	if st.NumRecords() != len(want)+5 {
+		t.Errorf("live store NumRecords = %d, want %d", st.NumRecords(), len(want)+5)
+	}
+}
+
+// TestReadViewStatsMerge checks view I/O lands in the owning store's
+// cumulative Stats.
+func TestReadViewStatsMerge(t *testing.T) {
+	st, err := NewStore(NewMemFile(), xmltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := st.AppendTree(xmltree.Elem("doc", xmltree.Text("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := st.Freeze()
+	before := st.Stats()
+	// Sequential walk: record 0 then 1 extends the last read position.
+	if _, err := v.Record(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	after := st.Stats()
+	if after.BytesRead <= before.BytesRead {
+		t.Error("view reads not merged into Store.Stats bytes_read")
+	}
+	if after.SeqReads+after.RandomReads <= before.SeqReads+before.RandomReads {
+		t.Error("view reads not classified into seq/random counters")
+	}
+}
+
+// TestTombSnapshotIsolation freezes the tombstone set and deletes more
+// records afterwards: the snapshot must not change.
+func TestTombSnapshotIsolation(t *testing.T) {
+	st, err := NewStore(NewMemFile(), xmltree.NewDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := st.AppendTree(xmltree.Elem("doc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.MarkDeleted(1); err != nil {
+		t.Fatal(err)
+	}
+	ts := st.TombSnapshot()
+	if !ts.Has(1) || ts.Has(2) || ts.Len() != 1 {
+		t.Fatalf("snapshot = {has1:%v has2:%v len:%d}, want {true false 1}", ts.Has(1), ts.Has(2), ts.Len())
+	}
+	if _, err := st.MarkDeleted(2); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Has(2) || ts.Len() != 1 {
+		t.Error("tombstone snapshot changed after a later delete")
+	}
+	// A nil snapshot (no deletes ever) is safe to query.
+	var nilSet *TombSet
+	if nilSet.Has(0) || nilSet.Len() != 0 {
+		t.Error("nil TombSet misbehaves")
+	}
+}
