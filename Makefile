@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-json check bench-parallel fuzz-smoke stress ingest-crash
+.PHONY: build vet test race lint lint-json check bench-parallel bench-shards serve-smoke fuzz-smoke stress ingest-crash
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,18 @@ check: vet build test race lint
 # (1/2/4/NumCPU workers; asserts byte-identical indexes).
 bench-parallel:
 	$(GO) run ./cmd/fixbench -exp parallel -scale 0.2 -json BENCH_parallel.json
+
+# bench-shards regenerates the committed collection shard sweep
+# (ingest + query throughput at 1/2/4/8 shards).
+bench-shards:
+	$(GO) run ./cmd/fixbench -exp shards -scale 0.5 -json BENCH_shards.json
+
+# serve-smoke is the collection-serving e2e gate: a two-collection,
+# four-shard-each fixserve surface taking concurrent scatter-gather
+# queries and routed ingest under the race detector, plus the doc-drift
+# check that every served route is in docs/SERVING.md.
+serve-smoke:
+	$(GO) test -race -v -run 'TestCollectionServerAcceptance|TestServingDocCoversAllRoutes|TestServingDocCoversAllFlags' ./cmd/fixserve/
 
 # fuzz-smoke runs each native fuzz target briefly on top of the committed
 # seed corpus — a cheap regression net for the input-hardening layer.

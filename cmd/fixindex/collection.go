@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/collection"
+)
+
+// When -db points at a collection directory (it holds a
+// collection.json manifest), fixindex operates on the whole sharded
+// collection instead of a single database: queries scatter-gather with
+// per-shard accounting, adds route by root label and print global IDs,
+// and stats/verify/repair walk every shard. The command surface is the
+// same as single-database mode; "build" is not offered because
+// collection shards are created with their indexes and maintain them
+// incrementally — "repair" rebuilds any shard that fails verification.
+
+// isCollectionDir reports whether dir holds a collection manifest.
+func isCollectionDir(dir string) bool {
+	_, err := collection.ReadManifest(dir)
+	return err == nil
+}
+
+// runCollection is the collection-mode command dispatcher, mirroring
+// run for directories holding a collection.json.
+func runCollection(dir string, args []string) error {
+	cmd, rest := args[0], args[1:]
+	ctx := context.Background()
+	switch cmd {
+	case "add":
+		col, err := collection.Open(dir, collection.Options{})
+		if err != nil {
+			return err
+		}
+		defer col.Close()
+		var docs []string
+		for _, path := range rest {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			docs = append(docs, string(data))
+		}
+		ids, err := col.AddBatch(ctx, docs)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			shard, rec := collection.SplitID(id)
+			fmt.Printf("added %s as document %d (shard %d record %d)\n", rest[i], id, shard, rec)
+		}
+		return col.Save()
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		trace := fs.Bool("trace", false, "print every shard's execution trace")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("query takes exactly one XPath expression")
+		}
+		col, err := collection.Open(dir, collection.Options{})
+		if err != nil {
+			return err
+		}
+		defer col.Close()
+		res, err := col.Query(ctx, fs.Arg(0), collection.QueryOpts{Trace: *trace})
+		if err != nil {
+			return err
+		}
+		routing := "scattered to all shards"
+		if res.Targeted {
+			routing = "targeted one shard by root label"
+		}
+		fmt.Printf("results: %d (%s)\n", res.Count, routing)
+		if res.Entries > 0 {
+			fmt.Printf("pruning: %d entries -> %d candidates -> %d matched\n",
+				res.Entries, res.Candidates, res.Matched)
+		}
+		for _, row := range res.Shards {
+			line := fmt.Sprintf("  shard %d: %d results", row.Shard, row.Count)
+			if row.ScanFallback {
+				line += " (scan fallback)"
+			}
+			if row.Err != "" {
+				line += " error: " + row.Err
+			}
+			fmt.Println(line)
+			if row.Trace != nil {
+				fmt.Println(row.Trace.String())
+			}
+		}
+		if res.Partial {
+			fmt.Println("PARTIAL: some shards failed; the count covers survivors only")
+		}
+		return nil
+
+	case "verify":
+		return eachShard(dir, func(i int, db *fix.DB) error {
+			if err := db.IndexHealth(); err != nil {
+				fmt.Printf("shard %d degraded: %v\n", i, err)
+				return nil
+			}
+			if err := db.VerifyIndex(); err != nil {
+				fmt.Printf("shard %d corrupt: %v\n", i, err)
+				return nil
+			}
+			fmt.Printf("shard %d ok: %d entries verified\n", i, db.IndexEntries())
+			return nil
+		})
+
+	case "repair":
+		return eachShard(dir, func(i int, db *fix.DB) error {
+			if db.IndexHealth() == nil && db.VerifyIndex() == nil {
+				fmt.Printf("shard %d ok, not rebuilt\n", i)
+				return nil
+			}
+			if err := db.RebuildIndex(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			if err := db.VerifyIndex(); err != nil {
+				return fmt.Errorf("shard %d still fails verification after rebuild: %w", i, err)
+			}
+			if err := db.Save(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			fmt.Printf("shard %d rebuilt: %d entries\n", i, db.IndexEntries())
+			return nil
+		})
+
+	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "print the stats payload as JSON")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		col, err := collection.Open(dir, collection.Options{})
+		if err != nil {
+			return err
+		}
+		defer col.Close()
+		st := col.Stats()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}
+		fmt.Printf("collection: %s (%d shards, weight %d)\n",
+			st.Spec.Name, st.Spec.Shards, st.Spec.Weight)
+		fmt.Printf("documents: %d live, %d deleted; %d index entries; ingest lag %d\n",
+			st.Documents, st.Deleted, st.Entries, st.IngestLag)
+		for _, h := range st.Shards {
+			state := "ok"
+			if !h.Healthy {
+				state = "degraded: " + h.Cause
+			}
+			fmt.Printf("  shard %d: gen %d, %d docs, %d entries, lag %d — %s\n",
+				h.Shard, h.Generation, h.Documents, h.Entries, h.IngestLag, state)
+		}
+		return nil
+
+	case "build", "metrics":
+		return fmt.Errorf("%q is not available on a collection directory: shards maintain their indexes incrementally (use 'repair' to rebuild damaged shards, or point -db at one shard directory)", cmd)
+
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// eachShard opens every shard database of the collection at dir in
+// turn, without pulling the whole collection (and its ingesters) up.
+func eachShard(dir string, fn func(i int, db *fix.DB) error) error {
+	spec, err := collection.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for i := 0; i < spec.Shards; i++ {
+		db, err := fix.Open(collection.ShardDir(dir, i))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := fn(i, db); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fix-index/fix/internal/collection"
+)
+
+// newTestCollectionDir creates a 2-shard collection with a few routed
+// documents and returns its directory.
+func newTestCollectionDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	col, err := collection.Create(context.Background(), dir,
+		collection.Spec{Name: "cli", Shards: 2}, collection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		`<book><title>a</title></book>`,
+		`<film><title>b</title></film>`,
+		`<book><title>c</title></book>`,
+	}
+	if _, err := col.AddBatch(context.Background(), docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestIsCollectionDir(t *testing.T) {
+	dir := newTestCollectionDir(t)
+	if !isCollectionDir(dir) {
+		t.Error("collection dir not detected")
+	}
+	if isCollectionDir(t.TempDir()) {
+		t.Error("empty dir detected as collection")
+	}
+}
+
+// TestRunCollectionCommands drives every collection-mode command the
+// way main would, against a real on-disk collection.
+func TestRunCollectionCommands(t *testing.T) {
+	dir := newTestCollectionDir(t)
+
+	for _, args := range [][]string{
+		{"query", "//title"},
+		{"query", "-trace", "/book/title"},
+		{"stats"},
+		{"stats", "-json"},
+		{"verify"},
+		{"repair"},
+	} {
+		if err := run(dir, args); err != nil {
+			t.Errorf("run(%v) = %v", args, err)
+		}
+	}
+	if err := run(dir, []string{"build"}); err == nil {
+		t.Error("build on a collection dir should be rejected")
+	}
+	if err := run(dir, []string{"metrics", "//title"}); err == nil {
+		t.Error("metrics on a collection dir should be rejected")
+	}
+	if err := run(dir, []string{"bogus"}); err == nil {
+		t.Error("unknown command should fail")
+	}
+}
+
+func TestRunCollectionAdd(t *testing.T) {
+	dir := newTestCollectionDir(t)
+	docPath := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(docPath, []byte(`<film><title>d</title></film>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, []string{"add", docPath}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	// The routed add is visible to a scattered query on reopen.
+	col, err := collection.Open(dir, collection.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	res, err := col.Query(context.Background(), "//title", collection.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Errorf("count after CLI add = %d, want 4", res.Count)
+	}
+}

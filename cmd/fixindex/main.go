@@ -10,6 +10,13 @@
 //	fixindex -db /tmp/xmarkdb stats -json
 //	fixindex -db /tmp/xmarkdb verify
 //	fixindex -db /tmp/xmarkdb repair
+//
+// When -db points at a collection directory (one holding a
+// collection.json manifest, as created by fixserve's collection mode),
+// the same commands operate on the whole sharded collection: query
+// scatter-gathers with per-shard accounting, add routes documents by
+// root label and prints global IDs, and stats/verify/repair walk every
+// shard. See docs/SERVING.md for the collection layout.
 package main
 
 import (
@@ -45,10 +52,16 @@ commands:
   add FILE...                                          add XML documents
   stats [-json]                                        database statistics
   verify                                               check index integrity
-  repair                                               rebuild a damaged index`)
+  repair                                               rebuild a damaged index
+
+a -db directory holding a collection.json manifest is operated on as a
+sharded collection: query/add/stats/verify/repair cover every shard.`)
 }
 
 func run(dbdir string, args []string) error {
+	if isCollectionDir(dbdir) {
+		return runCollection(dbdir, args)
+	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "add":

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/collection"
+	"github.com/fix-index/fix/internal/obs"
+)
+
+// Collection mode (-collections DIR): fixserve serves a registry of
+// named, sharded collections instead of one database. Per-collection
+// serving lives under /c/{collection}/ — query, ingest, stats — and the
+// admin surface under /collections creates, lists and drops them. The
+// admission gate is shared across collections, with per-tenant weights:
+// each request is charged its collection's manifest Weight (doubled for
+// traced queries), so one heavy tenant exhausts its share of capacity
+// without multiplying everyone's latency. The circuit breaker is a
+// single-index-mode feature; collection shards already degrade to the
+// exact scan fallback individually, which /healthz and each result's
+// shard rows report.
+
+// colServer wires the admission gate and the collection service behind
+// the collection-mode HTTP surface.
+type colServer struct {
+	svc  *collection.Service
+	gate *gate
+	cfg  serverConfig
+}
+
+func newColServer(svc *collection.Service, cfg serverConfig) *colServer {
+	return &colServer{svc: svc, gate: newGate(cfg.maxInFlight), cfg: cfg}
+}
+
+func (cs *colServer) handler() http.Handler {
+	mux := buildMux(collectionModeRoutes, map[string]http.Handler{
+		"GET /c/{collection}/query":        http.HandlerFunc(cs.handleQuery),
+		"POST /c/{collection}/ingest":      http.HandlerFunc(cs.handleIngest),
+		"GET /c/{collection}/stats":        http.HandlerFunc(cs.handleStats),
+		"GET /collections":                 http.HandlerFunc(cs.handleList),
+		"POST /collections":                http.HandlerFunc(cs.handleCreate),
+		"DELETE /collections/{collection}": http.HandlerFunc(cs.handleDrop),
+		"GET /metrics":                     http.HandlerFunc(cs.handleMetrics),
+		"GET /debug/vars":                  expvar.Handler(),
+		"GET /healthz":                     http.HandlerFunc(cs.handleHealthz),
+		"GET /readyz":                      http.HandlerFunc(cs.handleReadyz),
+	})
+	if cs.cfg.pprof {
+		mountPprof(mux)
+	}
+	return mux
+}
+
+// acquire resolves the {collection} path value against the registry,
+// writing the 404 itself when the name is unknown. The release func
+// pins the collection against Drop for the request's duration.
+func (cs *colServer) acquire(w http.ResponseWriter, r *http.Request) (*collection.Collection, func(), bool) {
+	name := r.PathValue("collection")
+	col, release, err := cs.svc.Acquire(name)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("unknown collection %q", name), http.StatusNotFound)
+		return nil, nil, false
+	}
+	return col, release, true
+}
+
+// colQueryResponse is the /c/{collection}/query JSON shape: the merged
+// collection result plus request attribution. The embedded
+// collection.Result carries count, per-shard rows (with traces when
+// trace=1), and the partial/degraded flags.
+type colQueryResponse struct {
+	Collection string `json:"collection"`
+	Query      string `json:"query"`
+	collection.Result
+}
+
+func (cs *colServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	col, release, ok := cs.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	traced := r.URL.Query().Get("trace") == "1"
+	weight := int64(col.Weight())
+	if traced {
+		weight *= 2
+	}
+	if !admit(w, r, cs.gate, cs.cfg.queueWait, weight) {
+		return
+	}
+	defer cs.gate.Release(weight)
+
+	qctx := r.Context()
+	if cs.cfg.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, cs.cfg.requestTimeout)
+		defer cancel()
+	}
+	res, err := col.Query(qctx, expr, collection.QueryOpts{Trace: traced})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, colQueryResponse{Collection: col.Name(), Query: expr, Result: res})
+}
+
+func (cs *colServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	col, release, ok := cs.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	weight := int64(col.Weight())
+	if !admit(w, r, cs.gate, cs.cfg.queueWait, weight) {
+		return
+	}
+	defer cs.gate.Release(weight)
+
+	ops, ok := readIngestOps(w, r, cs.cfg.maxIngestBytes)
+	if !ok {
+		return
+	}
+	// Validate documents before anything is queued, like single-index
+	// mode: a malformed line must not leave earlier shard batches
+	// committed.
+	for i, op := range ops {
+		if op.Op == "add" {
+			if err := col.ValidateDocument(op.XML); err != nil {
+				http.Error(w, fmt.Sprintf("op %d: %v", i+1, err), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+
+	resp, err := cs.runIngest(r.Context(), col, ops)
+	if err != nil {
+		if errors.Is(err, fix.ErrIngestQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), ingestStatusFor(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// runIngest executes the decoded operations in order through the
+// collection: runs of consecutive adds go down as one routed AddBatch
+// (one group commit per touched shard), deletes resolve their global
+// IDs to shards individually.
+func (cs *colServer) runIngest(ctx context.Context, col *collection.Collection, ops []ingestOp) (ingestResponse, error) {
+	resp := ingestResponse{IDs: []uint64{}}
+	var run []string
+	flushAdds := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		ids, err := col.AddBatch(ctx, run)
+		if err != nil {
+			return err
+		}
+		resp.IDs = append(resp.IDs, ids...)
+		resp.Added += len(ids)
+		run = run[:0]
+		return nil
+	}
+	for _, op := range ops {
+		switch op.Op {
+		case "add":
+			run = append(run, op.XML)
+		case "delete":
+			if err := flushAdds(); err != nil {
+				return resp, err
+			}
+			if err := col.Delete(ctx, *op.Rec); err != nil {
+				return resp, err
+			}
+			resp.Deleted++
+		}
+	}
+	if err := flushAdds(); err != nil {
+		return resp, err
+	}
+	resp.IngestLag = col.Stats().IngestLag
+	return resp, nil
+}
+
+func (cs *colServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	col, release, ok := cs.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	writeJSON(w, col.Stats())
+}
+
+// createRequest is the POST /collections JSON body: the collection
+// spec. Name is required; Shards defaults to 1, Weight to 1.
+type createRequest struct {
+	Name       string `json:"name"`
+	Shards     int    `json:"shards"`
+	Weight     int    `json:"weight"`
+	DepthLimit int    `json:"depth_limit"`
+	Values     bool   `json:"values"`
+	Workers    int    `json:"workers"`
+}
+
+func (cs *colServer) handleCreate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req createRequest
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	col, err := cs.svc.Create(r.Context(), req.Name, collection.Spec{
+		Name:       req.Name,
+		Shards:     req.Shards,
+		Weight:     req.Weight,
+		DepthLimit: req.DepthLimit,
+		Values:     req.Values,
+		Workers:    req.Workers,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, collection.ErrExists) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSONStatus(w, http.StatusCreated, col.Stats())
+}
+
+// listResponse is the GET /collections JSON shape.
+type listResponse struct {
+	Collections []collection.Stats `json:"collections"`
+}
+
+func (cs *colServer) handleList(w http.ResponseWriter, r *http.Request) {
+	resp := listResponse{Collections: []collection.Stats{}}
+	for _, name := range cs.svc.Names() {
+		col, release, err := cs.svc.Acquire(name)
+		if err != nil {
+			continue // dropped between Names and Acquire
+		}
+		resp.Collections = append(resp.Collections, col.Stats())
+		release()
+	}
+	sort.Slice(resp.Collections, func(i, j int) bool {
+		return resp.Collections[i].Spec.Name < resp.Collections[j].Spec.Name
+	})
+	writeJSON(w, resp)
+}
+
+func (cs *colServer) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("collection")
+	if err := cs.svc.Drop(name); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, collection.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (cs *colServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, obs.Default().Snapshot())
+}
+
+// colHealthResponse is the collection-mode /healthz JSON body: the
+// aggregate verdict plus every shard of every collection (generation,
+// lag, health cause).
+type colHealthResponse struct {
+	Status      string                              `json:"status"`
+	Collections map[string][]collection.ShardHealth `json:"collections"`
+}
+
+// handleHealthz aggregates per-shard health across all collections: 200
+// when every shard of every collection is at full speed, 503 with the
+// degraded shards' causes otherwise. As in single-index mode, degraded
+// means "answering exactly but slowly via the scan fallback", not
+// "down".
+func (cs *colServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := colHealthResponse{Status: "ok", Collections: map[string][]collection.ShardHealth{}}
+	for _, name := range cs.svc.Names() {
+		col, release, err := cs.svc.Acquire(name)
+		if err != nil {
+			continue
+		}
+		health := col.Health()
+		release()
+		resp.Collections[name] = health
+		for _, h := range health {
+			if !h.Healthy {
+				resp.Status = "degraded"
+			}
+		}
+	}
+	if resp.Status != "ok" {
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+// handleReadyz mirrors single-index mode minus the breaker (collection
+// shards degrade individually instead): 503 while the shared admission
+// gate is saturated.
+func (cs *colServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	inFlight, capacity := cs.gate.Load()
+	resp := readyResponse{
+		Status:   "ready",
+		InFlight: inFlight,
+		Capacity: capacity,
+		Breaker:  "none",
+	}
+	if inFlight >= capacity {
+		resp.Status = "saturated"
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, resp)
+}

@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"github.com/fix-index/fix/fix"
-	"github.com/fix-index/fix/internal/obs"
 )
 
 // POST /ingest accepts writes in two shapes:
@@ -38,11 +37,14 @@ const defaultMaxIngestBytes = 8 << 20
 // backpressure can act between them.
 const maxIngestOpsPerRequest = 10000
 
-// ingestOp is one decoded NDJSON operation.
+// ingestOp is one decoded NDJSON operation. Rec is 64-bit because
+// collection mode addresses documents by global ID (shard in the high
+// half); single-index mode range-checks it into the DB's 32-bit record
+// space at execution time.
 type ingestOp struct {
 	Op  string  `json:"op"`            // "add" or "delete"
 	XML string  `json:"xml,omitempty"` // add: the document text
-	Rec *uint32 `json:"rec,omitempty"` // delete: the target document ID
+	Rec *uint64 `json:"rec,omitempty"` // delete: the target document ID
 }
 
 // parseIngestOps decodes an NDJSON operation stream: one JSON object
@@ -95,37 +97,20 @@ func parseIngestOps(data []byte) ([]ingestOp, error) {
 }
 
 // ingestResponse is the /ingest JSON shape. IDs lists the assigned
-// document IDs of the request's adds, in request order.
+// document IDs of the request's adds, in request order (global IDs in
+// collection mode, plain records in single-index mode).
 type ingestResponse struct {
-	IDs       []uint32 `json:"ids"`
+	IDs       []uint64 `json:"ids"`
 	Added     int      `json:"added"`
 	Deleted   int      `json:"deleted"`
 	IngestLag int      `json:"ingest_lag"`
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	// Writes pass the same admission gate as queries: ingest work must
-	// not starve readers, and a saturated server sheds both alike.
-	waitCtx := r.Context()
-	if s.cfg.queueWait > 0 {
-		var cancel context.CancelFunc
-		waitCtx, cancel = context.WithTimeout(waitCtx, s.cfg.queueWait)
-		defer cancel()
-	}
-	if err := s.gate.Acquire(waitCtx, 1); err != nil {
-		obs.Default().ObserveAdmissionRejected()
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
-		return
-	}
-	defer s.gate.Release(1)
-
-	maxBytes := s.cfg.maxIngestBytes
+// readIngestOps reads and decodes an ingest request body: NDJSON
+// operations under Content-Type application/x-ndjson, a single raw XML
+// add otherwise. On failure it writes the error response and returns
+// ok=false.
+func readIngestOps(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]ingestOp, bool) {
 	if maxBytes <= 0 {
 		maxBytes = defaultMaxIngestBytes
 	}
@@ -134,21 +119,33 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			http.Error(w, fmt.Sprintf("request body over %d bytes", maxBytes), http.StatusRequestEntityTooLarge)
-			return
+			return nil, false
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, false
 	}
-
-	var ops []ingestOp
 	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
-		ops, err = parseIngestOps(body)
+		ops, err := parseIngestOps(body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, false
 		}
-	} else {
-		ops = []ingestOp{{Op: "add", XML: string(body)}}
+		return ops, true
+	}
+	return []ingestOp{{Op: "add", XML: string(body)}}, true
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// Writes pass the same admission gate as queries: ingest work must
+	// not starve readers, and a saturated server sheds both alike.
+	if !admit(w, r, s.gate, s.cfg.queueWait, 1) {
+		return
+	}
+	defer s.gate.Release(1)
+
+	ops, ok := readIngestOps(w, r, s.cfg.maxIngestBytes)
+	if !ok {
+		return
 	}
 	// Validate every document before anything is queued, so a malformed
 	// line cannot leave the earlier half of the request committed.
@@ -179,7 +176,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // NDJSON request pays roughly one group commit per run rather than one
 // per document.
 func (s *server) runIngest(ctx context.Context, ops []ingestOp) (ingestResponse, error) {
-	resp := ingestResponse{IDs: []uint32{}}
+	resp := ingestResponse{IDs: []uint64{}}
 	var run []string
 	flushAdds := func() error {
 		if len(run) == 0 {
@@ -189,7 +186,9 @@ func (s *server) runIngest(ctx context.Context, ops []ingestOp) (ingestResponse,
 		if err != nil {
 			return err
 		}
-		resp.IDs = append(resp.IDs, ids...)
+		for _, id := range ids {
+			resp.IDs = append(resp.IDs, uint64(id))
+		}
 		resp.Added += len(ids)
 		run = run[:0]
 		return nil
@@ -202,7 +201,10 @@ func (s *server) runIngest(ctx context.Context, ops []ingestOp) (ingestResponse,
 			if err := flushAdds(); err != nil {
 				return resp, err
 			}
-			if err := s.ing.Delete(ctx, *op.Rec); err != nil {
+			if *op.Rec > 0xFFFFFFFF {
+				return resp, fmt.Errorf("%w: record %d out of range", fix.ErrUnknownDocument, *op.Rec)
+			}
+			if err := s.ing.Delete(ctx, uint32(*op.Rec)); err != nil {
 				return resp, err
 			}
 			resp.Deleted++

@@ -84,7 +84,7 @@ func TestIngestNDJSONMixed(t *testing.T) {
 	if resp.Added != 3 || resp.Deleted != 1 {
 		t.Fatalf("response = %+v, want 3 adds / 1 delete", resp)
 	}
-	wantIDs := []uint32{3, 4, 5}
+	wantIDs := []uint64{3, 4, 5}
 	for i, id := range resp.IDs {
 		if id != wantIDs[i] {
 			t.Fatalf("ids = %v, want %v", resp.IDs, wantIDs)

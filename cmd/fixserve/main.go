@@ -21,11 +21,22 @@
 // WAL is absorbed into the base snapshot by Save, which -save-interval
 // runs periodically and shutdown runs once after the drain.
 //
+// fixserve runs in one of two modes. Single-index mode (-db DIR)
+// serves one database. Collection mode (-collections DIR) serves a
+// registry of named, sharded collections: documents route to shards by
+// root label, queries scatter-gather across shards with per-shard
+// deadlines (-shard-timeout) and order-stable merge, each request is
+// charged its collection's admission weight, and a background manager
+// periodically saves every shard and rebuilds degraded ones
+// (-save-interval). docs/SERVING.md is the complete operations
+// reference for both modes.
+//
 // Usage:
 //
 //	fixserve -db /tmp/xmarkdb -addr :8080 [-slow 50ms] [-pprof]
+//	fixserve -collections /srv/fix -addr :8080 [-shard-timeout 2s]
 //
-// Endpoints:
+// Single-index endpoints:
 //
 //	GET /query?q=XPATH[&trace=1]   run a query; JSON result, trace opt-in
 //	POST /ingest                   durable writes: raw XML body, or NDJSON add/delete ops
@@ -34,6 +45,16 @@
 //	GET /debug/pprof/              net/http/pprof (only with -pprof)
 //	GET /healthz                   200 if the index is healthy, 503 + JSON cause if degraded
 //	GET /readyz                    200 if the admission gate has room, 503 when saturated
+//
+// Collection-mode endpoints (see docs/SERVING.md for bodies):
+//
+//	GET /c/{collection}/query?q=XPATH[&trace=1]   scatter-gather query over the collection's shards
+//	POST /c/{collection}/ingest                   routed durable writes (global IDs)
+//	GET /c/{collection}/stats                     spec + per-shard document/index/lag counts
+//	GET /collections                              list collections with stats
+//	POST /collections                             create a collection (JSON spec)
+//	DELETE /collections/{collection}              drop a collection and its data
+//	GET /metrics, /debug/vars, /healthz, /readyz  as above; /healthz aggregates every shard
 package main
 
 import (
@@ -48,10 +69,14 @@ import (
 	"time"
 
 	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/collection"
+	"github.com/fix-index/fix/internal/obs"
 )
 
 func main() {
-	dbdir := flag.String("db", "", "database directory")
+	dbdir := flag.String("db", "", "database directory (single-index mode)")
+	colRoot := flag.String("collections", "", "collections root directory (collection mode; mutually exclusive with -db)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard query deadline in collection mode (0 disables)")
 	addr := flag.String("addr", ":8080", "listen address")
 	slow := flag.Duration("slow", 0, "slow-query log threshold (0 disables)")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -70,9 +95,37 @@ func main() {
 	saveInterval := flag.Duration("save-interval", 0, "periodic Save absorbing the ingest WAL into the base snapshot (0 disables)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
-	if *dbdir == "" {
-		fmt.Fprintln(os.Stderr, "usage: fixserve -db DIR [-addr :8080] [-slow DUR] [-pprof]")
+	if (*dbdir == "") == (*colRoot == "") {
+		fmt.Fprintln(os.Stderr, "usage: fixserve -db DIR | -collections DIR  [-addr :8080] [-slow DUR] [-pprof]")
 		os.Exit(2)
+	}
+
+	cfg := serverConfig{
+		maxInFlight:    *maxInFlight,
+		queueWait:      *queueWait,
+		requestTimeout: *reqTimeout,
+		breakerFaults:  *brkFaults,
+		breakerCool:    *brkCool,
+		ingest: fix.IngestConfig{
+			QueueDepth: *ingestQueue,
+			MaxBatch:   *ingestBatch,
+			MaxWait:    *ingestWait,
+		},
+		maxIngestBytes: *maxIngestBytes,
+		pprof:          *withPprof,
+	}
+
+	if *colRoot != "" {
+		serveCollections(*colRoot, *addr, cfg, collectionTuning{
+			shardTimeout:   *shardTimeout,
+			maxRefineNodes: *maxRefine,
+			maxCandidates:  *maxCand,
+			maxResults:     *maxResults,
+			slow:           *slow,
+			saveInterval:   *saveInterval,
+			drain:          *drain,
+		})
+		return
 	}
 
 	db, err := fix.Open(*dbdir)
@@ -97,20 +150,7 @@ func main() {
 	db.SetOptions(dbOpts)
 	fix.PublishExpvar(db)
 
-	s := newServer(db, serverConfig{
-		maxInFlight:    *maxInFlight,
-		queueWait:      *queueWait,
-		requestTimeout: *reqTimeout,
-		breakerFaults:  *brkFaults,
-		breakerCool:    *brkCool,
-		ingest: fix.IngestConfig{
-			QueueDepth: *ingestQueue,
-			MaxBatch:   *ingestBatch,
-			MaxWait:    *ingestWait,
-		},
-		maxIngestBytes: *maxIngestBytes,
-		pprof:          *withPprof,
-	})
+	s := newServer(db, cfg)
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      s.handler(),
@@ -157,6 +197,79 @@ func main() {
 		}
 		if err := db.Save(); err != nil {
 			log.Printf("fixserve: final save: %v", err)
+		}
+	}
+}
+
+// collectionTuning carries the collection-mode knobs main parses that
+// are not part of the shared serverConfig.
+type collectionTuning struct {
+	shardTimeout   time.Duration
+	maxRefineNodes int64
+	maxCandidates  int
+	maxResults     int
+	slow           time.Duration
+	saveInterval   time.Duration
+	drain          time.Duration
+}
+
+// serveCollections is collection-mode main: open the registry, start
+// the background manager, serve, and on SIGINT/SIGTERM drain requests,
+// save every shard's WAL into its base commit and close.
+func serveCollections(root, addr string, cfg serverConfig, tune collectionTuning) {
+	opts := collection.Options{
+		ShardTimeout:   tune.shardTimeout,
+		MaxRefineNodes: tune.maxRefineNodes,
+		MaxCandidates:  tune.maxCandidates,
+		MaxResults:     tune.maxResults,
+		Ingest:         cfg.ingest,
+	}
+	if tune.slow > 0 {
+		opts.SlowQueryThreshold = tune.slow
+		opts.OnSlowQuery = func(t fix.QueryTrace) {
+			log.Printf("slow query (>= %v):\n%s", tune.slow, t.String())
+		}
+	}
+	svc, err := collection.OpenService(root, opts)
+	if err != nil {
+		log.Fatalf("fixserve: %v", err)
+	}
+	obs.Publish(func() any { return obs.Default().Snapshot() })
+
+	cs := newColServer(svc, cfg)
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      cs.handler(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	mgr := collection.StartManager(ctx, svc, tune.saveInterval, log.Printf)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("fixserve: serving %d collection(s) from %s on %s", len(svc.Names()), root, addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("fixserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("fixserve: shutdown signal, draining for up to %v", tune.drain)
+		sctx, cancel := context.WithTimeout(context.Background(), tune.drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("fixserve: drain incomplete: %v", err)
+		}
+		mgr.Wait()
+		// Absorb every shard's WAL, then close; operations still queued
+		// at save time commit during close and replay on next open.
+		if err := svc.SaveAll(); err != nil {
+			log.Printf("fixserve: final save: %v", err)
+		}
+		if err := svc.Close(); err != nil {
+			log.Printf("fixserve: close: %v", err)
 		}
 	}
 }

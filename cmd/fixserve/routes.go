@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The route tables are the single source of truth for what fixserve
+// serves: each mode's handler() builds its mux from its table (a
+// missing handler is a startup panic, not a silent gap), and the
+// docs/SERVING.md endpoint reference is diffed against the same tables
+// by TestServingDocCoversAllRoutes — an endpoint cannot ship, move or
+// disappear without the operations reference following.
+
+// singleModeRoutes is the endpoint set of single-index mode (-db).
+var singleModeRoutes = []string{
+	"GET /query",
+	"POST /ingest",
+	"GET /metrics",
+	"GET /debug/vars",
+	"GET /healthz",
+	"GET /readyz",
+}
+
+// collectionModeRoutes is the endpoint set of collection mode
+// (-collections): per-collection serving under /c/{collection}/ plus
+// the collection admin surface, with the shared operational endpoints.
+var collectionModeRoutes = []string{
+	"GET /c/{collection}/query",
+	"POST /c/{collection}/ingest",
+	"GET /c/{collection}/stats",
+	"GET /collections",
+	"POST /collections",
+	"DELETE /collections/{collection}",
+	"GET /metrics",
+	"GET /debug/vars",
+	"GET /healthz",
+	"GET /readyz",
+}
+
+// pprofRoutes are mounted in either mode when -pprof is set.
+var pprofRoutes = []string{
+	"GET /debug/pprof/",
+}
+
+// buildMux registers exactly the patterns in table, taking each handler
+// from handlers. It panics on a table/handlers mismatch: the tables
+// are load-bearing documentation, so drift is a programming error.
+func buildMux(table []string, handlers map[string]http.Handler) *http.ServeMux {
+	if len(handlers) != len(table) {
+		panic(fmt.Sprintf("fixserve: %d handlers for %d routes", len(handlers), len(table)))
+	}
+	mux := http.NewServeMux()
+	for _, pattern := range table {
+		h, ok := handlers[pattern]
+		if !ok {
+			panic(fmt.Sprintf("fixserve: no handler for route %q", pattern))
+		}
+		mux.Handle(pattern, h)
+	}
+	return mux
+}
+
+// mountPprof adds the profiler endpoints (shared by both modes; only
+// with -pprof). /debug/pprof/ is a prefix route — the sub-handlers
+// below it are pprof's own and are not enumerated in the route tables.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

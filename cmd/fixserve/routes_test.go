@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+
+	"github.com/fix-index/fix/internal/collection"
+)
+
+// TestServingDocCoversAllRoutes diffs the endpoint headings in
+// docs/SERVING.md against the route tables the muxes are built from.
+// Both directions are checked: every served route must be documented,
+// and every documented route must be served — the operations reference
+// cannot drift from the binary.
+func TestServingDocCoversAllRoutes(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headingRE := regexp.MustCompile("(?m)^### `((?:GET|POST|PUT|DELETE|PATCH) /[^`]*)`$")
+	documented := map[string]bool{}
+	for _, m := range headingRE.FindAllSubmatch(doc, -1) {
+		documented[string(m[1])] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no `### `METHOD /path`` endpoint headings found in docs/SERVING.md")
+	}
+
+	served := map[string]bool{}
+	for _, table := range [][]string{singleModeRoutes, collectionModeRoutes, pprofRoutes} {
+		for _, route := range table {
+			served[route] = true
+		}
+	}
+
+	var missing, stale []string
+	for route := range served {
+		if !documented[route] {
+			missing = append(missing, route)
+		}
+	}
+	for route := range documented {
+		if !served[route] {
+			stale = append(stale, route)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, route := range missing {
+		t.Errorf("route %q is served but has no `### `%s`` heading in docs/SERVING.md", route, route)
+	}
+	for _, route := range stale {
+		t.Errorf("docs/SERVING.md documents %q but no route table serves it", route)
+	}
+}
+
+// TestServingDocCoversAllFlags extracts every flag definition from
+// main.go and requires each to appear as `-name` in docs/SERVING.md.
+func TestServingDocCoversAllFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("../../docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagRE := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Duration|Float64)\("([^"]+)"`)
+	defs := flagRE.FindAllSubmatch(src, -1)
+	if len(defs) == 0 {
+		t.Fatal("no flag definitions found in main.go")
+	}
+	docRE := regexp.MustCompile("`-([A-Za-z0-9-]+)`")
+	inDoc := map[string]bool{}
+	for _, m := range docRE.FindAllSubmatch(doc, -1) {
+		inDoc[string(m[1])] = true
+	}
+	for _, m := range defs {
+		if name := string(m[1]); !inDoc[name] {
+			t.Errorf("flag -%s is defined in main.go but not documented in docs/SERVING.md", name)
+		}
+	}
+}
+
+// TestMuxMethodDiscipline spot-checks that the method-qualified
+// patterns reject the wrong verb with 405, for both modes.
+func TestMuxMethodDiscipline(t *testing.T) {
+	s := newServer(newTestDB(t), defaultTestConfig())
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query?q=//a", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("single mode POST /query: status = %d, want 405", rec.Code)
+	}
+
+	cs := newTestColServer(t, collection.Options{}, defaultTestConfig())
+	rec = httptest.NewRecorder()
+	cs.handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/collections/x", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("collection mode GET /collections/x: status = %d, want 405", rec.Code)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"expvar"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"time"
 
 	"github.com/fix-index/fix/fix"
@@ -61,21 +60,38 @@ func newServer(db *fix.DB, cfg serverConfig) *server {
 func (s *server) close() error { return s.ing.Close() }
 
 func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/ingest", s.handleIngest)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux := buildMux(singleModeRoutes, map[string]http.Handler{
+		"GET /query":      http.HandlerFunc(s.handleQuery),
+		"POST /ingest":    http.HandlerFunc(s.handleIngest),
+		"GET /metrics":    http.HandlerFunc(s.handleMetrics),
+		"GET /debug/vars": expvar.Handler(),
+		"GET /healthz":    http.HandlerFunc(s.handleHealthz),
+		"GET /readyz":     http.HandlerFunc(s.handleReadyz),
+	})
 	if s.cfg.pprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mountPprof(mux)
 	}
 	return mux
+}
+
+// admit passes one request through the weighted admission gate, waiting
+// at most queueWait; on shedding it writes the 429 + Retry-After
+// response and returns false. The caller must Release(weight) after a
+// true return.
+func admit(w http.ResponseWriter, r *http.Request, g *gate, queueWait time.Duration, weight int64) bool {
+	waitCtx := r.Context()
+	if queueWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, queueWait)
+		defer cancel()
+	}
+	if err := g.Acquire(waitCtx, weight); err != nil {
+		obs.Default().ObserveAdmissionRejected()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		return false
+	}
+	return true
 }
 
 // queryResponse is the /query JSON shape. Trace is present only when
@@ -103,16 +119,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if traced {
 		weight = 2
 	}
-	waitCtx := r.Context()
-	if s.cfg.queueWait > 0 {
-		var cancel context.CancelFunc
-		waitCtx, cancel = context.WithTimeout(waitCtx, s.cfg.queueWait)
-		defer cancel()
-	}
-	if err := s.gate.Acquire(waitCtx, weight); err != nil {
-		obs.Default().ObserveAdmissionRejected()
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+	if !admit(w, r, s.gate, s.cfg.queueWait, weight) {
 		return
 	}
 	defer s.gate.Release(weight)

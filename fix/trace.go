@@ -80,13 +80,27 @@ type QueryTrace struct {
 	// query ran against (see DB.View), so traces collected across a
 	// concurrent Save/RebuildIndex attribute to the right index image.
 	Generation uint64 `json:"generation"`
+
+	// Collection and Shard attribute the trace to one shard of a sharded
+	// collection (internal/collection): Collection is the collection
+	// name, Shard the zero-based shard index. They are filled by the
+	// collection layer — a trace from a plain DB has Collection == ""
+	// and Shard == -1 is never used (the zero value 0 with an empty
+	// Collection means "not sharded"). Slow-query log lines include them
+	// so operators can attribute hot shards.
+	Collection string `json:"collection,omitempty"`
+	Shard      int    `json:"shard,omitempty"`
 }
 
 // String formats the trace as a compact human-readable block, the form
 // fixindex -trace prints and the slow-query log examples use.
 func (t *QueryTrace) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "query %s\n", t.Query)
+	if t.Collection != "" {
+		fmt.Fprintf(&b, "query %s  [collection %s shard %d]\n", t.Query, t.Collection, t.Shard)
+	} else {
+		fmt.Fprintf(&b, "query %s\n", t.Query)
+	}
 	fmt.Fprintf(&b, "  total %v  (parse %v, plan %v, probe %v, fetch %v, refine %v; workers %d)\n",
 		t.Total, t.Parse, t.Plan, t.Probe, t.Fetch, t.Refine, t.Workers)
 	switch {

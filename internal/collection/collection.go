@@ -1,0 +1,580 @@
+// Package collection promotes the one-DB-per-process fix engine into a
+// sharded, multi-tenant serving layer: a named collection is a set of
+// shards, each an independent fix.DB with its own FIX index, ingest WAL
+// and generation chain. Documents are routed to shards by the hash of
+// their root label, so every document with the same root lands in the
+// same shard; queries whose first step pins the root label probe only
+// that shard, and everything else scatter-gathers across all shards in
+// parallel with per-shard deadlines and an order-stable merge.
+//
+// The design instantiates the paper's cost model (FIX §6): total query
+// cost is the probe cost over the B-tree plus the refinement cost over
+// the candidates, and both terms decompose over disjoint document
+// partitions — a shard's probe scans a B-tree covering only its own
+// documents, and refinement I/O touches only its own heap. Partitioning
+// by root label additionally bounds per-probe work the way the paper's
+// root-label key prefix does inside a single tree: a shard's tree only
+// holds entries whose root labels hash to it, so the eigenvalue range
+// scan never visits entries a root-label-pinned query could not match.
+//
+// This package is deliberately *above* the public fix API (the fixvet
+// depcheck service-layer exemption): it composes whole databases and
+// adds distribution concerns — routing, fan-out, partial results,
+// background maintenance — without reaching into engine internals.
+package collection
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+	"github.com/fix-index/fix/internal/obs"
+	"github.com/fix-index/fix/internal/par"
+)
+
+// ManifestName is the file that marks a directory as a collection and
+// records its immutable spec.
+const ManifestName = "collection.json"
+
+// ErrNoManifest reports that a directory holds no collection manifest.
+var ErrNoManifest = errors.New("collection: no collection.json manifest")
+
+// Spec is the persisted shape of a collection: everything that must
+// survive a restart and cannot change after creation (resharding is a
+// rebuild-the-world operation, out of scope here). The index build
+// options are per-shard; runtime tuning (deadlines, queue depths) lives
+// in Options and comes from server flags at open time.
+type Spec struct {
+	// Name is the collection's registry key; it doubles as the directory
+	// name, so it is restricted to [A-Za-z0-9_-], max 64 bytes.
+	Name string `json:"name"`
+	// Shards is the fixed shard count. Documents are placed by
+	// hash(root label) mod Shards.
+	Shards int `json:"shards"`
+	// Weight is the per-tenant admission weight: servers charge each of
+	// this collection's requests Weight units at the shared admission
+	// gate, so a heavy tenant can be made to consume its capacity share
+	// faster. 0 means 1.
+	Weight int `json:"weight"`
+	// DepthLimit, Values and Workers are the fix.IndexOptions subset the
+	// shards build their indexes with.
+	DepthLimit int  `json:"depth_limit,omitempty"`
+	Values     bool `json:"values,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
+}
+
+// normalize fills defaults and validates the spec.
+func (s *Spec) normalize() error {
+	if err := ValidateName(s.Name); err != nil {
+		return err
+	}
+	if s.Shards <= 0 {
+		s.Shards = 1
+	}
+	if s.Shards > MaxShards {
+		return fmt.Errorf("collection: %d shards exceeds the maximum %d", s.Shards, MaxShards)
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	return nil
+}
+
+// MaxShards bounds a collection's shard count: shard IDs live in the
+// high half of a 64-bit global document ID, and fan-out beyond a few
+// dozen shards per process costs more in scatter overhead than the
+// partitioned probes save.
+const MaxShards = 256
+
+// ValidateName enforces the collection-name alphabet: 1–64 bytes of
+// [A-Za-z0-9_-]. Names become directory components and URL path
+// segments, so nothing richer is allowed.
+func ValidateName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("collection: name must be 1-64 characters")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("collection: name %q contains %q; allowed are letters, digits, '_' and '-'", name, c)
+		}
+	}
+	return nil
+}
+
+// Options is the runtime (non-persisted) tuning of an open collection:
+// query governance, ingest batching, and the slow-query sink. The zero
+// value imposes no limits and uses the fix ingest defaults.
+type Options struct {
+	// ShardTimeout is the per-shard query deadline: each shard's probe +
+	// refinement runs under its own context.WithTimeout of this length,
+	// independent of its siblings (shards run in parallel, so the
+	// collection-level wall time is the slowest shard, not the sum). A
+	// shard that misses it is reported in the result's shard trace and
+	// the query returns partial results. 0 disables the per-shard
+	// deadline (the request context still applies).
+	ShardTimeout time.Duration
+	// MaxRefineNodes, MaxCandidates and MaxResults are per-shard work
+	// budgets, passed through as fix.Limits.
+	MaxRefineNodes int64
+	MaxCandidates  int
+	MaxResults     int
+	// Ingest tunes each shard's group-commit ingester.
+	Ingest fix.IngestConfig
+	// SlowQueryThreshold and OnSlowQuery install a per-shard slow-query
+	// log; traces delivered to OnSlowQuery carry the collection name and
+	// shard ID, so one sink can attribute hot shards across collections.
+	SlowQueryThreshold time.Duration
+	OnSlowQuery        func(fix.QueryTrace)
+}
+
+// limits converts the options into per-shard query limits.
+func (o Options) limits() fix.Limits {
+	return fix.Limits{
+		Timeout:        o.ShardTimeout,
+		MaxRefineNodes: o.MaxRefineNodes,
+		MaxCandidates:  o.MaxCandidates,
+		MaxResults:     o.MaxResults,
+	}
+}
+
+// Shard is one partition of a collection: an independent fix.DB plus
+// the group-commit ingester feeding it. Both are owned by the
+// Collection; tests may reach through DB for fault injection, servers
+// should not.
+type Shard struct {
+	// ID is the shard's zero-based index; it is the high half of every
+	// global document ID the shard issues. // immutable after publish
+	ID int
+	// DB is the shard's database. // immutable after publish
+	DB *fix.DB
+	// Ing is the shard's ingester. // immutable after publish
+	Ing *fix.Ingester
+}
+
+// Collection is a set of shards serving one named document corpus. All
+// methods are safe for concurrent use; queries are lock-free end to end
+// (each shard query pins a generation), and ingest serializes only
+// inside each shard's group committer.
+type Collection struct {
+	spec   Spec
+	dir    string
+	opts   Options
+	shards []*Shard
+
+	// testShardStall, when set by tests, runs at the start of every
+	// per-shard query — the seam that makes "one shard past its
+	// deadline" deterministic.
+	testShardStall func(shard int)
+}
+
+// GlobalID packs a shard ID and a shard-local record number into the
+// collection-wide document ID: shard in the high 32 bits, record in the
+// low 32. IDs are what /c/{name}/ingest returns and what deletes take.
+func GlobalID(shard int, rec uint32) uint64 {
+	return uint64(shard)<<32 | uint64(rec)
+}
+
+// SplitID unpacks a global document ID into shard and record.
+func SplitID(id uint64) (shard int, rec uint32) {
+	return int(id >> 32), uint32(id)
+}
+
+// Create creates a new collection under dir (the collection's own
+// directory, typically <root>/<name>): the manifest, one subdirectory
+// per shard, and an empty index per shard so streaming ingest maintains
+// indexes incrementally from the first document. The directory must not
+// already hold a collection.
+func Create(ctx context.Context, dir string, spec Spec, opts Options) (*Collection, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); err == nil {
+		return nil, fmt.Errorf("collection: %s already holds a collection", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Collection{spec: spec, dir: dir, opts: opts}
+	for i := 0; i < spec.Shards; i++ {
+		db, err := fix.Create(c.shardDir(i))
+		if err != nil {
+			c.closeShards()
+			return nil, fmt.Errorf("collection: creating shard %d: %w", i, err)
+		}
+		if err := db.BuildIndexCtx(ctx, spec.indexOptions()); err != nil {
+			_ = db.Close()
+			c.closeShards()
+			return nil, fmt.Errorf("collection: building shard %d index: %w", i, err)
+		}
+		if err := db.Save(); err != nil {
+			_ = db.Close()
+			c.closeShards()
+			return nil, fmt.Errorf("collection: saving shard %d: %w", i, err)
+		}
+		c.addShard(i, db)
+	}
+	if err := writeManifest(dir, spec); err != nil {
+		c.closeShards()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open opens an existing collection directory, replaying each shard's
+// ingest WAL (fix.Open semantics) so every acknowledged write is
+// visible.
+func Open(dir string, opts Options) (*Collection, error) {
+	spec, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{spec: spec, dir: dir, opts: opts}
+	for i := 0; i < spec.Shards; i++ {
+		db, err := fix.Open(c.shardDir(i))
+		if err != nil {
+			c.closeShards()
+			return nil, fmt.Errorf("collection: opening shard %d: %w", i, err)
+		}
+		c.addShard(i, db)
+	}
+	return c, nil
+}
+
+// addShard wires one opened DB into the collection: per-shard options
+// (slow-query attribution) and the shard's ingester.
+func (c *Collection) addShard(id int, db *fix.DB) {
+	dbOpts := fix.Options{
+		Limits: c.opts.limits(),
+	}
+	if c.opts.SlowQueryThreshold > 0 && c.opts.OnSlowQuery != nil {
+		name, sink := c.spec.Name, c.opts.OnSlowQuery
+		dbOpts.SlowQueryThreshold = c.opts.SlowQueryThreshold
+		dbOpts.OnSlowQuery = func(t fix.QueryTrace) {
+			t.Collection = name
+			t.Shard = id
+			sink(t)
+		}
+	}
+	db.SetOptions(dbOpts)
+	c.shards = append(c.shards, &Shard{ID: id, DB: db, Ing: db.NewIngester(c.opts.Ingest)})
+}
+
+// indexOptions maps the persisted spec onto the fix build options.
+func (s Spec) indexOptions() fix.IndexOptions {
+	return fix.IndexOptions{DepthLimit: s.DepthLimit, Values: s.Values, Workers: s.Workers}
+}
+
+// shardDir returns shard i's directory.
+func (c *Collection) shardDir(i int) string {
+	return ShardDir(c.dir, i)
+}
+
+// ShardDir returns shard i's directory under a collection root. Tools
+// that walk shards without opening the whole collection (fixindex
+// verify/repair) use it to address individual shard databases.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// writeManifest writes collection.json atomically (temp + fsync +
+// rename), the same crash-safety bar as every other metadata file.
+func writeManifest(dir string, spec Spec) error {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadManifest reads and validates a collection manifest from dir. A
+// directory without one returns ErrNoManifest (test with errors.Is) so
+// callers can distinguish "not a collection" from a broken manifest.
+func ReadManifest(dir string) (Spec, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Spec{}, fmt.Errorf("%w: %s", ErrNoManifest, dir)
+		}
+		return Spec{}, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return Spec{}, fmt.Errorf("collection: reading manifest in %s: %w", dir, err)
+	}
+	if err := spec.normalize(); err != nil {
+		return Spec{}, fmt.Errorf("collection: manifest in %s: %w", dir, err)
+	}
+	return spec, nil
+}
+
+// Name returns the collection's registry key.
+func (c *Collection) Name() string { return c.spec.Name }
+
+// Spec returns the persisted spec (post-normalization).
+func (c *Collection) Spec() Spec { return c.spec }
+
+// NumShards returns the shard count.
+func (c *Collection) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i; it panics on an out-of-range index (shard IDs
+// come from SplitID or iteration, both bounded).
+func (c *Collection) Shard(i int) *Shard { return c.shards[i] }
+
+// Weight returns the per-tenant admission weight (≥ 1).
+func (c *Collection) Weight() int { return c.spec.Weight }
+
+// NumDocuments sums live (non-tombstoned) documents across shards.
+func (c *Collection) NumDocuments() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.DB.NumDocuments() - s.DB.DeletedDocuments()
+	}
+	return n
+}
+
+// AddBatch routes each document to its shard by root label and commits
+// the per-shard batches in parallel through each shard's group-commit
+// ingester. The returned global IDs are in argument order. The first
+// routing or commit error fails the call; documents in other shards'
+// batches may still have committed (cross-shard batches are not a
+// distributed transaction — each shard's batch is atomic on its own).
+func (c *Collection) AddBatch(ctx context.Context, docs []string) ([]uint64, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	type slot struct {
+		shard int
+		pos   int // position within the shard's batch
+	}
+	slots := make([]slot, len(docs))
+	perShard := make([][]string, len(c.shards))
+	for i, doc := range docs {
+		label, err := fix.RootLabelString(doc)
+		if err != nil {
+			return nil, fmt.Errorf("collection: document %d: %w", i, err)
+		}
+		sh := ShardForLabel(label, len(c.shards))
+		slots[i] = slot{shard: sh, pos: len(perShard[sh])}
+		perShard[sh] = append(perShard[sh], doc)
+	}
+	recs := make([][]uint32, len(c.shards))
+	err := par.Do(ctx, len(c.shards), len(c.shards), func(i int) error {
+		if len(perShard[i]) == 0 {
+			return nil
+		}
+		ids, err := c.shards[i].Ing.AddBatch(ctx, perShard[i])
+		if err != nil {
+			return fmt.Errorf("collection: shard %d: %w", i, err)
+		}
+		recs[i] = ids
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(docs))
+	ndocs := 0
+	for i, sl := range slots {
+		out[i] = GlobalID(sl.shard, recs[sl.shard][sl.pos])
+		ndocs++
+	}
+	obs.Default().Collection(c.spec.Name).ObserveCollectionIngest(ndocs, 0)
+	return out, nil
+}
+
+// Add routes one document; see AddBatch.
+func (c *Collection) Add(ctx context.Context, doc string) (uint64, error) {
+	ids, err := c.AddBatch(ctx, []string{doc})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// Delete durably deletes the document with the given global ID through
+// its shard's ingester. An ID naming a shard the collection does not
+// have, or a record the shard never assigned, returns an error wrapping
+// fix.ErrUnknownDocument.
+func (c *Collection) Delete(ctx context.Context, id uint64) error {
+	shard, rec := SplitID(id)
+	if shard < 0 || shard >= len(c.shards) {
+		return fmt.Errorf("%w: id %d names shard %d of %d", fix.ErrUnknownDocument, id, shard, len(c.shards))
+	}
+	if err := c.shards[shard].Ing.Delete(ctx, rec); err != nil {
+		return fmt.Errorf("collection: shard %d: %w", shard, err)
+	}
+	obs.Default().Collection(c.spec.Name).ObserveCollectionIngest(0, 1)
+	return nil
+}
+
+// Document fetches a stored document by global ID.
+func (c *Collection) Document(id uint64) (string, error) {
+	shard, rec := SplitID(id)
+	if shard < 0 || shard >= len(c.shards) {
+		return "", fmt.Errorf("%w: id %d names shard %d of %d", fix.ErrUnknownDocument, id, shard, len(c.shards))
+	}
+	return c.shards[shard].DB.Document(rec)
+}
+
+// ValidateDocument checks a document parses under the collection's
+// parse limits without storing it — servers call it for every add
+// before queueing anything, so a malformed document in a multi-op
+// request cannot leave earlier shard batches committed. Limits are
+// uniform across shards, so shard 0 answers for all.
+func (c *Collection) ValidateDocument(doc string) error {
+	return c.shards[0].DB.ValidateDocument(doc)
+}
+
+// Flush blocks until every shard's queued ingest operations have
+// committed.
+func (c *Collection) Flush(ctx context.Context) error {
+	return par.Do(ctx, len(c.shards), len(c.shards), func(i int) error {
+		return c.shards[i].Ing.Flush(ctx)
+	})
+}
+
+// Save absorbs each shard's ingest WAL into its base commit. Shards
+// save independently; the first error is returned but the remaining
+// shards still save (a full disk on one shard must not grow every other
+// shard's replay window).
+func (c *Collection) Save() error {
+	var first error
+	for _, s := range c.shards {
+		if err := s.DB.Save(); err != nil && first == nil {
+			first = fmt.Errorf("collection: saving shard %d: %w", s.ID, err)
+		}
+	}
+	return first
+}
+
+// Rebuild rebuilds every shard whose index reports degraded health, in
+// shard order. Queries keep flowing during a rebuild: shards publish
+// generations, so readers pin the old image until the new one lands.
+func (c *Collection) Rebuild(ctx context.Context) error {
+	for _, s := range c.shards {
+		if s.DB.IndexHealth() == nil {
+			continue
+		}
+		if err := s.DB.RebuildIndexCtx(ctx); err != nil {
+			return fmt.Errorf("collection: rebuilding shard %d: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
+// Close stops the ingesters (draining queued operations) and closes
+// every shard. It does not Save; acknowledged-but-unsaved operations
+// stay protected by each shard's WAL.
+func (c *Collection) Close() error {
+	var first error
+	for _, s := range c.shards {
+		if err := s.Ing.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range c.shards {
+		if err := s.DB.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// closeShards releases partially constructed shards on a failed
+// Create/Open.
+func (c *Collection) closeShards() {
+	for _, s := range c.shards {
+		_ = s.Ing.Close()
+		_ = s.DB.Close()
+	}
+	c.shards = nil
+}
+
+// ShardHealth is one shard's row in Health.
+type ShardHealth struct {
+	Shard       int    `json:"shard"`
+	Generation  uint64 `json:"generation"`
+	Documents   int    `json:"documents"`
+	Deleted     int    `json:"deleted"`
+	Entries     int    `json:"index_entries"`
+	IngestLag   int    `json:"ingest_lag"`
+	IngestQueue int    `json:"ingest_queue"`
+	Healthy     bool   `json:"healthy"`
+	Cause       string `json:"cause,omitempty"`
+}
+
+// Health reports per-shard health and generation. A degraded shard
+// still answers exactly (scan fallback); Healthy here means "at full
+// speed", matching fixserve's /healthz convention.
+func (c *Collection) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	for i, s := range c.shards {
+		h := ShardHealth{
+			Shard:       s.ID,
+			Generation:  s.DB.GenerationID(),
+			Documents:   s.DB.NumDocuments(),
+			Deleted:     s.DB.DeletedDocuments(),
+			Entries:     s.DB.IndexEntries(),
+			IngestLag:   s.DB.IngestLag(),
+			IngestQueue: s.Ing.QueueLen(),
+			Healthy:     true,
+		}
+		if err := s.DB.IndexHealth(); err != nil {
+			h.Healthy = false
+			h.Cause = err.Error()
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Stats is the /c/{name}/stats payload: the spec plus aggregated and
+// per-shard counts.
+type Stats struct {
+	Spec      Spec          `json:"spec"`
+	Documents int           `json:"documents"`
+	Deleted   int           `json:"deleted"`
+	Entries   int           `json:"index_entries"`
+	IngestLag int           `json:"ingest_lag"`
+	Shards    []ShardHealth `json:"shards"`
+}
+
+// Stats aggregates Health into the stats payload.
+func (c *Collection) Stats() Stats {
+	st := Stats{Spec: c.spec, Shards: c.Health()}
+	for _, h := range st.Shards {
+		st.Documents += h.Documents - h.Deleted
+		st.Deleted += h.Deleted
+		st.Entries += h.Entries
+		st.IngestLag += h.IngestLag
+	}
+	return st
+}

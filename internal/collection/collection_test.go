@@ -1,0 +1,355 @@
+package collection
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/fix-index/fix/fix"
+)
+
+// labelFor returns a root label that routes to the wanted shard under
+// the given shard count, so tests don't hard-code hash values.
+func labelFor(t *testing.T, shard, nshards int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		l := fmt.Sprintf("lbl%d", i)
+		if ShardForLabel(l, nshards) == shard {
+			return l
+		}
+	}
+	t.Fatalf("no label found for shard %d/%d", shard, nshards)
+	return ""
+}
+
+// doc builds a tiny document rooted at label with n item children.
+func doc(label string, n int) string {
+	s := "<" + label + ">"
+	for i := 0; i < n; i++ {
+		s += "<item><name>x</name></item>"
+	}
+	return s + "</" + label + ">"
+}
+
+// newTestCollection creates a collection in a temp dir and registers
+// cleanup.
+func newTestCollection(t *testing.T, spec Spec, opts Options) *Collection {
+	t.Helper()
+	c, err := Create(context.Background(), filepath.Join(t.TempDir(), spec.Name), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestGlobalIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		shard int
+		rec   uint32
+	}{{0, 0}, {0, 7}, {3, 0}, {255, 1 << 31}, {17, 42}} {
+		id := GlobalID(tc.shard, tc.rec)
+		s, r := SplitID(id)
+		if s != tc.shard || r != tc.rec {
+			t.Errorf("SplitID(GlobalID(%d, %d)) = (%d, %d)", tc.shard, tc.rec, s, r)
+		}
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"a", "books", "tenant-7", "A_b-9"} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v", ok, err)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "a/b", "a b", "a.b", "ü", string(long)} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) passed", bad)
+		}
+	}
+}
+
+// TestRoutingAndMergeOrder verifies document placement follows
+// ShardForLabel, targeted queries confine to one shard, scattered
+// queries cover all shards in ascending order, and global IDs name the
+// right shard.
+func TestRoutingAndMergeOrder(t *testing.T) {
+	const nshards = 4
+	c := newTestCollection(t, Spec{Name: "route", Shards: nshards}, Options{})
+	ctx := context.Background()
+
+	var docs []string
+	var wantShard []int
+	for sh := 0; sh < nshards; sh++ {
+		l := labelFor(t, sh, nshards)
+		for i := 0; i < sh+1; i++ { // shard i holds i+1 docs
+			docs = append(docs, doc(l, 2))
+			wantShard = append(wantShard, sh)
+		}
+	}
+	ids, err := c.AddBatch(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(docs) {
+		t.Fatalf("AddBatch returned %d ids for %d docs", len(ids), len(docs))
+	}
+	for i, id := range ids {
+		if sh, _ := SplitID(id); sh != wantShard[i] {
+			t.Errorf("doc %d placed in shard %d, want %d", i, sh, wantShard[i])
+		}
+	}
+
+	// Scattered query: every shard probed, ascending order, merged count.
+	res, err := c.Query(ctx, "//item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targeted {
+		t.Error("descendant-axis query reported targeted")
+	}
+	if len(res.Shards) != nshards {
+		t.Fatalf("scatter probed %d shards, want %d", len(res.Shards), nshards)
+	}
+	wantTotal := 0
+	for i, r := range res.Shards {
+		if r.Shard != i {
+			t.Errorf("merge order: position %d holds shard %d", i, r.Shard)
+		}
+		if want := (i + 1) * 2; r.Count != want {
+			t.Errorf("shard %d count = %d, want %d", i, r.Count, want)
+		}
+		wantTotal += (i + 1) * 2
+	}
+	if res.Count != wantTotal || res.Partial || res.Degraded {
+		t.Errorf("scatter result = %+v, want count %d, no partial/degraded", res, wantTotal)
+	}
+
+	// Targeted query: /label pins the probe to one shard.
+	l2 := labelFor(t, 2, nshards)
+	res, err = c.Query(ctx, "/"+l2+"/item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Targeted || len(res.Shards) != 1 || res.Shards[0].Shard != 2 {
+		t.Fatalf("targeted query result = %+v, want single probe of shard 2", res)
+	}
+	if res.Count != 3*2 {
+		t.Errorf("targeted count = %d, want 6", res.Count)
+	}
+
+	// Global IDs resolve back to their documents.
+	got, err := c.Document(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != docs[0] {
+		t.Errorf("Document(%d) = %q, want %q", ids[0], got, docs[0])
+	}
+
+	// WithDocuments returns global IDs in shard order.
+	res, err = c.Query(ctx, "//item", QueryOpts{WithDocuments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Documents) != len(docs) {
+		t.Fatalf("WithDocuments returned %d ids, want %d", len(res.Documents), len(docs))
+	}
+	lastShard := -1
+	for _, id := range res.Documents {
+		sh, _ := SplitID(id)
+		if sh < lastShard {
+			t.Fatalf("documents not in shard order: %v", res.Documents)
+		}
+		lastShard = sh
+	}
+}
+
+// TestEmptyCollection covers the zero-document edge: queries succeed
+// with zero counts, never partial.
+func TestEmptyCollection(t *testing.T) {
+	c := newTestCollection(t, Spec{Name: "empty", Shards: 3}, Options{})
+	res, err := c.Query(context.Background(), "//anything", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || res.Partial || res.Degraded || len(res.Shards) != 3 {
+		t.Errorf("empty-collection query = %+v, want 0 count over 3 clean shards", res)
+	}
+	if st := c.Stats(); st.Documents != 0 || len(st.Shards) != 3 {
+		t.Errorf("empty-collection stats = %+v", st)
+	}
+}
+
+func TestBadQueryFailsWhole(t *testing.T) {
+	c := newTestCollection(t, Spec{Name: "bad", Shards: 2}, Options{})
+	_, err := c.Query(context.Background(), "///", QueryOpts{})
+	if !errors.Is(err, fix.ErrBadQuery) {
+		t.Fatalf("Query(///) = %v, want ErrBadQuery", err)
+	}
+}
+
+func TestDeleteByGlobalID(t *testing.T) {
+	const nshards = 3
+	c := newTestCollection(t, Spec{Name: "del", Shards: nshards}, Options{})
+	ctx := context.Background()
+	l := labelFor(t, 1, nshards)
+	ids, err := c.AddBatch(ctx, []string{doc(l, 1), doc(l, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, "/"+l+"/item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Errorf("count after delete = %d, want 1", res.Count)
+	}
+	// Unknown shard and unknown record both wrap ErrUnknownDocument.
+	if err := c.Delete(ctx, GlobalID(99, 0)); !errors.Is(err, fix.ErrUnknownDocument) {
+		t.Errorf("Delete(unknown shard) = %v, want ErrUnknownDocument", err)
+	}
+	if err := c.Delete(ctx, GlobalID(0, 12345)); !errors.Is(err, fix.ErrUnknownDocument) {
+		t.Errorf("Delete(unknown rec) = %v, want ErrUnknownDocument", err)
+	}
+}
+
+// TestDegradedShardAnswersExactly corrupts one shard's B-tree on disk:
+// the collection must keep answering exactly (that shard scans), flag
+// the result Degraded but NOT Partial, and Rebuild must restore full
+// health.
+func TestDegradedShardAnswersExactly(t *testing.T) {
+	const nshards = 2
+	dir := filepath.Join(t.TempDir(), "deg")
+	ctx := context.Background()
+	c, err := Create(ctx, dir, Spec{Name: "deg", Shards: nshards}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for sh := 0; sh < nshards; sh++ {
+		l := labelFor(t, sh, nshards)
+		for i := 0; i < 8; i++ {
+			docs = append(docs, doc(l, 3))
+		}
+	}
+	if _, err := c.AddBatch(ctx, docs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bits in shard 1's B-tree pages (past the header page).
+	btree := filepath.Join(dir, "shard-001", "fix.btree")
+	buf, err := os.ReadFile(btree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pageSize = 4096
+	if len(buf) <= pageSize+100 {
+		t.Fatalf("shard 1 btree only %d bytes; corpus too small to corrupt", len(buf))
+	}
+	for off := pageSize + 100; off < len(buf); off += pageSize {
+		buf[off] ^= 0xFF
+	}
+	if err := os.WriteFile(btree, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := c.Query(ctx, "//item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != len(docs)*3 {
+		t.Errorf("degraded count = %d, want %d (degraded shards must answer exactly)", res.Count, len(docs)*3)
+	}
+	if !res.Degraded {
+		t.Error("result over a corrupt shard not flagged Degraded")
+	}
+	if res.Partial {
+		t.Error("degraded-but-exact result flagged Partial")
+	}
+	if !res.Shards[1].ScanFallback {
+		t.Errorf("shard 1 row = %+v, want ScanFallback", res.Shards[1])
+	}
+	if res.Shards[0].ScanFallback {
+		t.Error("healthy shard 0 reported scan fallback")
+	}
+
+	health := c.Health()
+	if health[1].Healthy || health[1].Cause == "" {
+		t.Errorf("shard 1 health = %+v, want unhealthy with cause", health[1])
+	}
+	if !health[0].Healthy {
+		t.Errorf("shard 0 health = %+v, want healthy", health[0])
+	}
+
+	if err := c.Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(); !h[1].Healthy {
+		t.Errorf("shard 1 still unhealthy after rebuild: %+v", h[1])
+	}
+	res, err = c.Query(ctx, "//item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Count != len(docs)*3 {
+		t.Errorf("post-rebuild result = %+v, want clean count %d", res, len(docs)*3)
+	}
+}
+
+// TestReopenReplaysShards verifies acknowledged ingest survives an
+// unsaved close: each shard's WAL replays on Open.
+func TestReopenReplaysShards(t *testing.T) {
+	const nshards = 2
+	dir := filepath.Join(t.TempDir(), "re")
+	ctx := context.Background()
+	c, err := Create(ctx, dir, Spec{Name: "re", Shards: nshards}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for sh := 0; sh < nshards; sh++ {
+		docs = append(docs, doc(labelFor(t, sh, nshards), 1))
+	}
+	if _, err := c.AddBatch(ctx, docs); err != nil {
+		t.Fatal(err)
+	}
+	// Close WITHOUT Save: the shards' WALs are the only durability.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Query(ctx, "//item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != len(docs) {
+		t.Errorf("count after reopen = %d, want %d", res.Count, len(docs))
+	}
+}

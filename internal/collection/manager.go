@@ -1,0 +1,74 @@
+// The Manager is the collections' background maintenance loop — the
+// serving-layer counterpart of fixserve's single-DB save ticker. Every
+// interval it saves all collections (absorbing each shard's ingest WAL
+// into its base commit, bounding replay time) and rebuilds any shard
+// whose index went degraded. Both run off the request path: saves and
+// rebuilds publish new generations, and readers keep their pinned ones,
+// so maintenance never blocks a query.
+
+package collection
+
+import (
+	"context"
+	"time"
+)
+
+// Manager periodically maintains every collection of a Service.
+type Manager struct {
+	svc      *Service
+	interval time.Duration
+	logf     func(format string, args ...any)
+	done     chan struct{}
+}
+
+// StartManager starts the maintenance loop: every interval, save all
+// collections and rebuild degraded shards. It stops when ctx is
+// canceled; Wait blocks until the final tick (if any) finishes. logf
+// receives one line per failed maintenance action (nil discards).
+// interval <= 0 starts a no-op manager, so callers need no conditional.
+func StartManager(ctx context.Context, svc *Service, interval time.Duration, logf func(format string, args ...any)) *Manager {
+	m := &Manager{svc: svc, interval: interval, logf: logf, done: make(chan struct{})}
+	if logf == nil {
+		m.logf = func(string, ...any) {}
+	}
+	go m.run(ctx)
+	return m
+}
+
+// Wait blocks until the loop has exited (after ctx cancellation).
+func (m *Manager) Wait() { <-m.done }
+
+func (m *Manager) run(ctx context.Context) {
+	defer close(m.done)
+	if m.interval <= 0 {
+		<-ctx.Done()
+		return
+	}
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.tick(ctx)
+		}
+	}
+}
+
+// tick runs one maintenance pass. Errors are logged and swallowed: a
+// full disk this tick must not stop the next tick from trying again.
+func (m *Manager) tick(ctx context.Context) {
+	err := m.svc.each(func(c *Collection) error {
+		if err := c.Save(); err != nil {
+			m.logf("collection %s: save: %v", c.Name(), err)
+		}
+		if err := c.Rebuild(ctx); err != nil {
+			m.logf("collection %s: rebuild: %v", c.Name(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		m.logf("collection maintenance: %v", err)
+	}
+}

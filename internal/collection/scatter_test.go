@@ -1,0 +1,247 @@
+package collection
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+)
+
+// TestShardDeadlinePartialResult stalls one shard past the per-shard
+// deadline: the query must return the surviving shards' results marked
+// Partial, identify the late shard as TimedOut, and keep the others'
+// counts exact.
+func TestShardDeadlinePartialResult(t *testing.T) {
+	const nshards = 3
+	c := newTestCollection(t, Spec{Name: "late", Shards: nshards},
+		Options{ShardTimeout: 30 * time.Millisecond})
+	ctx := context.Background()
+
+	var docs []string
+	for sh := 0; sh < nshards; sh++ {
+		l := labelFor(t, sh, nshards)
+		for i := 0; i < 4; i++ {
+			docs = append(docs, doc(l, 2))
+		}
+	}
+	if _, err := c.AddBatch(ctx, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	const late = 1
+	c.testShardStall = func(shard int) {
+		if shard == late {
+			time.Sleep(150 * time.Millisecond)
+		}
+	}
+
+	res, err := c.Query(ctx, "//item", QueryOpts{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("query with a stalled shard not flagged Partial")
+	}
+	for _, r := range res.Shards {
+		if r.Shard == late {
+			if !r.TimedOut {
+				t.Errorf("late shard row = %+v, want TimedOut", r)
+			}
+			if r.Err == "" {
+				t.Error("late shard row carries no error cause")
+			}
+			if r.Count != 0 {
+				t.Errorf("late shard contributed %d results to a partial merge", r.Count)
+			}
+			continue
+		}
+		if r.TimedOut || r.Failed {
+			t.Errorf("healthy shard %d row = %+v", r.Shard, r)
+		}
+		if r.Count != 4*2 {
+			t.Errorf("healthy shard %d count = %d, want 8", r.Shard, r.Count)
+		}
+		if r.Trace == nil {
+			t.Errorf("healthy shard %d returned no trace", r.Shard)
+		} else if r.Trace.Collection != "late" || r.Trace.Shard != r.Shard {
+			t.Errorf("shard %d trace attribution = %q/%d", r.Shard, r.Trace.Collection, r.Trace.Shard)
+		}
+	}
+	if want := (nshards - 1) * 4 * 2; res.Count != want {
+		t.Errorf("partial count = %d, want %d (surviving shards only)", res.Count, want)
+	}
+
+	// A targeted query avoiding the stalled shard is unaffected.
+	l0 := labelFor(t, 0, nshards)
+	res, err = c.Query(ctx, "/"+l0+"/item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.Count != 4*2 {
+		t.Errorf("targeted query around the stall = %+v", res)
+	}
+}
+
+// TestRequestContextCancelFailsWhole distinguishes the request context
+// (its death fails the query) from per-shard deadlines (tolerated).
+func TestRequestContextCancelFailsWhole(t *testing.T) {
+	c := newTestCollection(t, Spec{Name: "cancel", Shards: 2}, Options{})
+	if _, err := c.AddBatch(context.Background(), []string{doc(labelFor(t, 0, 2), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.testShardStall = func(int) { cancel() }
+	if _, err := c.Query(ctx, "//item", QueryOpts{}); err == nil {
+		t.Fatal("query with canceled request context succeeded")
+	}
+}
+
+// TestSlowQueryAttribution checks the slow-query sink receives traces
+// stamped with collection and shard.
+func TestSlowQueryAttribution(t *testing.T) {
+	var mu sync.Mutex
+	type hit struct {
+		collection string
+		shard      int
+	}
+	var hits []hit
+	spec := Spec{Name: "slow", Shards: 2}
+	c, err := Create(context.Background(), filepath.Join(t.TempDir(), "slow"), spec, Options{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		OnSlowQuery: func(tr fix.QueryTrace) {
+			mu.Lock()
+			hits = append(hits, hit{tr.Collection, tr.Shard})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddBatch(context.Background(), []string{doc(labelFor(t, 0, 2), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(context.Background(), "//item", QueryOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hits) == 0 {
+		t.Fatal("no slow-query traces delivered")
+	}
+	seen := map[int]bool{}
+	for _, h := range hits {
+		if h.collection != "slow" {
+			t.Errorf("trace attributed to collection %q, want slow", h.collection)
+		}
+		seen[h.shard] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("slow-query shards seen = %v, want both 0 and 1", seen)
+	}
+}
+
+// TestConcurrentQueryIngestRebuild is the -race stress: queries
+// (targeted and scattered), batched ingest, rebuilds and saves all run
+// concurrently against one collection; nothing may error and final
+// counts must reconcile.
+func TestConcurrentQueryIngestRebuild(t *testing.T) {
+	const nshards = 4
+	c := newTestCollection(t, Spec{Name: "stress", Shards: nshards}, Options{})
+	ctx := context.Background()
+
+	labels := make([]string, nshards)
+	for sh := 0; sh < nshards; sh++ {
+		labels[sh] = labelFor(t, sh, nshards)
+	}
+	// Seed so early queries have data.
+	var seed []string
+	for _, l := range labels {
+		seed = append(seed, doc(l, 1))
+	}
+	if _, err := c.AddBatch(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers       = 2
+		batchesPerW   = 15
+		docsPerBatch  = 4
+		queriesPerGor = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesPerW; b++ {
+				batch := make([]string, docsPerBatch)
+				for i := range batch {
+					batch[i] = doc(labels[(w+b+i)%nshards], 1)
+				}
+				if _, err := c.AddBatch(ctx, batch); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < queriesPerGor; i++ {
+				expr := "//item"
+				if i%2 == 0 {
+					expr = "/" + labels[i%nshards] + "/item"
+				}
+				res, err := c.Query(ctx, expr, QueryOpts{Trace: i%4 == 0})
+				if err != nil {
+					errc <- fmt.Errorf("querier %d: %w", q, err)
+					return
+				}
+				if res.Partial {
+					errc <- fmt.Errorf("querier %d: spurious partial: %+v", q, res)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := c.Rebuild(ctx); err != nil {
+				errc <- fmt.Errorf("rebuild: %w", err)
+				return
+			}
+			if err := c.Save(); err != nil {
+				errc <- fmt.Errorf("save: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	want := nshards + writers*batchesPerW*docsPerBatch
+	res, err := c.Query(ctx, "//item", QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("final count = %d, want %d", res.Count, want)
+	}
+	if got := c.NumDocuments(); got != want {
+		t.Errorf("NumDocuments = %d, want %d", got, want)
+	}
+}

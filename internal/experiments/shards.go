@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fix-index/fix/internal/collection"
+)
+
+// The shard sweep is not a paper experiment — FIX predates serving
+// infrastructure — but it validates the collection layer's claim that
+// the paper's cost model (§6) decomposes over disjoint document
+// partitions: root-label routing should make targeted queries
+// independent of shard count while scattered queries pay one probe per
+// shard, and ingest should scale with the number of shard WALs taking
+// group commits.
+
+// ShardRow is one shard-count measurement of the sweep.
+type ShardRow struct {
+	Shards           int           `json:"shards"`
+	Docs             int           `json:"docs"`
+	IngestWall       time.Duration `json:"ingest_ns"`
+	IngestDocsPerSec float64       `json:"ingest_docs_per_sec"`
+	ScatteredQPS     float64       `json:"scattered_qps"`
+	TargetedQPS      float64       `json:"targeted_qps"`
+	Clients          int           `json:"clients"`
+}
+
+// ShardSweepCounts returns the canonical shard-count sweep.
+func ShardSweepCounts() []int { return []int{1, 2, 4, 8} }
+
+// shardSweepLabels are the root labels of the synthetic corpus; eight
+// labels spread over up to eight shards keeps every shard populated at
+// every sweep point.
+var shardSweepLabels = []string{
+	"orders", "people", "items", "logs", "mail", "parts", "bids", "sites",
+}
+
+// shardSweepDoc builds one synthetic document under the given root
+// label, shaped deep enough that queries exercise probe + refine.
+func shardSweepDoc(label string, n int) string {
+	return fmt.Sprintf(
+		`<%s><entry seq="%d"><name>n%d</name><detail><note>x</note></detail></entry></%s>`,
+		label, n, n, label)
+}
+
+// ShardSweep measures ingest and query throughput of a collection at
+// each shard count. For every count it creates a fresh collection
+// under dir, routes docsPerLabel documents per root label through the
+// batched ingest path, then runs clients concurrent query loops for
+// the measure window — half issuing scattered descendant-axis queries
+// (one probe per shard), half targeted child-axis queries (one probe
+// total, whatever the shard count).
+func ShardSweep(ctx context.Context, dir string, counts []int, docsPerLabel, clients int, measure time.Duration) ([]ShardRow, error) {
+	var rows []ShardRow
+	for _, n := range counts {
+		row, err := shardSweepOne(ctx, filepath.Join(dir, fmt.Sprintf("shards-%d", n)), n, docsPerLabel, clients, measure)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: shard sweep, %d shards: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func shardSweepOne(ctx context.Context, dir string, nshards, docsPerLabel, clients int, measure time.Duration) (ShardRow, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ShardRow{}, err
+	}
+	col, err := collection.Create(ctx, dir,
+		collection.Spec{Name: fmt.Sprintf("sweep%d", nshards), Shards: nshards},
+		collection.Options{})
+	if err != nil {
+		return ShardRow{}, err
+	}
+	defer col.Close()
+
+	// Ingest in label-interleaved batches so every batch fans out across
+	// shards, the way routed serving traffic does.
+	const batchSize = 64
+	var batch []string
+	total := 0
+	start := time.Now()
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := col.AddBatch(ctx, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for i := 0; i < docsPerLabel; i++ {
+		for _, label := range shardSweepLabels {
+			batch = append(batch, shardSweepDoc(label, i))
+			total++
+			if len(batch) == batchSize {
+				if err := flush(); err != nil {
+					return ShardRow{}, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return ShardRow{}, err
+	}
+	ingestWall := time.Since(start)
+
+	scattered, err := shardQueryLoop(ctx, col, clients, measure, func(i int) string {
+		return "//name"
+	})
+	if err != nil {
+		return ShardRow{}, err
+	}
+	targeted, err := shardQueryLoop(ctx, col, clients, measure, func(i int) string {
+		return "/" + shardSweepLabels[i%len(shardSweepLabels)] + "/entry/name"
+	})
+	if err != nil {
+		return ShardRow{}, err
+	}
+	return ShardRow{
+		Shards:           nshards,
+		Docs:             total,
+		IngestWall:       ingestWall,
+		IngestDocsPerSec: float64(total) / ingestWall.Seconds(),
+		ScatteredQPS:     scattered,
+		TargetedQPS:      targeted,
+		Clients:          clients,
+	}, nil
+}
+
+// shardQueryLoop runs clients concurrent query loops for the measure
+// window and returns aggregate queries per second. exprFor varies the
+// expression per iteration so targeted loops spread over shards.
+func shardQueryLoop(ctx context.Context, col *collection.Collection, clients int, measure time.Duration, exprFor func(i int) string) (float64, error) {
+	var done atomic.Int64
+	var firstErr atomic.Value
+	deadline := time.Now().Add(measure)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				res, err := col.Query(ctx, exprFor(i), collection.QueryOpts{})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if res.Partial {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("partial result with no shard deadline set"))
+					return
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(done.Load()) / measure.Seconds(), nil
+}
+
+// PrintShardSweep renders the sweep as a throughput table.
+func PrintShardSweep(w io.Writer, rows []ShardRow) {
+	fmt.Fprintln(w, "Shard sweep: collection throughput by shard count (targeted = child-axis first step, single-shard route)")
+	fmt.Fprintf(w, "%7s %8s %12s %14s %14s %14s\n",
+		"shards", "docs", "ingest", "ingest docs/s", "scattered q/s", "targeted q/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d %8d %12s %14.0f %14.0f %14.0f\n",
+			r.Shards, r.Docs, r.IngestWall.Round(time.Millisecond),
+			r.IngestDocsPerSec, r.ScatteredQPS, r.TargetedQPS)
+	}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestShardSweepSmall runs a miniature sweep end to end: every shard
+// count completes, counts are coherent, and throughput numbers are
+// positive.
+func TestShardSweepSmall(t *testing.T) {
+	rows, err := ShardSweep(context.Background(), t.TempDir(), []int{1, 2}, 4, 2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	wantDocs := 4 * len(shardSweepLabels)
+	for _, r := range rows {
+		if r.Docs != wantDocs {
+			t.Errorf("shards=%d: docs = %d, want %d", r.Shards, r.Docs, wantDocs)
+		}
+		if r.IngestDocsPerSec <= 0 || r.ScatteredQPS <= 0 || r.TargetedQPS <= 0 {
+			t.Errorf("shards=%d: non-positive throughput: %+v", r.Shards, r)
+		}
+	}
+}

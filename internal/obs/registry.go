@@ -50,6 +50,11 @@ type Registry struct {
 	ingestQueueFull atomic.Int64
 	ingestReplayed  atomic.Int64
 
+	// collections maps collection name → *CollectionStats (see
+	// scoped.go); populated only when the sharded serving layer is in
+	// use.
+	collections sync.Map
+
 	latency Histogram
 }
 
@@ -156,6 +161,11 @@ type RegistrySnapshot struct {
 	IngestQueueFull int64 `json:"ingest_queue_full"`
 	IngestReplayed  int64 `json:"ingest_replayed"`
 
+	// Collections holds the per-collection counters of the sharded
+	// serving layer, keyed by collection name; nil (omitted from JSON)
+	// when no collection was ever observed in this process.
+	Collections map[string]CollectionSnapshot `json:"collections,omitempty"`
+
 	Latency LatencySnapshot `json:"query_latency"`
 }
 
@@ -188,6 +198,8 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		IngestFsyncs:    r.ingestFsyncs.Load(),
 		IngestQueueFull: r.ingestQueueFull.Load(),
 		IngestReplayed:  r.ingestReplayed.Load(),
+
+		Collections: r.snapshotCollections(),
 
 		Latency: r.latency.Snapshot(),
 	}

@@ -9,13 +9,27 @@ import (
 // depcheckAnalyzer pins the module's dependency policy: the standard
 // library plus module-internal packages only (the container builds with
 // no network), and a one-way layering — binaries sit on top of the
-// library, never the other way around, and internal packages never
-// import the public fix package.
+// library, never the other way around, and internal engine packages
+// never import the public fix package. Packages in serviceLayer are the
+// deliberate exception: they sit *above* fix (like cmd binaries do) but
+// stay internal because they are operational infrastructure, not public
+// API; they may import fix, and fix may never import them.
 var depcheckAnalyzer = &Analyzer{
 	Name: "depcheck",
 	Doc: "imports must be stdlib or module-internal; cmd/tools/examples " +
-		"may not be imported; internal/ may not import the public fix package",
+		"may not be imported; internal/ may not import the public fix " +
+		"package (service-layer packages excepted)",
 	Run: runDepcheck,
+}
+
+// serviceLayer lists internal packages layered above the public fix
+// package: they orchestrate whole fix.DB instances (sharding, serving
+// infrastructure) rather than implementing the engine. The layering for
+// them runs cmd → service layer → fix → internal engine; depcheck still
+// forbids the reverse direction (fix importing them) through the general
+// internal-import rules in the fix package itself.
+var serviceLayer = map[string]bool{
+	"internal/collection": true,
 }
 
 func runDepcheck(pass *Pass) {
@@ -50,6 +64,9 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, path string) {
 		return
 	}
 	if pass.inLibrary() && strings.HasPrefix(pass.PkgPath, pass.ModPath+"/internal") {
+		if serviceLayer[strings.TrimPrefix(strings.TrimPrefix(pass.PkgPath, pass.ModPath), "/")] {
+			return
+		}
 		if rel == "fix" || strings.HasPrefix(rel, "fix/") {
 			pass.Reportf(imp.Pos(), "internal package imports the public %q package; layering runs fix → internal, never back", path)
 		}
