@@ -14,11 +14,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the project analyzer suite (tools/fixvet): errcmp, lockcheck,
-# ctxcheck, obscheck, depcheck, and doccheck in one pass. Exits non-zero
-# on any finding not covered by tools/fixvet/baseline.txt.
+# lint runs the project analyzer suite (tools/fixvet): the six flat
+# passes (errcmp, lockcheck, ctxcheck, obscheck, depcheck, doccheck)
+# plus the four flow-aware ones (lockorder, paircheck, atomiccheck,
+# sendcheck) in one run, over the library and the tools subtree alike.
+# Exits non-zero on any finding not covered by tools/fixvet/baseline.txt.
+# Extra flags pass through FIXVET_FLAGS, e.g.
+# `make lint FIXVET_FLAGS=-format=github` for CI annotations or
+# `make lint FIXVET_FLAGS=-v` for per-pass timing.
+FIXVET_FLAGS ?=
 lint:
-	$(GO) run ./tools/fixvet
+	$(GO) run ./tools/fixvet $(FIXVET_FLAGS)
 
 # lint-json emits the findings as a JSON array on stdout, for editors
 # and CI annotation.

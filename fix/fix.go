@@ -104,15 +104,18 @@ type DB struct {
 	// mu orders batch application and index replacement (write lock)
 	// against generation freezes (read lock). ingestMu serializes the
 	// whole write path — WAL append, batch apply, Save, build — and is
-	// always acquired before mu.
-	mu       sync.RWMutex
-	ingestMu sync.Mutex
+	// always acquired before mu. The `lockcheck: order` ranks encode
+	// the documented hierarchy (ingestMu → pubMu → mu) for fixvet's
+	// lockorder pass; the collection registry's mutex ranks below all
+	// of them (see internal/collection).
+	mu       sync.RWMutex // lockcheck: order 40
+	ingestMu sync.Mutex   // lockcheck: order 20
 	wal      *core.IngestLog
 
 	// pubMu serializes generation publication. Lock order: ingestMu →
 	// pubMu → mu (read); pubMu is never held while acquiring ingestMu
 	// or the mu write lock.
-	pubMu sync.Mutex
+	pubMu sync.Mutex // lockcheck: order 30
 	// gen is the published generation queries pin; swapped atomically
 	// by publish, never mutated in place.
 	gen      atomic.Pointer[core.Generation]

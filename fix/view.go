@@ -58,6 +58,9 @@ func (db *DB) View() *View {
 
 // Close releases the View's pin on its generation. Idempotent; queries
 // after Close return ErrViewClosed.
+//
+// paircheck: releases(gen) — the pin was taken in DB.View; deleting the
+// Unpin below would leak the generation (and fail `make lint`).
 func (v *View) Close() error {
 	if v.closed.CompareAndSwap(false, true) {
 		v.gen.Unpin()
@@ -91,6 +94,10 @@ func (db *DB) LiveGenerations() int64 { return db.liveGens.Load() }
 // serving every View pinned to it and is released when its last pin
 // drops. pubMu serializes publishers; the read lock excludes a mid-batch
 // applyBatch, so a freeze never captures a half-applied state.
+//
+// paircheck: releases(prev) — the publisher's reference to the previous
+// generation ends here; deleting the Unpin would retain every old
+// generation forever.
 func (db *DB) publish() {
 	db.pubMu.Lock()
 	defer db.pubMu.Unlock()

@@ -32,7 +32,9 @@ type Service struct {
 	root string
 	opts Options
 
-	mu sync.Mutex
+	// mu ranks below every fix.DB lock: it may be held while calling
+	// into a DB (registry → engine), never the reverse.
+	mu sync.Mutex // lockcheck: order 10
 	// cols maps name → live handle. // guarded by mu
 	cols map[string]*handle
 }

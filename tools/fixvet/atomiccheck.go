@@ -1,0 +1,373 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomiccheckAnalyzer enforces that fields shared through sync/atomic are
+// never also touched with plain loads and stores. Mixing the two access
+// modes is a data race even when it "works" on amd64, and it silently
+// defeats the lock-free generation read path.
+//
+// Three rules:
+//
+//  1. A field declared with a typed atomic (atomic.Int64, atomic.Uint64,
+//     atomic.Bool, atomic.Pointer[T], ...) must only be used through its
+//     methods: `x.f = v` and value copies `y := x.f` are flagged; use
+//     Store/Load. (Copies also smuggle the internal noCopy sentinel.)
+//  2. A field whose address is passed to an old-style atomic function
+//     anywhere in the package (atomic.AddInt64(&x.f, 1)) becomes atomic
+//     everywhere: any plain read or write of that field outside a
+//     builder function is flagged.
+//  3. The immutable-after-publish discipline (formerly in lockcheck):
+//     a field commented `// immutable after publish` may only be
+//     assigned — or have its address taken — inside builder functions
+//     (new*/New*, freeze*, publish*, or `lockcheck: builder` in the doc
+//     comment). Published values are shared across goroutines without
+//     locks, so any later write is a race.
+var atomiccheckAnalyzer = &Analyzer{
+	Name: "atomiccheck",
+	Doc: "fields accessed via sync/atomic (typed atomics or &f passed to " +
+		"atomic.*) must never be read or written non-atomically; " +
+		"`// immutable after publish` fields are only assigned in builders",
+	Run: runAtomiccheck,
+}
+
+func runAtomiccheck(pass *Pass) {
+	checkImmutable(pass)
+	typed := typedAtomicFields(pass)
+	old := oldStyleAtomicFields(pass)
+	if len(typed) == 0 && len(old) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				owner := ownerTypeName(pass, fd, sel)
+				if owner == "" {
+					return true
+				}
+				field := sel.Sel.Name
+				switch {
+				case typed[owner][field]:
+					checkTypedUse(pass, fd, sel, parents)
+				case old[owner][field]:
+					checkOldStyleUse(pass, fd, sel, parents)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// atomicTypeNames are the typed atomics of sync/atomic.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicType matches the AST shape atomic.X / atomic.Pointer[T].
+func isAtomicType(t ast.Expr) bool {
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "atomic" && atomicTypeNames[sel.Sel.Name]
+}
+
+// typedAtomicFields maps struct name → fields declared with a typed
+// atomic.
+func typedAtomicFields(pass *Pass) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	eachStructField(pass, func(typeName string, field *ast.Field) {
+		if !isAtomicType(field.Type) {
+			return
+		}
+		set := out[typeName]
+		if set == nil {
+			set = map[string]bool{}
+			out[typeName] = set
+		}
+		for _, n := range field.Names {
+			set[n.Name] = true
+		}
+	})
+	return out
+}
+
+// oldStyleAtomicFields maps struct name → fields whose address is passed
+// to a sync/atomic function somewhere in the package. One atomic access
+// site makes the field atomic everywhere.
+func oldStyleAtomicFields(pass *Pass) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(pass, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					owner := ownerTypeName(pass, fd, sel)
+					if owner == "" {
+						continue
+					}
+					set := out[owner]
+					if set == nil {
+						set = map[string]bool{}
+						out[owner] = set
+					}
+					set[sel.Sel.Name] = true
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// isAtomicFuncCall matches atomic.AddInt64 / atomic.LoadUint32 / ... —
+// by import path when type info resolves, by AST shape otherwise.
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pass.Info != nil {
+		if obj, ok := pass.Info.Uses[id]; ok {
+			if pn, isPkg := obj.(*types.PkgName); isPkg {
+				return pn.Imported().Path() == "sync/atomic"
+			}
+		}
+	}
+	if id.Name != "atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTypedUse flags plain assignment and value copies of a typed
+// atomic field. Method calls (x.f.Load()) and taking the address are
+// fine.
+func checkTypedUse(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, parents map[ast.Node]ast.Node) {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		return // x.f.Load() / x.f.Store(v)
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x.f handed to a helper keeps atomic access
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				pass.Reportf(sel.Pos(), "%s assigns typed atomic field %s directly; use %s.Store",
+					fd.Name.Name, exprString(sel), sel.Sel.Name)
+				return
+			}
+		}
+	}
+	pass.Reportf(sel.Pos(), "%s copies typed atomic field %s by value; use %s.Load",
+		fd.Name.Name, exprString(sel), sel.Sel.Name)
+}
+
+// checkOldStyleUse flags plain reads/writes of a field that is accessed
+// via atomic.* elsewhere in the package. The access is fine when it is
+// itself the &f argument of an atomic call, or inside a builder.
+func checkOldStyleUse(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr, parents map[ast.Node]ast.Node) {
+	if isBuilderFunc(fd) {
+		return
+	}
+	if un, ok := parents[sel].(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if call, ok := parents[un].(*ast.CallExpr); ok && isAtomicFuncCall(pass, call) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "%s takes the address of atomically-accessed field %s outside an atomic call",
+			fd.Name.Name, exprString(sel))
+		return
+	}
+	pass.Reportf(sel.Pos(), "%s accesses %s non-atomically; the field is used via sync/atomic elsewhere",
+		fd.Name.Name, exprString(sel))
+}
+
+// ownerTypeName resolves the struct type a selector's base refers to:
+// through type info when available, else through the receiver's declared
+// type for lenient fixture runs.
+func ownerTypeName(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr) string {
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[sel.X]; ok {
+			if named := namedOf(tv.Type); named != nil {
+				return named.Obj().Name()
+			}
+		}
+	}
+	if recv, recvType := receiverName(fd); recv != "" {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			return recvType
+		}
+	}
+	return ""
+}
+
+// eachStructField visits every named struct field declaration in the
+// package.
+func eachStructField(pass *Pass, fn func(typeName string, field *ast.Field)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					fn(ts.Name.Name, field)
+				}
+			}
+		}
+	}
+}
+
+// immutableFields maps struct name → field names commented
+// `// immutable after publish`. Unlike the mutex rules, structs without
+// a mutex participate: frozen views are lock-free by design.
+func immutableFields(pass *Pass) map[string]map[string]bool {
+	owners := map[string]map[string]bool{}
+	eachStructField(pass, func(typeName string, field *ast.Field) {
+		if !strings.Contains(fieldComments(field), "immutable after publish") {
+			return
+		}
+		set := owners[typeName]
+		if set == nil {
+			set = map[string]bool{}
+			owners[typeName] = set
+		}
+		for _, n := range field.Names {
+			set[n.Name] = true
+		}
+	})
+	return owners
+}
+
+// isBuilderFunc reports whether fd may initialize immutable-after-
+// publish fields: constructors and freeze/publish paths by name prefix,
+// or any function annotated `lockcheck: builder` in its doc comment.
+func isBuilderFunc(fd *ast.FuncDecl) bool {
+	name := strings.ToLower(fd.Name.Name)
+	for _, prefix := range []string{"new", "freeze", "publish"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), "lockcheck: builder")
+}
+
+// checkImmutable flags assignments to `immutable after publish` fields
+// outside builder functions, and — new with the flow-aware suite —
+// taking such a field's address outside a builder, which would let it
+// be mutated through the pointer after publication. The owning struct
+// is resolved through type info when available, falling back to the
+// method receiver's declared type for fixtures analyzed without full
+// type checking.
+func checkImmutable(pass *Pass) {
+	owners := immutableFields(pass)
+	if len(owners) == 0 {
+		return
+	}
+	// target unwraps an assignment LHS (through index and dereference
+	// expressions, so x.field[i] = v counts as writing x.field) down to
+	// a selector over an annotated struct.
+	target := func(fd *ast.FuncDecl, lhs ast.Expr) (string, string, bool) {
+	unwrap:
+		for {
+			switch e := lhs.(type) {
+			case *ast.IndexExpr:
+				lhs = e.X
+			case *ast.StarExpr:
+				lhs = e.X
+			case *ast.ParenExpr:
+				lhs = e.X
+			default:
+				break unwrap
+			}
+		}
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok {
+			return "", "", false
+		}
+		typeName := ownerTypeName(pass, fd, sel)
+		if typeName == "" || !owners[typeName][sel.Sel.Name] {
+			return "", "", false
+		}
+		return typeName, exprString(sel), true
+	}
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if isBuilderFunc(fd) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if tn, field, ok := target(fd, lhs); ok {
+							pass.Reportf(lhs.Pos(), "%s.%s writes %s (immutable after publish) outside a builder",
+								tn, fd.Name.Name, field)
+						}
+					}
+				case *ast.IncDecStmt:
+					if tn, field, ok := target(fd, st.X); ok {
+						pass.Reportf(st.X.Pos(), "%s.%s writes %s (immutable after publish) outside a builder",
+							tn, fd.Name.Name, field)
+					}
+				case *ast.UnaryExpr:
+					if st.Op != token.AND {
+						return true
+					}
+					if sel, ok := st.X.(*ast.SelectorExpr); ok {
+						if tn, ok2 := owners[ownerTypeName(pass, fd, sel)]; ok2 && tn[sel.Sel.Name] {
+							pass.Reportf(st.Pos(), "%s.%s takes the address of %s (immutable after publish) outside a builder",
+								ownerTypeName(pass, fd, sel), fd.Name.Name, exprString(sel))
+						}
+					}
+				}
+				return true
+			})
+		})
+	}
+}

@@ -1,0 +1,424 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, for the flow-aware fixvet passes (lockorder,
+// paircheck). It is stdlib-only by design, like the rest of the driver:
+// no golang.org/x/tools, just a direct translation of Go's statement
+// forms into basic blocks and successor edges.
+//
+// The graph is statement-granular: each basic block holds the
+// statements (and branch condition expressions) that execute
+// straight-line, in order, and edges connect blocks along every
+// possible control transfer — including early returns, explicit
+// panic(...) statements (which route to a dedicated Panic block),
+// break/continue with and without labels, switch fallthrough, select
+// arms, and goto. Deferred calls are collected separately in Defers:
+// they run at every function exit, so flow-sensitive passes treat them
+// as exit-time effects rather than placing them in a block.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: statements that execute consecutively, then
+// a transfer to one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, stable across a
+	// build (entry is always 0).
+	Index int
+	// Label names the block's role for tests and debugging: "entry",
+	// "exit", "panic", "if.then", "for.body", "select.case", ...
+	Label string
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Condition expressions (if/for/switch tags) appear
+	// as bare ast.Expr entries at the point they are evaluated.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// addSucc appends s to b's successors, once.
+func (b *Block) addSucc(s *Block) {
+	for _, x := range b.Succs {
+		if x == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// IfInfo records the blocks an *ast.IfStmt was lowered to, so passes
+// can attribute edge-sensitive effects (a resource acquired only when
+// the condition is true) to the right branch.
+type IfInfo struct {
+	Cond *Block // the block evaluating the condition
+	Then *Block // the true branch's first block
+	Else *Block // the false branch's first block (the join when no else)
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single normal-completion block: every return
+	// statement and the implicit fall-off-the-end edge lead here.
+	Exit *Block
+	// Panic is the explicit-panic exit: panic(...) statements edge
+	// here. Deferred calls still run on this path; non-deferred cleanup
+	// does not.
+	Panic *Block
+	// Blocks lists every block, Entry first. Blocks unreachable from
+	// Entry (code after return) are retained.
+	Blocks []*Block
+	// Defers collects every defer statement in the body, in source
+	// order. The builder approximates defer semantics: a deferred call
+	// is treated as running at every exit, even when the defer sits in
+	// a conditional (a deliberate over-approximation that passes must
+	// keep in mind when proving "released on every path").
+	Defers []*ast.DeferStmt
+	// Ifs maps each if statement to its lowered blocks.
+	Ifs map[*ast.IfStmt]IfInfo
+}
+
+// Preds computes the predecessor map of the graph.
+func (g *Graph) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// loopFrame tracks the break/continue targets of one enclosing loop,
+// switch, or select.
+type loopFrame struct {
+	label     string // the statement's label, "" when unlabeled
+	breakTo   *Block
+	contTo    *Block // nil for switch/select frames
+	isLoop    bool
+	nextCase  *Block // fallthrough target while building switch bodies
+	savedCase *Block
+}
+
+// builder carries the state of one graph construction.
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block   // goto targets
+	gotos  map[*Block][]string // unresolved gotos per origin block
+	label  string              // pending label for the next loop/switch
+}
+
+// New builds the control-flow graph of body. A nil body yields a
+// two-block graph (entry → exit).
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{Ifs: map[*ast.IfStmt]IfInfo{}}
+	b := &builder{
+		g:      g,
+		labels: map[string]*Block{},
+		gotos:  map[*Block][]string{},
+	}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	g.Panic = b.newBlock("panic")
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.cur.addSucc(g.Exit)
+	// Resolve gotos now that every label has been seen.
+	for from, names := range b.gotos {
+		for _, name := range names {
+			if to, ok := b.labels[name]; ok {
+				from.addSucc(to)
+			}
+		}
+	}
+	return g
+}
+
+// newBlock allocates a block and registers it.
+func (b *builder) newBlock(label string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Label: label}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock switches construction to a fresh block without linking it;
+// used after a terminating statement so trailing dead code still has a
+// home.
+func (b *builder) startBlock(label string) {
+	b.cur = b.newBlock(label)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt lowers one statement into the graph.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) the
+		// name break/continue statements refer to.
+		target := b.newBlock("label." + s.Label.Name)
+		b.cur.addSucc(target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		cond := b.cur
+		cond.Nodes = append(cond.Nodes, s.Cond)
+		then := b.newBlock("if.then")
+		join := b.newBlock("if.join")
+		cond.addSucc(then)
+		info := IfInfo{Cond: cond, Then: then}
+		b.cur = then
+		b.stmt(s.Body)
+		b.cur.addSucc(join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			cond.addSucc(els)
+			info.Else = els
+			b.cur = els
+			b.stmt(s.Else)
+			b.cur.addSucc(join)
+		} else {
+			cond.addSucc(join)
+			info.Else = join
+		}
+		b.g.Ifs[s] = info
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		b.cur.addSucc(head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.addSucc(done)
+		}
+		head.addSucc(body)
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			post.addSucc(head)
+			contTo = post
+		}
+		b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: done, contTo: contTo, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.cur.addSucc(contTo)
+		b.popFrame()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.cur.addSucc(head)
+		head.Nodes = append(head.Nodes, s)
+		head.addSucc(body)
+		head.addSucc(done)
+		b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: done, contTo: head, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.cur.addSucc(head)
+		b.popFrame()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		b.lowerSwitch(s.Init, s.Tag, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.lowerSwitch(s.Init, nil, s.Body, "typeswitch")
+		// The assign statement (x := y.(type)) evaluates once, with the
+		// tag: record it on the block that owned the dispatch.
+
+	case *ast.SelectStmt:
+		join := b.newBlock("select.join")
+		dispatch := b.cur
+		b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: join})
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			label := "select.case"
+			if cc.Comm == nil {
+				label = "select.default"
+			}
+			arm := b.newBlock(label)
+			dispatch.addSucc(arm)
+			if cc.Comm != nil {
+				arm.Nodes = append(arm.Nodes, cc.Comm)
+			}
+			b.cur = arm
+			b.stmtList(cc.Body)
+			b.cur.addSucc(join)
+		}
+		b.popFrame()
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever; join is unreachable.
+			b.startBlock("select.dead")
+			b.cur = join
+			return
+		}
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.addSucc(b.g.Exit)
+		b.startBlock("dead")
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.cur.addSucc(t.breakTo)
+			}
+			b.startBlock("dead")
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil && t.contTo != nil {
+				b.cur.addSucc(t.contTo)
+			}
+			b.startBlock("dead")
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos[b.cur] = append(b.gotos[b.cur], s.Label.Name)
+			}
+			b.startBlock("dead")
+		case token.FALLTHROUGH:
+			if f := b.topSwitch(); f != nil && f.nextCase != nil {
+				b.cur.addSucc(f.nextCase)
+			}
+			b.startBlock("dead")
+		}
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			b.cur.addSucc(b.g.Panic)
+			b.startBlock("dead")
+		}
+
+	case nil:
+		// Empty else of a lowered construct; nothing to add.
+
+	default:
+		// Assignments, declarations, sends, go statements, empty
+		// statements: straight-line, no control transfer.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// lowerSwitch handles expression and type switches: the tag evaluates
+// in the current block, each case body is its own block joining below,
+// fallthrough edges run to the next case's body, and a missing default
+// lets the dispatch block fall through to the join directly.
+func (b *builder) lowerSwitch(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, kind string) {
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	dispatch := b.cur
+	join := b.newBlock(kind + ".join")
+	var arms []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, clause := range body.List {
+		cc := clause.(*ast.CaseClause)
+		label := kind + ".case"
+		if cc.List == nil {
+			label = kind + ".default"
+			hasDefault = true
+		}
+		arm := b.newBlock(label)
+		dispatch.addSucc(arm)
+		arms = append(arms, arm)
+		clauses = append(clauses, cc)
+	}
+	if !hasDefault {
+		dispatch.addSucc(join)
+	}
+	b.pushFrame(loopFrame{label: b.takeLabel(), breakTo: join})
+	for i, cc := range clauses {
+		f := &b.frames[len(b.frames)-1]
+		f.nextCase = nil
+		if i+1 < len(arms) {
+			f.nextCase = arms[i+1]
+		}
+		b.cur = arms[i]
+		b.stmtList(cc.Body)
+		b.cur.addSucc(join)
+	}
+	b.popFrame()
+	b.cur = join
+}
+
+// takeLabel consumes the pending statement label.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *builder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *builder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame resolves a break (needLoop=false) or continue
+// (needLoop=true) target, honoring an optional label.
+func (b *builder) findFrame(label *ast.Ident, needLoop bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// topSwitch returns the innermost switch frame (for fallthrough).
+func (b *builder) topSwitch() *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if !b.frames[i].isLoop {
+			return &b.frames[i]
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

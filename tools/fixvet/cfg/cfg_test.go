@@ -1,0 +1,254 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildGraph parses a function body and builds its graph.
+func buildGraph(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body)
+}
+
+// edges renders the graph as sorted "from->to" label pairs, suffixing
+// duplicate labels with their ordinal so expectations stay unambiguous.
+func edges(g *Graph) []string {
+	names := map[*Block]string{}
+	seen := map[string]int{}
+	for _, b := range g.Blocks {
+		n := b.Label
+		seen[n]++
+		if seen[n] > 1 {
+			n = fmt.Sprintf("%s#%d", n, seen[n])
+		}
+		names[b] = n
+	}
+	var out []string
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			out = append(out, names[b]+"->"+names[s])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hasEdge reports whether the rendered edge list contains from->to.
+func hasEdge(es []string, from, to string) bool {
+	for _, e := range es {
+		if e == from+"->"+to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []string // required edges, from->to by block label
+		ban  []string // edges that must not exist
+	}{
+		{
+			name: "straight line",
+			body: "x := 1\n_ = x",
+			want: []string{"entry->exit"},
+		},
+		{
+			name: "if without else",
+			body: "if c { a() }\nb()",
+			want: []string{"entry->if.then", "entry->if.join", "if.then->if.join", "if.join->exit"},
+		},
+		{
+			name: "if with else",
+			body: "if c { a() } else { b() }",
+			want: []string{"entry->if.then", "entry->if.else", "if.then->if.join", "if.else->if.join"},
+			ban:  []string{"entry->if.join"},
+		},
+		{
+			name: "early return",
+			body: "if c { return }\na()",
+			want: []string{"if.then->exit", "if.join->exit"},
+			ban:  []string{"if.then->if.join"},
+		},
+		{
+			name: "for with condition",
+			body: "for i := 0; i < n; i++ { a() }",
+			want: []string{"entry->for.head", "for.head->for.body", "for.head->for.done", "for.body->for.post", "for.post->for.head", "for.done->exit"},
+		},
+		{
+			name: "infinite for only exits via break",
+			body: "for { if c { break }\na() }",
+			want: []string{"for.head->for.body", "if.then->for.done", "if.join->for.head"},
+			ban:  []string{"for.head->for.done"},
+		},
+		{
+			name: "range loop",
+			body: "for _, v := range xs { use(v) }",
+			want: []string{"entry->range.head", "range.head->range.body", "range.head->range.done", "range.body->range.head"},
+		},
+		{
+			name: "continue targets the post",
+			body: "for i := 0; i < n; i++ { if c { continue }\na() }",
+			want: []string{"if.then->for.post", "if.join->for.post"},
+			ban:  []string{"if.then->for.head"},
+		},
+		{
+			name: "switch with default",
+			body: "switch x {\ncase 1: a()\ncase 2: b()\ndefault: c()\n}",
+			want: []string{"entry->switch.case", "entry->switch.case#2", "entry->switch.default", "switch.case->switch.join", "switch.default->switch.join"},
+			ban:  []string{"entry->switch.join"},
+		},
+		{
+			name: "switch without default falls to join",
+			body: "switch x {\ncase 1: a()\n}",
+			want: []string{"entry->switch.join", "entry->switch.case", "switch.case->switch.join"},
+		},
+		{
+			name: "switch fallthrough",
+			body: "switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2: b()\n}",
+			want: []string{"switch.case->switch.case#2"},
+		},
+		{
+			name: "type switch",
+			body: "switch x.(type) {\ncase int: a()\ndefault: b()\n}",
+			want: []string{"entry->typeswitch.case", "entry->typeswitch.default"},
+		},
+		{
+			name: "select arms join",
+			body: "select {\ncase <-a: f()\ncase b <- v: g()\ndefault: h()\n}",
+			want: []string{"entry->select.case", "entry->select.case#2", "entry->select.default", "select.case->select.join", "select.default->select.join"},
+		},
+		{
+			name: "panic routes to the panic exit",
+			body: "if c { panic(\"boom\") }\na()",
+			want: []string{"if.then->panic", "if.join->exit"},
+			ban:  []string{"if.then->if.join"},
+		},
+		{
+			name: "labeled break leaves the outer loop",
+			body: "outer:\nfor {\n\tfor {\n\t\tif c { break outer }\n\t}\n}",
+			want: []string{"if.then->for.done"},
+			ban:  []string{"if.then->for.done#2"},
+		},
+		{
+			name: "labeled continue restarts the outer loop",
+			body: "outer:\nfor {\n\tfor {\n\t\tif c { continue outer }\n\t}\n}",
+			want: []string{"if.then->for.head"},
+		},
+		{
+			name: "goto jumps to its label",
+			body: "again:\na()\nif c { goto again }",
+			want: []string{"if.then->label.again"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildGraph(t, tc.body)
+			es := edges(g)
+			for _, w := range tc.want {
+				parts := strings.SplitN(w, "->", 2)
+				if !hasEdge(es, parts[0], parts[1]) {
+					t.Errorf("missing edge %s; have:\n  %s", w, strings.Join(es, "\n  "))
+				}
+			}
+			for _, b := range tc.ban {
+				parts := strings.SplitN(b, "->", 2)
+				if hasEdge(es, parts[0], parts[1]) {
+					t.Errorf("unexpected edge %s; have:\n  %s", b, strings.Join(es, "\n  "))
+				}
+			}
+		})
+	}
+}
+
+// TestDefersCollected checks defer statements land in Defers, not as
+// control flow.
+func TestDefersCollected(t *testing.T) {
+	g := buildGraph(t, "defer a()\nif c { defer b() }\nx()")
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(g.Defers))
+	}
+}
+
+// TestIfInfo checks the if-lowering records the branch blocks so passes
+// can attribute condition-dependent effects (paircheck's `if g.Pin()`).
+func TestIfInfo(t *testing.T) {
+	g := buildGraph(t, "if c { a() } else { b() }")
+	if len(g.Ifs) != 1 {
+		t.Fatalf("Ifs = %d, want 1", len(g.Ifs))
+	}
+	for _, info := range g.Ifs {
+		if info.Cond == nil || info.Then == nil || info.Else == nil {
+			t.Fatalf("incomplete IfInfo: %+v", info)
+		}
+		if info.Then.Label != "if.then" || info.Else.Label != "if.else" {
+			t.Errorf("branch labels = %s/%s, want if.then/if.else", info.Then.Label, info.Else.Label)
+		}
+	}
+}
+
+// TestForwardDataflow runs the solver on a diamond: a fact generated in
+// one branch must be visible at the join (may-analysis) but not before.
+func TestForwardDataflow(t *testing.T) {
+	g := buildGraph(t, "if c { acquire() }\nrest()")
+	var genBlock *Block
+	for _, b := range g.Blocks {
+		if b.Label == "if.then" {
+			genBlock = b
+		}
+	}
+	if genBlock == nil {
+		t.Fatal("no if.then block")
+	}
+	in, out := Forward(g, 1, func(b *Block, facts BitSet) BitSet {
+		if b == genBlock {
+			facts.Set(0)
+		}
+		return facts
+	})
+	var join *Block
+	for _, b := range g.Blocks {
+		if b.Label == "if.join" {
+			join = b
+		}
+	}
+	if !in[join].Has(0) {
+		t.Error("fact generated in branch not visible at join")
+	}
+	if out[g.Entry].Has(0) {
+		t.Error("fact visible before its gen block")
+	}
+	if !in[g.Exit].Has(0) {
+		t.Error("fact not propagated to exit")
+	}
+}
+
+// TestPanicPathSkipsLaterBlocks checks facts on the panic path do not
+// leak into the normal exit when the panic dominates them.
+func TestPanicPathSkipsLaterBlocks(t *testing.T) {
+	g := buildGraph(t, "acquire()\npanic(\"x\")")
+	in, _ := Forward(g, 1, func(b *Block, facts BitSet) BitSet {
+		if b == g.Entry {
+			facts.Set(0)
+		}
+		return facts
+	})
+	if !in[g.Panic].Has(0) {
+		t.Error("fact not visible at the panic exit")
+	}
+}

@@ -58,10 +58,28 @@ func checkImport(pass *Pass, imp *ast.ImportSpec, path string) {
 		return
 	}
 	rel := strings.TrimPrefix(strings.TrimPrefix(path, pass.ModPath), "/")
+	passRel := pass.relPkg()
+	inTools := segment(passRel) == "tools"
 	switch segment(rel) {
-	case "cmd", "tools", "examples":
+	case "cmd", "examples":
 		pass.Reportf(imp.Pos(), "import %q: command and tool packages may not be imported as libraries", path)
 		return
+	case "tools":
+		// The tools subtree may layer internally (fixvet imports its own
+		// cfg package); nothing outside it may reach in.
+		if !inTools {
+			pass.Reportf(imp.Pos(), "import %q: command and tool packages may not be imported as libraries", path)
+		}
+		return
+	}
+	if inTools {
+		// Tools introspect the module from outside: they read source, not
+		// APIs. Importing the library would couple `make lint` to the code
+		// it is linting (and quietly exempt that code from analysis).
+		if rel == "fix" || strings.HasPrefix(rel, "fix/") || segment(rel) == "internal" {
+			pass.Reportf(imp.Pos(), "import %q: tools may only import stdlib and the tools subtree, not the library they analyze", path)
+			return
+		}
 	}
 	if pass.inLibrary() && strings.HasPrefix(pass.PkgPath, pass.ModPath+"/internal") {
 		if serviceLayer[strings.TrimPrefix(strings.TrimPrefix(pass.PkgPath, pass.ModPath), "/")] {

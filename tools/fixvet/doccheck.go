@@ -6,20 +6,23 @@ import (
 )
 
 // doccheckAnalyzer is the former tools/doclint, folded into the fixvet
-// driver: every package under internal/ and the public fix package needs
-// a package doc comment, and every exported symbol of the public fix
-// package must be documented (godoc shows prose for every name).
+// driver: every package under internal/ and tools/, and the public fix
+// package, needs a package doc comment; every exported symbol of the
+// public fix package and of non-main tools packages must be documented
+// (godoc shows prose for every name). The tools subtree self-checks:
+// fixvet holds its own code to the bar it enforces.
 var doccheckAnalyzer = &Analyzer{
 	Name: "doccheck",
-	Doc: "package docs on internal/* and fix; exported-symbol docs on " +
-		"the public fix package",
+	Doc: "package docs on internal/*, tools/* and fix; exported-symbol " +
+		"docs on the public fix package and non-main tools packages",
 	Run: runDoccheck,
 }
 
 func runDoccheck(pass *Pass) {
 	rel := pass.relPkg()
 	isFix := rel == "fix"
-	if !isFix && !strings.HasPrefix(rel, "internal/") && rel != "internal" {
+	inTools := rel == "tools" || strings.HasPrefix(rel, "tools/")
+	if !isFix && !inTools && !strings.HasPrefix(rel, "internal/") && rel != "internal" {
 		return
 	}
 	hasDoc := false
@@ -32,7 +35,7 @@ func runDoccheck(pass *Pass) {
 	if !hasDoc && len(pass.Files) > 0 {
 		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package doc comment", pass.PkgName)
 	}
-	if isFix {
+	if isFix || (inTools && pass.PkgName != "main") {
 		for _, f := range pass.Files {
 			checkExportedDocs(pass, f)
 		}

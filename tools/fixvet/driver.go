@@ -8,8 +8,20 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Severity levels order findings for output formats and exit policy.
+// Everything fails the build by default; the level picks the GitHub
+// annotation kind and lets -severity=error relax heuristic passes.
+const (
+	SevError   = "error"
+	SevWarning = "warning"
 )
 
 // Finding is one rule violation at a source position. The triple
@@ -18,6 +30,7 @@ import (
 // above the flagged line.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
 	File     string `json:"file"` // module-root-relative, slash-separated
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
@@ -46,10 +59,11 @@ type Pass struct {
 	Root    string // module root, for rendering relative paths
 
 	analyzer string
+	severity string
 	findings *[]Finding
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos with the analyzer's severity.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	file := position.Filename
@@ -58,6 +72,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	}
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.analyzer,
+		Severity: p.severity,
 		File:     filepath.ToSlash(file),
 		Line:     position.Line,
 		Col:      position.Column,
@@ -79,44 +94,170 @@ func (p *Pass) inLibrary() bool {
 	return rel == "fix" || rel == "internal" || strings.HasPrefix(rel, "fix/") || strings.HasPrefix(rel, "internal/")
 }
 
-// Analyzer is one named rule set.
+// ModulePass is what a module-level analyzer sees: every loaded package
+// at once, for rules that need a cross-package view (lockorder's call
+// graph). Module passes run single-threaded after the per-package
+// phase.
+type ModulePass struct {
+	Fset    *token.FileSet
+	Pkgs    []*Pass // one per package, sharing the module-wide finding sink
+	ModPath string
+	Root    string
+}
+
+// Analyzer is one named rule set. Run analyzes one package at a time
+// (and must be safe to call concurrently for different packages);
+// RunModule, when set instead, sees the whole module at once.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Severity  string // SevError (default) or SevWarning
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// severity returns the analyzer's effective severity.
+func (a *Analyzer) severityLevel() string {
+	if a.Severity == "" {
+		return SevError
+	}
+	return a.Severity
 }
 
 // analyzers is the full suite, in the order findings are attributed.
 var analyzers = []*Analyzer{
 	errcmpAnalyzer,
 	lockcheckAnalyzer,
+	lockorderAnalyzer,
+	paircheckAnalyzer,
+	atomiccheckAnalyzer,
+	sendcheckAnalyzer,
 	ctxcheckAnalyzer,
 	obscheckAnalyzer,
 	depcheckAnalyzer,
 	doccheckAnalyzer,
 }
 
+// passTimes accumulates per-analyzer wall time (nanoseconds) across the
+// parallel package fan-out, for the -v report.
+type passTimes struct {
+	names []string
+	nanos map[string]*atomic.Int64
+}
+
+func newPassTimes(selected []*Analyzer) *passTimes {
+	pt := &passTimes{nanos: map[string]*atomic.Int64{}}
+	for _, a := range selected {
+		pt.names = append(pt.names, a.Name)
+		pt.nanos[a.Name] = &atomic.Int64{}
+	}
+	return pt
+}
+
+func (pt *passTimes) add(name string, d time.Duration) {
+	pt.nanos[name].Add(int64(d))
+}
+
+// report prints one line per analyzer, slowest first.
+func (pt *passTimes) report(w *os.File) {
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]row, 0, len(pt.names))
+	for _, n := range pt.names {
+		rows = append(rows, row{n, time.Duration(pt.nanos[n].Load())})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	for _, r := range rows {
+		fmt.Fprintf(w, "fixvet: pass %-12s %8.1fms\n", r.name, float64(r.d)/1e6)
+	}
+}
+
+// newPass builds a per-package Pass for one analyzer writing into sink.
+func newPass(l *Loader, pkg *Package, a *Analyzer, sink *[]Finding) *Pass {
+	return &Pass{
+		Fset:     l.Fset,
+		Files:    pkg.Files,
+		PkgPath:  pkg.Path,
+		PkgName:  pkg.Name,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		ModPath:  l.ModPath,
+		Root:     l.Root,
+		analyzer: a.Name,
+		severity: a.severityLevel(),
+		findings: sink,
+	}
+}
+
 // runAnalyzers applies the selected analyzers to every package and
-// returns the merged findings sorted by position.
-func runAnalyzers(l *Loader, pkgs []*Package, selected []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range selected {
-			pass := &Pass{
-				Fset:     l.Fset,
-				Files:    pkg.Files,
-				PkgPath:  pkg.Path,
-				PkgName:  pkg.Name,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				ModPath:  l.ModPath,
-				Root:     l.Root,
-				analyzer: a.Name,
-				findings: &findings,
-			}
-			a.Run(pass)
+// returns the merged findings sorted by position. Per-package analyzers
+// fan out over a bounded worker pool (the loader's type-checked
+// packages are immutable by then); findings are collected per package
+// and merged in deterministic order, so the output is identical to a
+// sequential run. Module-level analyzers run once, afterwards, over the
+// whole package set.
+func runAnalyzers(l *Loader, pkgs []*Package, selected []*Analyzer, times *passTimes) []Finding {
+	var perPkg, module []*Analyzer
+	for _, a := range selected {
+		if a.RunModule != nil {
+			module = append(module, a)
+		} else {
+			perPkg = append(perPkg, a)
 		}
 	}
+
+	results := make([][]Finding, len(pkgs))
+	workers := runtime.NumCPU()
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
+				}
+				var local []Finding
+				for _, a := range perPkg {
+					start := time.Now()
+					a.Run(newPass(l, pkgs[i], a, &local))
+					if times != nil {
+						times.add(a.Name, time.Since(start))
+					}
+				}
+				results[i] = local
+			}
+		}()
+	}
+	wg.Wait()
+
+	var findings []Finding
+	for _, r := range results {
+		findings = append(findings, r...)
+	}
+
+	for _, a := range module {
+		start := time.Now()
+		mp := &ModulePass{Fset: l.Fset, ModPath: l.ModPath, Root: l.Root}
+		for _, pkg := range pkgs {
+			mp.Pkgs = append(mp.Pkgs, newPass(l, pkg, a, &findings))
+		}
+		a.RunModule(mp)
+		if times != nil {
+			times.add(a.Name, time.Since(start))
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {

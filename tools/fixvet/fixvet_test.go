@@ -101,6 +101,28 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 	return nil
 }
 
+// fixtureCases maps each golden-fixture directory to the analyzer it
+// seeds violations for. The meta-test below checks that every
+// registered analyzer appears here.
+var fixtureCases = []struct {
+	dir      string // under tools/fixvet/testdata/src
+	analyzer string
+	asPath   string // fake module-relative import path, selects scope-gated rules
+}{
+	{"errcmp", "errcmp", "internal/fixture"},
+	{"lockcheck", "lockcheck", "internal/fixture"},
+	{"lockorder", "lockorder", "internal/fixture"},
+	{"paircheck", "paircheck", "internal/fixture"},
+	{"atomiccheck", "atomiccheck", "internal/fixture"},
+	{"sendcheck", "sendcheck", "internal/fixture"},
+	{"ctxcheck", "ctxcheck", "internal/core"},
+	{"obscheck", "obscheck", "internal/fixture"},
+	{"obscheck_obs", "obscheck", "internal/obs"},
+	{"depcheck", "depcheck", "internal/fixture"},
+	{"doccheck_nodoc", "doccheck", "internal/nodoc"},
+	{"doccheck_fix", "doccheck", "fix"},
+}
+
 // TestFixtures runs each analyzer over its seeded-violation package and
 // checks the findings against the want comments, both ways: every
 // finding must be wanted, every want must be found. The non-empty
@@ -108,21 +130,7 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 // these findings would make the binary exit non-zero.
 func TestFixtures(t *testing.T) {
 	root := repoRoot(t)
-	cases := []struct {
-		dir      string // under tools/fixvet/testdata/src
-		analyzer string
-		asPath   string // fake module-relative import path, selects scope-gated rules
-	}{
-		{"errcmp", "errcmp", "internal/fixture"},
-		{"lockcheck", "lockcheck", "internal/fixture"},
-		{"ctxcheck", "ctxcheck", "internal/core"},
-		{"obscheck", "obscheck", "internal/fixture"},
-		{"obscheck_obs", "obscheck", "internal/obs"},
-		{"depcheck", "depcheck", "internal/fixture"},
-		{"doccheck_nodoc", "doccheck", "internal/nodoc"},
-		{"doccheck_fix", "doccheck", "fix"},
-	}
-	for _, tc := range cases {
+	for _, tc := range fixtureCases {
 		t.Run(tc.dir, func(t *testing.T) {
 			l, err := NewLoader(root)
 			if err != nil {
@@ -133,7 +141,7 @@ func TestFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			findings := runAnalyzers(l, []*Package{pkg}, []*Analyzer{analyzerByName(t, tc.analyzer)})
+			findings := runAnalyzers(l, []*Package{pkg}, []*Analyzer{analyzerByName(t, tc.analyzer)}, nil)
 			if len(findings) == 0 {
 				t.Fatalf("fixture %s seeds violations but produced no findings", tc.dir)
 			}
@@ -160,6 +168,51 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestRegistryComplete asserts the suite's registration invariants:
+// every registered analyzer shows up in the -list output with a doc
+// string, and every analyzer has at least one golden fixture exercising
+// it, so a new pass cannot land without a seeded-violation test.
+func TestRegistryComplete(t *testing.T) {
+	var buf strings.Builder
+	listAnalyzers(&buf)
+	listing := buf.String()
+	covered := map[string]bool{}
+	for _, tc := range fixtureCases {
+		covered[tc.analyzer] = true
+	}
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %q registered without a name or doc", a.Name)
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
+		}
+		if !strings.Contains(listing, a.Name) {
+			t.Errorf("analyzer %q missing from -list output", a.Name)
+		}
+		if !strings.Contains(listing, "["+a.severityLevel()+"]") {
+			t.Errorf("analyzer %q severity %q missing from -list output", a.Name, a.severityLevel())
+		}
+		if !covered[a.Name] {
+			t.Errorf("analyzer %q has no golden fixture under testdata/src", a.Name)
+		}
+	}
+	for _, tc := range fixtureCases {
+		if !seen[tc.analyzer] {
+			t.Errorf("fixture %q names unregistered analyzer %q", tc.dir, tc.analyzer)
+		}
+		if _, err := os.Stat(filepath.Join(repoRoot(t), "tools", "fixvet", "testdata", "src", tc.dir)); err != nil {
+			t.Errorf("fixture dir %q missing: %v", tc.dir, err)
+		}
+	}
+}
+
 // TestRepoClean asserts the live tree has no findings beyond the
 // committed baseline — the same invariant `make lint` enforces in CI.
 func TestRepoClean(t *testing.T) {
@@ -172,7 +225,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := runAnalyzers(l, pkgs, analyzers)
+	findings := runAnalyzers(l, pkgs, analyzers, nil)
 	base, err := loadBaseline(filepath.Join(root, "tools", "fixvet", "baseline.txt"))
 	if err != nil {
 		t.Fatal(err)

@@ -84,6 +84,7 @@ func modulePath(gomod string) (string, error) {
 // path.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	var dirs []string
+	seen := map[string]bool{}
 	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -96,8 +97,11 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
-			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			// Walk order interleaves a package's files with its
+			// subdirectories (fixvet's own cfg/ sorts mid-package), so
+			// dedupe by directory, not by run.
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
 				dirs = append(dirs, dir)
 			}
 		}

@@ -20,19 +20,14 @@ import (
 // not reentrant); (3) a mutex marked `lockcheck: leaf` must never be
 // held across storage or os I/O calls.
 //
-// A fourth, lock-free discipline covers the generation read path: a
-// field commented `// immutable after publish` may only be assigned
-// inside builder functions — those named new*/New*, freeze*/Freeze* or
-// publish*/Publish*, or carrying a `lockcheck: builder` annotation.
-// Everywhere else the field (including elements of an annotated slice
-// or map) is read-only: published generations are shared across
-// goroutines without locks, so any later write is a data race.
+// The immutable-after-publish discipline that used to live here moved
+// to atomiccheck, alongside the other lock-free access rules; the
+// cross-mutex ordering rules (`lockcheck: order N`) live in lockorder.
 var lockcheckAnalyzer = &Analyzer{
 	Name: "lockcheck",
 	Doc: "guarded struct fields (`// guarded by mu`) require the lock in " +
 		"exported methods; no re-locking a held mutex; leaf mutexes " +
-		"(`// lockcheck: leaf`) must not be held across storage/os I/O; " +
-		"`// immutable after publish` fields are only assigned in builders",
+		"(`// lockcheck: leaf`) must not be held across storage/os I/O",
 	Run: runLockcheck,
 }
 
@@ -47,7 +42,6 @@ type lockedStruct struct {
 }
 
 func runLockcheck(pass *Pass) {
-	checkImmutable(pass)
 	structs := map[string]*lockedStruct{}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -84,134 +78,6 @@ func runLockcheck(pass *Pass) {
 	}
 	for _, ls := range structs {
 		checkStruct(pass, ls)
-	}
-}
-
-// immutableFields maps struct name → field names commented
-// `// immutable after publish`. Unlike the mutex rules, structs without
-// a mutex participate: frozen views are lock-free by design.
-func immutableFields(pass *Pass) map[string]map[string]bool {
-	owners := map[string]map[string]bool{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			gd, ok := d.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, field := range st.Fields.List {
-					if !strings.Contains(fieldComments(field), "immutable after publish") {
-						continue
-					}
-					set := owners[ts.Name.Name]
-					if set == nil {
-						set = map[string]bool{}
-						owners[ts.Name.Name] = set
-					}
-					for _, n := range field.Names {
-						set[n.Name] = true
-					}
-				}
-			}
-		}
-	}
-	return owners
-}
-
-// isBuilderFunc reports whether fd may initialize immutable-after-
-// publish fields: constructors and freeze/publish paths by name prefix,
-// or any function annotated `lockcheck: builder` in its doc comment.
-func isBuilderFunc(fd *ast.FuncDecl) bool {
-	name := strings.ToLower(fd.Name.Name)
-	for _, prefix := range []string{"new", "freeze", "publish"} {
-		if strings.HasPrefix(name, prefix) {
-			return true
-		}
-	}
-	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), "lockcheck: builder")
-}
-
-// checkImmutable flags assignments to `immutable after publish` fields
-// outside builder functions. The owning struct is resolved through type
-// info when available, falling back to the method receiver's declared
-// type for fixtures analyzed without full type checking.
-func checkImmutable(pass *Pass) {
-	owners := immutableFields(pass)
-	if len(owners) == 0 {
-		return
-	}
-	// target unwraps an assignment LHS (through index and dereference
-	// expressions, so x.field[i] = v counts as writing x.field) down to
-	// a selector over an annotated struct.
-	target := func(fd *ast.FuncDecl, lhs ast.Expr) (string, string, bool) {
-	unwrap:
-		for {
-			switch e := lhs.(type) {
-			case *ast.IndexExpr:
-				lhs = e.X
-			case *ast.StarExpr:
-				lhs = e.X
-			case *ast.ParenExpr:
-				lhs = e.X
-			default:
-				break unwrap
-			}
-		}
-		sel, ok := lhs.(*ast.SelectorExpr)
-		if !ok {
-			return "", "", false
-		}
-		var typeName string
-		if pass.Info != nil {
-			if tv, ok := pass.Info.Types[sel.X]; ok {
-				if named := namedOf(tv.Type); named != nil {
-					typeName = named.Obj().Name()
-				}
-			}
-		}
-		if typeName == "" {
-			if recv, recvType := receiverName(fd); recv != "" {
-				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
-					typeName = recvType
-				}
-			}
-		}
-		if typeName == "" || !owners[typeName][sel.Sel.Name] {
-			return "", "", false
-		}
-		return typeName, exprString(sel), true
-	}
-	for _, f := range pass.Files {
-		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
-			if isBuilderFunc(fd) {
-				return
-			}
-			ast.Inspect(body, func(n ast.Node) bool {
-				switch st := n.(type) {
-				case *ast.AssignStmt:
-					for _, lhs := range st.Lhs {
-						if tn, field, ok := target(fd, lhs); ok {
-							pass.Reportf(lhs.Pos(), "%s.%s writes %s (immutable after publish) outside a builder",
-								tn, fd.Name.Name, field)
-						}
-					}
-				case *ast.IncDecStmt:
-					if tn, field, ok := target(fd, st.X); ok {
-						pass.Reportf(st.X.Pos(), "%s.%s writes %s (immutable after publish) outside a builder",
-							tn, fd.Name.Name, field)
-					}
-				}
-				return true
-			})
-		})
 	}
 }
 

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/fix-index/fix/tools/fixvet/cfg"
+)
+
+// lockorderAnalyzer enforces the module's declared lock hierarchy.
+// Mutex fields opt in with a rank annotation:
+//
+//	mu sync.Mutex // lockcheck: order 40
+//
+// Lower ranks are acquired first: while holding a lock of rank N, a
+// goroutine may only acquire locks of rank strictly greater than N.
+// That single rule makes deadlock by lock-order inversion impossible
+// among annotated locks — the documented ingestMu → pubMu → mu order in
+// fix.DB, and the collection registry's mutex ordered before all of
+// them.
+//
+// The analyzer is module-global and flow-aware: a lightweight call
+// graph (resolved through go/types, fixed-pointed for transitive
+// acquisitions) summarizes which ranks each function may acquire, and a
+// CFG dataflow tracks the exact set of ranked locks held at every
+// statement — so a lock released before a call site does not poison the
+// call, and a lock acquired on one branch is tracked on exactly the
+// paths that hold it. Both direct acquisitions and calls into
+// lock-acquiring functions are checked against the held set.
+//
+// `// lockorder: ignore` on a function's doc comment (with a justifying
+// comment) skips it — for intentionally unordered code like tests of
+// the locks themselves.
+var lockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutexes annotated `lockcheck: order N` must be acquired in " +
+		"increasing rank on every path, through calls (module-wide " +
+		"call-graph check)",
+	RunModule: runLockorder,
+}
+
+var lockOrderRe = regexp.MustCompile(`lockcheck:\s*order\s+(\d+)`)
+
+// rankedLock is one annotated mutex field.
+type rankedLock struct {
+	id    int
+	pkg   string // package path of the owning struct
+	typ   string // struct type name
+	field string
+	rank  int
+}
+
+func (r *rankedLock) name() string { return r.typ + "." + r.field }
+
+// lockOrderState is the module-wide analysis state.
+type lockOrderState struct {
+	mp    *ModulePass
+	locks []*rankedLock
+	byKey map[string]*rankedLock // "pkgpath\ttype\tfield"
+
+	// funcs indexes every function declaration by its types object, so
+	// call sites resolve across packages.
+	funcs map[types.Object]*loFunc
+	order []*loFunc
+}
+
+// loFunc is one analyzed function.
+type loFunc struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	obj  types.Object
+	// acquires is the transitive set of lock ids this function may
+	// acquire (itself or via callees), as a bitset index set.
+	acquires map[int]bool
+	// direct reports whether the body itself acquires a ranked lock —
+	// only those functions need the intra-procedural dataflow.
+	direct bool
+}
+
+func runLockorder(mp *ModulePass) {
+	st := &lockOrderState{
+		mp:    mp,
+		byKey: map[string]*rankedLock{},
+		funcs: map[types.Object]*loFunc{},
+	}
+	st.collectLocks()
+	if len(st.locks) == 0 {
+		return
+	}
+	st.indexFuncs()
+	st.summarize()
+	for _, fn := range st.order {
+		if fn.direct {
+			st.checkFunc(fn)
+		}
+	}
+}
+
+// collectLocks reads every `lockcheck: order N` annotation in the
+// module.
+func (st *lockOrderState) collectLocks() {
+	for _, pass := range st.mp.Pkgs {
+		p := pass
+		eachStructField(p, func(typeName string, field *ast.Field) {
+			m := lockOrderRe.FindStringSubmatch(fieldComments(field))
+			if m == nil || !isMutexType(field.Type) {
+				return
+			}
+			rank, err := strconv.Atoi(m[1])
+			if err != nil {
+				return
+			}
+			for _, n := range field.Names {
+				l := &rankedLock{id: len(st.locks), pkg: p.PkgPath, typ: typeName, field: n.Name, rank: rank}
+				st.locks = append(st.locks, l)
+				st.byKey[l.pkg+"\t"+l.typ+"\t"+l.field] = l
+			}
+		})
+	}
+}
+
+// indexFuncs maps every function declaration to its types object.
+func (st *lockOrderState) indexFuncs() {
+	for _, pass := range st.mp.Pkgs {
+		p := pass
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				var obj types.Object
+				if p.Info != nil {
+					obj = p.Info.Defs[fd.Name]
+				}
+				fn := &loFunc{pass: p, fd: fd, obj: obj, acquires: map[int]bool{}}
+				if obj != nil {
+					st.funcs[obj] = fn
+				}
+				st.order = append(st.order, fn)
+			}
+		}
+	}
+}
+
+// resolveLock maps a mutex expression (db.mu in db.mu.Lock()) to its
+// ranked lock, if annotated.
+func (st *lockOrderState) resolveLock(pass *Pass, mutexExpr ast.Expr) *rankedLock {
+	sel, ok := mutexExpr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if pass.Info == nil {
+		return nil
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	named := namedOf(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return st.byKey[named.Obj().Pkg().Path()+"\t"+named.Obj().Name()+"\t"+sel.Sel.Name]
+}
+
+// lockOp is one ordered event in a block: a ranked acquire/release or a
+// call into a summarized function.
+type lockOp struct {
+	lock    *rankedLock // non-nil for acquire/release
+	acquire bool
+	callee  *loFunc // non-nil for call sites
+	pos     token.Pos
+}
+
+// blockOps extracts the ordered lock-relevant events of one CFG block.
+// Goroutine bodies run concurrently (their acquisitions are not "while
+// holding"), closures are summarized at their call sites conservatively
+// as not acquiring, and defers run at exit — all three are skipped.
+func (st *lockOrderState) blockOps(fn *loFunc, b *cfg.Block) []lockOp {
+	var ops []lockOp
+	scan := func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				ops = append(ops, st.callOps(fn, x)...)
+			}
+			return true
+		})
+	}
+	for _, node := range b.Nodes {
+		switch n := node.(type) {
+		case *ast.DeferStmt:
+			continue
+		case *ast.RangeStmt:
+			if n.X != nil {
+				scan(n.X)
+			}
+		default:
+			scan(node)
+		}
+	}
+	return ops
+}
+
+// callOps classifies one call expression.
+func (st *lockOrderState) callOps(fn *loFunc, call *ast.CallExpr) []lockOp {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if l := st.resolveLock(fn.pass, sel.X); l != nil {
+				return []lockOp{{lock: l, acquire: true, pos: call.Pos()}}
+			}
+		case "Unlock", "RUnlock":
+			if l := st.resolveLock(fn.pass, sel.X); l != nil {
+				return []lockOp{{lock: l, pos: call.Pos()}}
+			}
+		}
+	}
+	if callee := st.calleeFunc(fn.pass, call); callee != nil {
+		return []lockOp{{callee: callee, pos: call.Pos()}}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to a module function declaration, when the
+// types layer can.
+func (st *lockOrderState) calleeFunc(pass *Pass, call *ast.CallExpr) *loFunc {
+	if pass.Info == nil {
+		return nil
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[fun]; ok {
+			obj = s.Obj()
+		} else {
+			obj = pass.Info.Uses[fun.Sel] // pkg-qualified call
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	return st.funcs[obj]
+}
+
+// summarize computes each function's transitive acquire set with a
+// fixpoint over the call graph (cycles converge because sets only
+// grow).
+func (st *lockOrderState) summarize() {
+	type edge struct{ from, to *loFunc }
+	var edges []edge
+	for _, fn := range st.order {
+		g := cfg.New(fn.fd.Body)
+		for _, b := range g.Blocks {
+			for _, op := range st.blockOps(fn, b) {
+				if op.lock != nil && op.acquire {
+					fn.acquires[op.lock.id] = true
+					fn.direct = true
+				}
+				if op.callee != nil {
+					edges = append(edges, edge{from: fn, to: op.callee})
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			for id := range e.to.acquires {
+				if !e.from.acquires[id] {
+					e.from.acquires[id] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// checkFunc runs the held-locks dataflow over one function and checks
+// every acquire and call site against the held set.
+func (st *lockOrderState) checkFunc(fn *loFunc) {
+	if fn.fd.Doc != nil && strings.Contains(fn.fd.Doc.Text(), "lockorder: ignore") {
+		return
+	}
+	g := cfg.New(fn.fd.Body)
+	ops := map[*cfg.Block][]lockOp{}
+	for _, b := range g.Blocks {
+		ops[b] = st.blockOps(fn, b)
+	}
+	in, _ := cfg.Forward(g, len(st.locks), func(b *cfg.Block, facts cfg.BitSet) cfg.BitSet {
+		for _, op := range ops[b] {
+			if op.lock != nil {
+				if op.acquire {
+					facts.Set(op.lock.id)
+				} else {
+					facts.Clear(op.lock.id)
+				}
+			}
+		}
+		return facts
+	})
+	reported := map[token.Pos]bool{}
+	for _, b := range g.Blocks {
+		held := in[b].Clone()
+		for _, op := range ops[b] {
+			switch {
+			case op.lock != nil && op.acquire:
+				if worst := st.maxHeld(held, op.lock.rank); worst != nil && !reported[op.pos] {
+					reported[op.pos] = true
+					fn.pass.Reportf(op.pos, "%s acquires %s (rank %d) while holding %s (rank %d); ranked locks must be acquired in increasing order",
+						fn.fd.Name.Name, op.lock.name(), op.lock.rank, worst.name(), worst.rank)
+				}
+				held.Set(op.lock.id)
+			case op.lock != nil:
+				held.Clear(op.lock.id)
+			case op.callee != nil:
+				lowest := st.minAcquired(op.callee)
+				if lowest == nil {
+					continue
+				}
+				if worst := st.maxHeld(held, lowest.rank); worst != nil && !reported[op.pos] {
+					reported[op.pos] = true
+					fn.pass.Reportf(op.pos, "%s calls %s, which may acquire %s (rank %d), while holding %s (rank %d); ranked locks must be acquired in increasing order",
+						fn.fd.Name.Name, op.callee.fd.Name.Name, lowest.name(), lowest.rank, worst.name(), worst.rank)
+				}
+			}
+		}
+	}
+}
+
+// maxHeld returns the highest-ranked held lock whose rank is >= limit,
+// or nil when every held lock ranks strictly below it.
+func (st *lockOrderState) maxHeld(held cfg.BitSet, limit int) *rankedLock {
+	var worst *rankedLock
+	for _, l := range st.locks {
+		if held.Has(l.id) && l.rank >= limit {
+			if worst == nil || l.rank > worst.rank {
+				worst = l
+			}
+		}
+	}
+	return worst
+}
+
+// minAcquired returns the lowest-ranked lock a callee may acquire.
+func (st *lockOrderState) minAcquired(fn *loFunc) *rankedLock {
+	ids := make([]int, 0, len(fn.acquires))
+	for id := range fn.acquires {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var lowest *rankedLock
+	for _, id := range ids {
+		l := st.locks[id]
+		if lowest == nil || l.rank < lowest.rank {
+			lowest = l
+		}
+	}
+	return lowest
+}

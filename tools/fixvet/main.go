@@ -1,8 +1,8 @@
 // Command fixvet is the project's static-analysis suite: a stdlib-only
 // (go/ast + go/parser + go/types, no x/tools) multi-analyzer driver that
-// machine-checks the invariants PRs 1–3 introduced by convention.
+// machine-checks the invariants the PRs introduced by convention.
 //
-// The six passes:
+// The flat passes:
 //
 //   - errcmp: sentinel errors matched with errors.Is, wrapped with %w,
 //     Close() errors never silently dropped
@@ -13,24 +13,41 @@
 //   - obscheck: nil-guarded *obs.Trace writes, paired phase timers,
 //     centralized unique expvar registration
 //   - depcheck: stdlib-or-module-internal imports only, one-way layering
-//   - doccheck: the former tools/doclint (package and exported docs)
+//   - doccheck: package and exported docs (covers tools/ too)
+//
+// The flow-aware passes, built on the tools/fixvet/cfg control-flow
+// layer:
+//
+//   - lockorder: the declared lock hierarchy (`// lockcheck: order N`)
+//     holds on every path, through a lightweight module call graph
+//   - paircheck: acquire/release pairing (mutexes, Generation pins,
+//     View.Close, context cancel funcs, phase timers) proven on every
+//     CFG path, including early returns and explicit panics
+//   - atomiccheck: atomically-accessed fields are never touched
+//     non-atomically; `// immutable after publish` fields are written
+//     only in builders
+//   - sendcheck: channel operations inside spawned goroutines are
+//     cancellable or provably bounded (goroutine-leak heuristics)
 //
 // Usage (normally via `make lint`):
 //
-//	go run ./tools/fixvet [-root dir] [-run a,b] [-json] [-baseline file] [-list]
+//	go run ./tools/fixvet [-root dir] [-run a,b] [-format text|json|github]
+//	                      [-baseline file] [-severity error|warning] [-list] [-v]
 //
 // Exits 1 with one finding per line when anything outside the baseline
 // is flagged. The baseline (tools/fixvet/baseline.txt) holds justified,
 // commented allowlist entries in "analyzer<TAB>file<TAB>message" form;
 // stale entries are reported so the file can only shrink.
 //
-// See docs/STATIC_ANALYSIS.md for each rule's motivating bug.
+// See docs/STATIC_ANALYSIS.md for each rule's motivating bug and the
+// annotation vocabulary.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,16 +57,27 @@ func main() {
 	var (
 		root     = flag.String("root", ".", "module root to analyze")
 		runList  = flag.String("run", "", "comma-separated analyzer names (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		format   = flag.String("format", "text", "output format: text, json (array on stdout), or github (workflow annotations)")
+		jsonOut  = flag.Bool("json", false, "shorthand for -format=json")
 		baseline = flag.String("baseline", "", "baseline file (default: <root>/tools/fixvet/baseline.txt)")
+		sevGate  = flag.String("severity", SevWarning, "minimum severity that fails the run: 'warning' (default, everything fails) or 'error'")
 		list     = flag.Bool("list", false, "list analyzers and exit")
+		verbose  = flag.Bool("v", false, "report per-pass wall time on stderr")
 	)
 	flag.Parse()
 
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(os.Stderr, "fixvet: unknown -format %q (text, json, github)\n", *format)
+		os.Exit(2)
+	}
+
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -70,7 +98,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := runAnalyzers(l, pkgs, selected)
+	times := newPassTimes(selected)
+	findings := runAnalyzers(l, pkgs, selected, times)
 
 	basePath := *baseline
 	if basePath == "" {
@@ -83,7 +112,8 @@ func main() {
 	}
 	fresh, suppressed, stale := applyBaseline(findings, base)
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if fresh == nil {
@@ -93,7 +123,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fixvet:", err)
 			os.Exit(2)
 		}
-	} else {
+	case "github":
+		for _, f := range fresh {
+			kind := "error"
+			if f.Severity == SevWarning {
+				kind = "warning"
+			}
+			// https://docs.github.com/actions/reference/workflow-commands :
+			// property values need %, CR and LF percent-escaped.
+			fmt.Printf("::%s file=%s,line=%d,col=%d,title=fixvet %s::%s\n",
+				kind, f.File, f.Line, f.Col, f.Analyzer, githubEscape(f.Message))
+		}
+	default:
 		for _, f := range fresh {
 			fmt.Fprintln(os.Stderr, f)
 		}
@@ -101,18 +142,47 @@ func main() {
 	for _, s := range stale {
 		fmt.Fprintf(os.Stderr, "fixvet: stale baseline entry (fixed? remove it): %s\n", strings.ReplaceAll(s, "\t", " | "))
 	}
+	if *verbose {
+		times.report(os.Stderr)
+	}
 
-	if len(fresh) > 0 {
+	failing := 0
+	for _, f := range fresh {
+		if *sevGate == SevError && f.Severity != SevError {
+			continue
+		}
+		failing++
+	}
+	if failing > 0 {
 		fmt.Fprintf(os.Stderr, "fixvet: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
-	if !*jsonOut {
+	if *format == "text" {
 		msg := fmt.Sprintf("fixvet: %d packages clean (%d analyzers)", len(pkgs), len(selected))
 		if suppressed > 0 {
 			msg += fmt.Sprintf(", %d baselined finding(s)", suppressed)
 		}
+		if len(fresh) > 0 {
+			msg += fmt.Sprintf(", %d sub-threshold warning(s)", len(fresh))
+		}
 		fmt.Println(msg)
 	}
+}
+
+// listAnalyzers writes the -list table: one line per registered pass
+// with its severity and doc string.
+func listAnalyzers(w io.Writer) {
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "%-12s [%s] %s\n", a.Name, a.severityLevel(), a.Doc)
+	}
+}
+
+// githubEscape applies the workflow-command data escaping rules.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // selectAnalyzers resolves the -run flag against the registered suite.

@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// sendcheckAnalyzer applies goroutine-leak heuristics to channel
+// operations inside spawned goroutines. A goroutine blocked forever on
+// an unbuffered send is the classic slow leak: the spawner timed out
+// and went away, nobody receives, and the goroutine (plus everything it
+// captured) lives until process exit.
+//
+// Inside a `go` statement's body (literal, or the resolved same-package
+// function for `go x.method()`), every blocking channel operation must
+// be provably bounded or cancellable:
+//
+//   - a send/receive inside a select with a default case, a
+//     ctx.Done() case, or a timer/ticker case is cancellable
+//   - a send to a channel that is only ever made with a capacity
+//     (make(chan T, n) locally, or every make assigned to that struct
+//     field has a capacity) is bounded
+//   - `<-ctx.Done()`, timer/ticker receives (x.C, time.After) are waits
+//     by design
+//   - `for range ch` is fine when the package closes that channel, or
+//     the channel is a receive-only parameter (the producer owns
+//     closing it)
+//
+// Everything else is flagged at warning severity. A deliberate blocking
+// op is waived with `// sendcheck: bounded` on the operation's line, on
+// the `go` statement's line, or in the spawned function's doc comment —
+// with a justifying comment, like a baseline entry.
+var sendcheckAnalyzer = &Analyzer{
+	Name:     "sendcheck",
+	Severity: SevWarning,
+	Doc: "channel ops in spawned goroutines must be cancellable " +
+		"(select with default/ctx.Done()/timer) or provably buffered; " +
+		"`// sendcheck: bounded` waives a deliberate block",
+	Run: runSendcheck,
+}
+
+func runSendcheck(pass *Pass) {
+	sum := newChanSummary(pass)
+	waived := boundedWaivers(pass)
+	seen := map[*ast.BlockStmt]bool{}
+	for _, f := range pass.Files {
+		funcsIn(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				spawned, encl, doc := spawnedBody(pass, gs, fd)
+				if spawned == nil || seen[spawned] {
+					return true
+				}
+				seen[spawned] = true
+				if docWaivesSend(doc) || waived[lineKey(pass, gs.Pos())] {
+					return true
+				}
+				checkGoroutine(pass, sum, waived, encl, spawned)
+				return true
+			})
+		})
+	}
+}
+
+// lineKey renders a position as "file:line" for the waiver set.
+func lineKey(pass *Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// boundedWaivers collects every `// sendcheck: bounded` comment line in
+// the package.
+func boundedWaivers(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "sendcheck: bounded") {
+					out[lineKey(pass, c.Pos())] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func docWaivesSend(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), "sendcheck: bounded")
+}
+
+// spawnedBody resolves what a go statement runs: a function literal's
+// body, or the body of a same-package function/method called directly.
+// It returns the body, the function whose scope local channels should
+// be resolved in, and the spawned function's doc comment (if any).
+func spawnedBody(pass *Pass, gs *ast.GoStmt, encl *ast.FuncDecl) (*ast.BlockStmt, *ast.FuncDecl, *ast.CommentGroup) {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return fl.Body, encl, nil
+	}
+	// go x.method() / go fn(): resolve to a declaration in this package.
+	var name string
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return nil, nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Name.Name == name && fd.Body != nil {
+				return fd.Body, fd, fd.Doc
+			}
+		}
+	}
+	return nil, nil, nil
+}
+
+// chanSummary is the package-wide channel knowledge: which struct
+// fields are always made with a capacity, and which are closed.
+type chanSummary struct {
+	buffered   map[string]bool // field name → every make has a capacity arg
+	unbuffered map[string]bool // field name → some make has no capacity
+	closed     map[string]bool // field name → close(x.f) exists in package
+}
+
+func newChanSummary(pass *Pass) *chanSummary {
+	sum := &chanSummary{
+		buffered:   map[string]bool{},
+		unbuffered: map[string]bool{},
+		closed:     map[string]bool{},
+	}
+	record := func(field string, make_ *ast.CallExpr) {
+		if len(make_.Args) >= 2 {
+			sum.buffered[field] = true
+		} else {
+			sum.unbuffered[field] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || i >= len(x.Rhs) {
+						continue
+					}
+					if mk := asChanMake(x.Rhs[min(i, len(x.Rhs)-1)]); mk != nil {
+						record(sel.Sel.Name, mk)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := x.Key.(*ast.Ident); ok {
+					if mk := asChanMake(x.Value); mk != nil {
+						record(key.Name, mk)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+					if sel, ok := x.Args[0].(*ast.SelectorExpr); ok {
+						sum.closed[sel.Sel.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sum
+}
+
+// asChanMake returns e as a make(chan ...) call, or nil.
+func asChanMake(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" || len(call.Args) == 0 {
+		return nil
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); !ok {
+		return nil
+	}
+	return call
+}
+
+// checkGoroutine flags blocking channel operations in one goroutine
+// body. Nested go statements are analyzed by their own visit.
+func checkGoroutine(pass *Pass, sum *chanSummary, waived map[string]bool, encl *ast.FuncDecl, body *ast.BlockStmt) {
+	parents := buildParents(body)
+	report := func(pos token.Pos, format string, args ...any) {
+		if waived[lineKey(pass, pos)] {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if inCancellableSelect(x, parents) || chanBounded(pass, sum, encl, x.Chan) {
+				return true
+			}
+			report(x.Pos(), "goroutine sends on %s, which is not provably buffered, outside a cancellable select (may leak; `// sendcheck: bounded` waives)",
+				exprString(x.Chan))
+		case *ast.UnaryExpr:
+			if x.Op != token.ARROW {
+				return true
+			}
+			ch := x.X
+			if isWaitChan(pass, ch) || inCancellableSelect(x, parents) || chanBounded(pass, sum, encl, ch) {
+				return true
+			}
+			report(x.Pos(), "goroutine blocks receiving from %s outside a cancellable select (may leak; `// sendcheck: bounded` waives)",
+				exprString(ch))
+		case *ast.RangeStmt:
+			if !isChanType(pass, x.X) {
+				return true
+			}
+			if chanEventuallyClosed(pass, sum, encl, x.X) {
+				return true
+			}
+			report(x.X.Pos(), "goroutine ranges over %s but nothing in this package closes it (may leak; `// sendcheck: bounded` waives)",
+				exprString(x.X))
+		}
+		return true
+	})
+}
+
+// inCancellableSelect reports whether op sits inside a select statement
+// that can always make progress: a default case, a ctx.Done() case, or
+// a timer/ticker case. Only comm clauses count — an op in a case BODY
+// has already been chosen and blocks on its own.
+func inCancellableSelect(op ast.Node, parents parentMap) bool {
+	prev := op
+	for n := parents[op]; n != nil; n = parents[n] {
+		if cc, ok := n.(*ast.CommClause); ok {
+			if !nodeContains(cc.Comm, prev, parents) {
+				return false // in the clause body, not the comm op
+			}
+			sel, ok := parents[parents[cc]].(*ast.SelectStmt)
+			if !ok {
+				return false
+			}
+			return selectCancellable(sel)
+		}
+		prev = n
+	}
+	return false
+}
+
+// nodeContains reports whether inner is within outer by parent-walking.
+func nodeContains(outer, inner ast.Node, parents parentMap) bool {
+	if outer == nil {
+		return false
+	}
+	for n := inner; n != nil; n = parents[n] {
+		if n == outer {
+			return true
+		}
+	}
+	return false
+}
+
+// selectCancellable reports whether a select has an always-progressing
+// arm.
+func selectCancellable(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		found := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+				if isWaitChanShape(un.X) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitChan reports whether ch is a deliberate wait: ctx.Done(), a
+// timer/ticker channel, or time.After/time.Tick.
+func isWaitChan(pass *Pass, ch ast.Expr) bool {
+	return isWaitChanShape(ch)
+}
+
+// isWaitChanShape matches the wait-channel expressions by shape.
+func isWaitChanShape(ch ast.Expr) bool {
+	switch x := ch.(type) {
+	case *ast.CallExpr:
+		_, name := calleeName(x)
+		return name == "Done" || name == "After" || name == "Tick"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "C"
+	}
+	return false
+}
+
+// chanBounded proves a channel has a capacity: a local `ch := make(chan
+// T, n)` in the enclosing function, or a struct field whose every make
+// in the package passes a capacity.
+func chanBounded(pass *Pass, sum *chanSummary, encl *ast.FuncDecl, ch ast.Expr) bool {
+	switch x := ch.(type) {
+	case *ast.Ident:
+		if encl == nil || encl.Body == nil {
+			return false
+		}
+		bounded := false
+		ast.Inspect(encl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != x.Name || i >= len(as.Rhs) {
+					continue
+				}
+				if mk := asChanMake(as.Rhs[i]); mk != nil && len(mk.Args) >= 2 {
+					bounded = true
+				}
+			}
+			return !bounded
+		})
+		return bounded
+	case *ast.SelectorExpr:
+		f := x.Sel.Name
+		return sum.buffered[f] && !sum.unbuffered[f]
+	}
+	return false
+}
+
+// chanEventuallyClosed reports whether ranging over ch terminates:
+// someone closes it, or it is a receive-only parameter whose producer
+// owns the close.
+func chanEventuallyClosed(pass *Pass, sum *chanSummary, encl *ast.FuncDecl, ch ast.Expr) bool {
+	switch x := ch.(type) {
+	case *ast.SelectorExpr:
+		return sum.closed[x.Sel.Name]
+	case *ast.Ident:
+		// Receive-only channels hand close responsibility to the sender.
+		if pass.Info != nil {
+			if tv, ok := pass.Info.Types[ch]; ok && tv.Type != nil {
+				if c, ok := tv.Type.Underlying().(*types.Chan); ok && c.Dir() == types.RecvOnly {
+					return true
+				}
+			}
+		}
+		if encl == nil || encl.Body == nil {
+			return false
+		}
+		closed := false
+		ast.Inspect(encl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+				if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == x.Name {
+					closed = true
+				}
+			}
+			return !closed
+		})
+		return closed
+	}
+	return false
+}
+
+// isChanType reports whether e's static type is a channel.
+func isChanType(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

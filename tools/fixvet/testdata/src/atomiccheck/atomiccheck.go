@@ -1,0 +1,96 @@
+// Package fixture seeds every atomiccheck rule with one violation and a
+// compliant counterpart: typed atomics used non-atomically, old-style
+// atomic fields touched plainly, and immutable-after-publish writes
+// outside builders.
+package fixture
+
+import "sync/atomic"
+
+// Stat counts with a typed atomic.
+type Stat struct {
+	count atomic.Int64
+}
+
+// Bump uses the method API: fine.
+func (s *Stat) Bump() { s.count.Add(1) }
+
+// Share hands out the field's address: atomic access continues, fine.
+func (s *Stat) Share() *atomic.Int64 { return &s.count }
+
+// Reset assigns the typed atomic directly instead of calling Store.
+func (s *Stat) Reset() {
+	s.count = atomic.Int64{} // want `Reset assigns typed atomic field s.count directly; use count.Store`
+}
+
+// Snapshot copies the typed atomic by value instead of calling Load.
+func (s *Stat) Snapshot() int64 {
+	c := s.count // want `Snapshot copies typed atomic field s.count by value; use count.Load`
+	return c.Load()
+}
+
+// Gauge mixes old-style sync/atomic access with plain access.
+type Gauge struct {
+	hits int64
+}
+
+// Inc is the atomic access that makes hits atomic everywhere.
+func (g *Gauge) Inc() { atomic.AddInt64(&g.hits, 1) }
+
+// Load reads it atomically: fine.
+func (g *Gauge) Load() int64 { return atomic.LoadInt64(&g.hits) }
+
+// Read reads the field plainly: a race with Inc.
+func (g *Gauge) Read() int64 {
+	return g.hits // want `Read accesses g.hits non-atomically; the field is used via sync/atomic elsewhere`
+}
+
+// Alias leaks the field's address outside an atomic call.
+func (g *Gauge) Alias() *int64 {
+	return &g.hits // want `Alias takes the address of atomically-accessed field g.hits outside an atomic call`
+}
+
+// NewGauge is a builder: plain initialization before publication is the
+// point.
+func NewGauge(seed int64) *Gauge {
+	g := &Gauge{}
+	g.hits = seed
+	return g
+}
+
+// Frozen is a published-snapshot struct: its fields are written once by
+// a builder and then shared across goroutines without locks.
+type Frozen struct {
+	pages [][]byte // immutable after publish
+	root  uint32   // immutable after publish
+	hits  int
+}
+
+// NewFrozen is a builder by name prefix: initializing the immutable
+// fields here is the point.
+func NewFrozen(pages [][]byte, root uint32) *Frozen {
+	f := &Frozen{}
+	f.pages = pages
+	f.root = root
+	return f
+}
+
+// refreshFrozen carries the builder annotation instead of a prefix.
+// lockcheck: builder
+func refreshFrozen(f *Frozen, root uint32) {
+	f.root = root
+}
+
+// Mutate writes the published fields outside any builder.
+func (f *Frozen) Mutate(buf []byte) {
+	f.root = 7       // want `Frozen.Mutate writes f.root \(immutable after publish\) outside a builder`
+	f.pages[0] = buf // want `Frozen.Mutate writes f.pages \(immutable after publish\) outside a builder`
+	f.hits++         // unannotated: fine
+	pages := f.pages // reading is fine
+	_, _ = pages, buf
+}
+
+// Leak takes an immutable field's address outside a builder: the field
+// could then be mutated through the pointer after publication.
+func (f *Frozen) Leak() *uint32 {
+	return &f.root // want `Frozen.Leak takes the address of f.root \(immutable after publish\) outside a builder`
+}

@@ -65,35 +65,3 @@ func (l *Leafy) Good() error {
 	_, err := os.ReadFile(p)
 	return err
 }
-
-// Frozen is a published-snapshot struct: its fields are written once by
-// a builder and then shared across goroutines without locks.
-type Frozen struct {
-	pages [][]byte // immutable after publish
-	root  uint32   // immutable after publish
-	hits  int
-}
-
-// NewFrozen is a builder by name prefix: initializing the immutable
-// fields here is the point.
-func NewFrozen(pages [][]byte, root uint32) *Frozen {
-	f := &Frozen{}
-	f.pages = pages
-	f.root = root
-	return f
-}
-
-// refreshFrozen carries the builder annotation instead of a prefix.
-// lockcheck: builder
-func refreshFrozen(f *Frozen, root uint32) {
-	f.root = root
-}
-
-// Mutate writes the published fields outside any builder.
-func (f *Frozen) Mutate(buf []byte) {
-	f.root = 7       // want `Frozen.Mutate writes f.root \(immutable after publish\) outside a builder`
-	f.pages[0] = buf // want `Frozen.Mutate writes f.pages \(immutable after publish\) outside a builder`
-	f.hits++         // unannotated: fine
-	pages := f.pages // reading is fine
-	_, _ = pages, buf
-}

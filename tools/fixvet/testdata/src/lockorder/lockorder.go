@@ -1,0 +1,65 @@
+// Package fixture seeds lock-ordering violations against a declared
+// two-level hierarchy: a direct inversion inside one function, and one
+// reached through a callee via the module call graph.
+package fixture
+
+import "sync"
+
+// DB owns two ranked locks: ingestMu (20) is acquired before mu (40).
+type DB struct {
+	ingestMu sync.Mutex // lockcheck: order 20
+	mu       sync.Mutex // lockcheck: order 40
+	n        int        // guarded by mu
+}
+
+// Good acquires in increasing rank order.
+func (d *DB) Good() {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+}
+
+// Staged releases the higher rank before taking the lower one again:
+// the dataflow knows mu is no longer held, so this is fine.
+func (d *DB) Staged() {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+}
+
+// Inverted acquires the lower rank while holding the higher.
+func (d *DB) Inverted() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ingestMu.Lock() // want `Inverted acquires DB.ingestMu \(rank 20\) while holding DB.mu \(rank 40\)`
+	defer d.ingestMu.Unlock()
+	d.n++
+}
+
+// ingest takes the ingest lock on behalf of callers.
+func (d *DB) ingest() {
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+}
+
+// CallSite reaches the same inversion through a callee: the call-graph
+// summary knows ingest may acquire ingestMu.
+func (d *DB) CallSite() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ingest() // want `CallSite calls ingest, which may acquire DB.ingestMu \(rank 20\), while holding DB.mu \(rank 40\)`
+}
+
+// Waived inverts deliberately; the annotation records why.
+//
+// lockorder: ignore — fixture for the waiver itself.
+func (d *DB) Waived() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+}

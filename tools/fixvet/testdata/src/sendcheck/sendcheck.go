@@ -1,0 +1,114 @@
+// Package fixture seeds every sendcheck rule: blocking channel
+// operations inside spawned goroutines with no cancellation arm, no
+// capacity bound, and no close — next to compliant counterparts for
+// each escape hatch.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// Leak spawns a sender nobody is obliged to receive from.
+func Leak() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `goroutine sends on ch, which is not provably buffered, outside a cancellable select`
+	}()
+	return ch
+}
+
+// Bounded sends into known capacity: fine.
+func Bounded() chan int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+// Cancellable guards the send with a ctx.Done() arm: fine.
+func Cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// Timeout bounds the receive with time.After: fine.
+func Timeout(ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// SelectNoCtx selects, but no arm can always make progress, so the
+// select as a whole can block forever.
+func SelectNoCtx(a, b chan int) {
+	go func() {
+		select {
+		case v := <-a: // want `goroutine blocks receiving from a outside a cancellable select`
+			_ = v
+		case b <- 1: // want `goroutine sends on b, which is not provably buffered, outside a cancellable select`
+		}
+	}()
+}
+
+// RangeLeak drains a channel nothing in this package ever closes.
+func RangeLeak(jobs chan int) {
+	go func() {
+		for v := range jobs { // want `goroutine ranges over jobs but nothing in this package closes it`
+			_ = v
+		}
+	}()
+}
+
+// RangeClosed drains a channel its spawner closes: fine.
+func RangeClosed() {
+	jobs := make(chan int, 4)
+	go func() {
+		for range jobs {
+		}
+	}()
+	close(jobs)
+}
+
+// Pump drains a receive-only parameter: the producer owns the close.
+func Pump(jobs <-chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// Waived blocks deliberately; the op-line waiver records why.
+func Waived(ch chan int) {
+	go func() {
+		ch <- 1 // sendcheck: bounded — the caller contract guarantees exactly one receiver
+	}()
+}
+
+// WaivedSpawn waives at the spawn site instead.
+func WaivedSpawn(ch chan int) {
+	go func() { // sendcheck: bounded — lifecycle documented at the spawn
+		ch <- 1
+	}()
+}
+
+// worker owns a results channel that is unbuffered at every make site.
+type worker struct{ out chan int }
+
+// newWorker builds the worker with an unbuffered channel.
+func newWorker() *worker { return &worker{out: make(chan int)} }
+
+// run pushes results; flagged because out is unbuffered everywhere in
+// the package and run is spawned as a goroutine.
+func (w *worker) run() {
+	w.out <- 1 // want `goroutine sends on w.out, which is not provably buffered, outside a cancellable select`
+}
+
+// Start spawns run by method call: sendcheck resolves the declaration.
+func (w *worker) Start() { go w.run() }
