@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint lint-json check bench-parallel bench-shards serve-smoke fuzz-smoke stress ingest-crash
+.PHONY: build vet test race lint lint-json check bench-parallel bench-shards bench-maintenance serve-smoke fuzz-smoke stress ingest-crash maintain-crash
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ bench-parallel:
 bench-shards:
 	$(GO) run ./cmd/fixbench -exp shards -scale 0.5 -json BENCH_shards.json
 
+# bench-maintenance regenerates the committed ingest-stall comparison:
+# per-Add latency while the WAL is absorbed by blocking Saves vs the
+# background checkpointer (p50/p99/max stall, replay-window size).
+bench-maintenance:
+	$(GO) run ./cmd/fixbench -exp maintenance -json BENCH_maintenance.json
+
 # serve-smoke is the collection-serving e2e gate: a two-collection,
 # four-shard-each fixserve surface taking concurrent scatter-gather
 # queries and routed ingest under the race detector, plus the doc-drift
@@ -66,6 +72,7 @@ fuzz-smoke:
 # race detector.
 stress:
 	FIX_STRESS=1 $(GO) test -race -run 'TestStressGovernedServer|TestStressIngestAndQuery' -v ./cmd/fixserve/
+	FIX_STRESS=1 $(GO) test -race -run 'TestStressMaintain' -v ./fix/
 
 # ingest-crash runs the write-path crash-recovery sweeps: a simulated
 # crash at every WAL/heap/index write of the ingest path, checking that
@@ -73,3 +80,11 @@ stress:
 ingest-crash:
 	$(GO) test -run 'TestIngestCrashSweep|TestIngestBatchRollbackTransient' -v ./fix/
 	$(GO) test -run 'TestCrashDuringDelete|TestIngestLog' -v ./internal/core/
+
+# maintain-crash runs the online-maintenance fault suites: a simulated
+# crash at every write of the checkpoint window, scrub detection of
+# injected B-tree/heap/WAL/tombstone corruption with automatic repair,
+# and the checkpoint failure/suspension/recovery state machine.
+maintain-crash:
+	$(GO) test -run 'TestCheckpoint|TestScrub|TestMaintainer' -v ./fix/
+	$(GO) test -run 'TestScrubDisk' -v ./internal/btree/

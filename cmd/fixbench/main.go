@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|parallel|generations|shards|all")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6a|fig6b|fig6c|fig7|beta|ablation|rtree|spectrum|evaluators|parallel|generations|shards|maintenance|all")
 		scale    = flag.Float64("scale", 1.0, "dataset scale (1.0 ≈ one tenth of the paper's element counts)")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		queries  = flag.Int("queries", 200, "random queries per dataset for fig5 (paper: 1000)")
@@ -350,6 +350,42 @@ func run(exp string, scale float64, seed int64, queries int, verify bool, worker
 				Shards     []int                  `json:"shard_counts"`
 				Rows       []experiments.ShardRow `json:"rows"`
 			}{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Seed: seed, Shards: counts, Rows: rows}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "[json] wrote %s\n", jsonPath)
+		}
+	}
+	if all || exp == "maintenance" {
+		ran = true
+		dir, err := os.MkdirTemp("", "fixbench-maintenance-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		docs := int(12000 * scale)
+		if docs < 500 {
+			docs = 500
+		}
+		rows, err := experiments.MaintenanceSweep(context.Background(), dir, docs, 32, 250*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		experiments.PrintMaintenanceSweep(w, rows)
+		fmt.Fprintln(w)
+		if jsonPath != "" && exp == "maintenance" {
+			out := struct {
+				NumCPU     int                          `json:"num_cpu"`
+				GOMAXPROCS int                          `json:"gomaxprocs"`
+				Scale      float64                      `json:"scale"`
+				Seed       int64                        `json:"seed"`
+				Modes      []string                     `json:"modes"`
+				Rows       []experiments.MaintenanceRow `json:"rows"`
+			}{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: scale, Seed: seed, Modes: experiments.MaintenanceModes(), Rows: rows}
 			data, err := json.MarshalIndent(out, "", "  ")
 			if err != nil {
 				return err

@@ -17,9 +17,13 @@
 // commit ingester: a bounded queue (-ingest-queue) feeds a committer
 // that batches up to -ingest-batch operations per WAL fsync, waiting at
 // most -ingest-wait for stragglers. A full queue sheds with 429 +
-// Retry-After. Acknowledged writes survive a crash via WAL replay; the
-// WAL is absorbed into the base snapshot by Save, which -save-interval
-// runs periodically and shutdown runs once after the drain.
+// Retry-After. Acknowledged writes survive a crash via WAL replay; a
+// background maintainer absorbs the WAL into the base snapshot in
+// chunked checkpoints once it crosses -checkpoint-ops/-checkpoint-bytes
+// or ages past -checkpoint-age, scrubs the durable files every
+// -scrub-interval (auto-rebuilding a corrupt index), and surfaces its
+// state on /healthz; POST /admin/checkpoint forces a checkpoint, and
+// shutdown runs a final Save after the drain.
 //
 // fixserve runs in one of two modes. Single-index mode (-db DIR)
 // serves one database. Collection mode (-collections DIR) serves a
@@ -40,6 +44,7 @@
 //
 //	GET /query?q=XPATH[&trace=1]   run a query; JSON result, trace opt-in
 //	POST /ingest                   durable writes: raw XML body, or NDJSON add/delete ops
+//	POST /admin/checkpoint         force a WAL checkpoint now
 //	GET /metrics                   fix.DB.Metrics() as JSON
 //	GET /debug/vars                expvar (includes the "fix" variable)
 //	GET /debug/pprof/              net/http/pprof (only with -pprof)
@@ -92,7 +97,11 @@ func main() {
 	ingestBatch := flag.Int("ingest-batch", 64, "max operations per ingest group commit")
 	ingestWait := flag.Duration("ingest-wait", 2*time.Millisecond, "max linger for an ingest group commit to fill")
 	maxIngestBytes := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /ingest request body size")
-	saveInterval := flag.Duration("save-interval", 0, "periodic Save absorbing the ingest WAL into the base snapshot (0 disables)")
+	saveInterval := flag.Duration("save-interval", 0, "collection mode: shard-checkpoint tick interval (0 disables); single mode: legacy alias for -checkpoint-age")
+	ckOps := flag.Int("checkpoint-ops", 1024, "checkpoint once the ingest WAL holds this many operations (negative disables)")
+	ckBytes := flag.Int64("checkpoint-bytes", 4<<20, "checkpoint once the ingest WAL reaches this size (negative disables)")
+	ckAge := flag.Duration("checkpoint-age", 30*time.Second, "checkpoint once the last one is this old and the WAL is non-empty (negative disables)")
+	scrubInterval := flag.Duration("scrub-interval", 2*time.Minute, "background scrub pass interval over index pages, heap records and the WAL (0 disables)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 	if (*dbdir == "") == (*colRoot == "") {
@@ -160,24 +169,29 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The maintainer replaces the old unconditional Save ticker: it
+	// checkpoints on WAL thresholds or age (skipping clean ticks), backs
+	// off and eventually suspends on persistent failures, scrubs the
+	// durable files, and auto-rebuilds a degraded index.
+	mcfg := fix.MaintainConfig{
+		WALOps:        *ckOps,
+		WALBytes:      *ckBytes,
+		MaxAge:        *ckAge,
+		ScrubInterval: *scrubInterval,
+	}
+	if *saveInterval > 0 {
+		mcfg.MaxAge = *saveInterval
+	}
+	if *scrubInterval <= 0 {
+		mcfg.ScrubInterval = -1
+	}
+	mnt, err := db.StartMaintainer(ctx, mcfg)
+	if err != nil {
+		log.Fatalf("fixserve: %v", err)
+	}
+	s.setMaintainer(mnt)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	if *saveInterval > 0 {
-		go func() {
-			tick := time.NewTicker(*saveInterval)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					if err := db.Save(); err != nil {
-						log.Printf("fixserve: periodic save: %v", err)
-					}
-				}
-			}
-		}()
-	}
 	log.Printf("fixserve: %d documents, listening on %s", db.NumDocuments(), *addr)
 
 	select {
@@ -191,7 +205,9 @@ func main() {
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("fixserve: drain incomplete: %v", err)
 		}
-		// Flush queued writes, then absorb the WAL so restart starts clean.
+		// Stop maintenance, flush queued writes, then absorb the WAL so
+		// restart starts clean.
+		mnt.Close()
 		if err := s.close(); err != nil {
 			log.Printf("fixserve: ingester close: %v", err)
 		}

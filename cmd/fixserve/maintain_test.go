@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/fix-index/fix/fix"
+)
+
+// newDiskServer builds a server over a persistent DB (the admin
+// checkpoint surface needs one; CreateMem has nothing to checkpoint).
+func newDiskServer(t *testing.T) (*server, *fix.DB) {
+	t.Helper()
+	db, err := fix.Create(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	s := newServer(db, defaultTestConfig())
+	t.Cleanup(func() { _ = s.close() })
+	return s, db
+}
+
+func TestAdminCheckpointEndpoint(t *testing.T) {
+	s, db := newDiskServer(t)
+	if _, err := db.IngestBatchCtx(context.Background(), []string{"<a/>", "<b/>"}); err != nil {
+		t.Fatal(err)
+	}
+	if db.IngestLag() != 2 {
+		t.Fatalf("IngestLag = %d before the checkpoint", db.IngestLag())
+	}
+	rec := post(t, s, "/admin/checkpoint", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp checkpointResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding checkpoint response: %v", err)
+	}
+	if resp.Status != "ok" {
+		t.Errorf("status = %q", resp.Status)
+	}
+	if db.IngestLag() != 0 {
+		t.Errorf("IngestLag = %d after the checkpoint", db.IngestLag())
+	}
+}
+
+func TestAdminCheckpointMemDBFails(t *testing.T) {
+	s := newServer(newTestDB(t), defaultTestConfig())
+	defer s.close()
+	rec := post(t, s, "/admin/checkpoint", "", "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("checkpoint on an in-memory DB: status = %d, body %s", rec.Code, rec.Body)
+	}
+}
+
+// TestAdminCheckpointRoutesThroughMaintainer checks the handler feeds a
+// running maintainer's state machine rather than checkpointing behind
+// its back.
+func TestAdminCheckpointRoutesThroughMaintainer(t *testing.T) {
+	s, db := newDiskServer(t)
+	m, err := db.StartMaintainer(context.Background(), fix.MaintainConfig{
+		Interval:      time.Hour, // never ticks; only explicit kicks
+		ScrubInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s.setMaintainer(m)
+
+	if _, err := db.IngestBatchCtx(context.Background(), []string{"<a/>"}); err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, s, "/admin/checkpoint", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if got := m.Health().Checkpoints; got != 1 {
+		t.Errorf("maintainer recorded %d checkpoints, want 1", got)
+	}
+}
+
+func TestHealthzReportsMaintainer(t *testing.T) {
+	s, db := newDiskServer(t)
+
+	// Without a maintainer: WAL fields present, maintainer omitted.
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Maintainer != nil {
+		t.Errorf("maintainer reported with none running: %+v", resp.Maintainer)
+	}
+
+	m, err := db.StartMaintainer(context.Background(), fix.MaintainConfig{
+		Interval: time.Hour, ScrubInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s.setMaintainer(m)
+	if _, err := db.IngestBatchCtx(context.Background(), []string{"<a/>"}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status with idle maintainer = %d, body %s", rec.Code, rec.Body)
+	}
+	resp = healthResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Maintainer == nil || resp.Maintainer.State != fix.MaintainIdle {
+		t.Fatalf("maintainer block = %+v, want idle state", resp.Maintainer)
+	}
+	if resp.WALBytes <= 0 {
+		t.Errorf("wal_bytes = %d with a non-empty WAL", resp.WALBytes)
+	}
+	if resp.LastCheckpointAge < 0 {
+		t.Errorf("last_checkpoint_age_seconds = %f", resp.LastCheckpointAge)
+	}
+}

@@ -17,6 +17,7 @@ import (
 var singleModeRoutes = []string{
 	"GET /query",
 	"POST /ingest",
+	"POST /admin/checkpoint",
 	"GET /metrics",
 	"GET /debug/vars",
 	"GET /healthz",

@@ -43,7 +43,16 @@ type server struct {
 	gate *gate
 	brk  *breaker
 	cfg  serverConfig
+	// mnt is the background maintainer main starts in single-index
+	// mode; nil in handler tests (and on in-memory DBs). Written once
+	// before the listener starts. // immutable after publish
+	mnt *fix.Maintainer
 }
+
+// setMaintainer wires the background maintainer into the server. It is
+// part of construction: callers invoke it before the listener starts,
+// and the field is read-only afterwards. lockcheck: builder
+func (s *server) setMaintainer(m *fix.Maintainer) { s.mnt = m }
 
 func newServer(db *fix.DB, cfg serverConfig) *server {
 	return &server{
@@ -61,12 +70,13 @@ func (s *server) close() error { return s.ing.Close() }
 
 func (s *server) handler() http.Handler {
 	mux := buildMux(singleModeRoutes, map[string]http.Handler{
-		"GET /query":      http.HandlerFunc(s.handleQuery),
-		"POST /ingest":    http.HandlerFunc(s.handleIngest),
-		"GET /metrics":    http.HandlerFunc(s.handleMetrics),
-		"GET /debug/vars": expvar.Handler(),
-		"GET /healthz":    http.HandlerFunc(s.handleHealthz),
-		"GET /readyz":     http.HandlerFunc(s.handleReadyz),
+		"GET /query":             http.HandlerFunc(s.handleQuery),
+		"POST /ingest":           http.HandlerFunc(s.handleIngest),
+		"POST /admin/checkpoint": http.HandlerFunc(s.handleAdminCheckpoint),
+		"GET /metrics":           http.HandlerFunc(s.handleMetrics),
+		"GET /debug/vars":        expvar.Handler(),
+		"GET /healthz":           http.HandlerFunc(s.handleHealthz),
+		"GET /readyz":            http.HandlerFunc(s.handleReadyz),
 	})
 	if s.cfg.pprof {
 		mountPprof(mux)
@@ -162,37 +172,83 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthResponse is the /healthz JSON body. IngestLag counts
-// acknowledged operations the ingest WAL holds ahead of the last Save
-// (replayed, not lost, on a crash); IngestQueue counts operations still
-// waiting for their group commit.
+// acknowledged operations the ingest WAL holds ahead of the last
+// checkpoint (replayed, not lost, on a crash); IngestQueue counts
+// operations still waiting for their group commit; WALBytes and
+// LastCheckpointAge size the replay window a crash right now would
+// cost. Maintainer carries the background checkpointer's state machine
+// (idle / retrying / suspended) and scrub history when one is running.
 type healthResponse struct {
-	Status      string `json:"status"`
-	Cause       string `json:"cause,omitempty"`
-	Generation  uint64 `json:"generation"`
-	IngestLag   int    `json:"ingest_lag"`
-	IngestQueue int    `json:"ingest_queue"`
+	Status            string                `json:"status"`
+	Cause             string                `json:"cause,omitempty"`
+	Generation        uint64                `json:"generation"`
+	IngestLag         int                   `json:"ingest_lag"`
+	IngestQueue       int                   `json:"ingest_queue"`
+	WALBytes          int64                 `json:"wal_bytes"`
+	LastCheckpointAge float64               `json:"last_checkpoint_age_seconds"`
+	Maintainer        *fix.MaintainerHealth `json:"maintainer,omitempty"`
 }
 
 // handleHealthz reports index health: 200 when healthy (or there is no
 // index to degrade), 503 with the degradation cause otherwise. A
 // degraded database still answers queries — exactly, via the scan
-// fallback — so health here means "at full speed", not "alive".
+// fallback — so health here means "at full speed", not "alive". A
+// suspended checkpointer also degrades health: serving continues from
+// the current base + WAL, but the replay window is growing unboundedly.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
-		Status:      "ok",
-		Generation:  s.db.GenerationID(),
-		IngestLag:   s.db.IngestLag(),
-		IngestQueue: s.ing.QueueLen(),
+		Status:            "ok",
+		Generation:        s.db.GenerationID(),
+		IngestLag:         s.db.IngestLag(),
+		IngestQueue:       s.ing.QueueLen(),
+		WALBytes:          s.db.WALBytes(),
+		LastCheckpointAge: time.Since(s.db.LastCheckpoint()).Seconds(),
+	}
+	if s.mnt != nil {
+		h := s.mnt.Health()
+		resp.Maintainer = &h
+		if h.State == fix.MaintainSuspended {
+			resp.Status = "degraded"
+			resp.Cause = "checkpointing suspended: " + h.LastError
+		}
 	}
 	if s.db.HasIndex() {
 		if err := s.db.IndexHealth(); err != nil {
 			resp.Status = "degraded"
 			resp.Cause = err.Error()
-			writeJSONStatus(w, http.StatusServiceUnavailable, resp)
-			return
 		}
 	}
+	if resp.Status != "ok" {
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
 	writeJSONStatus(w, http.StatusOK, resp)
+}
+
+// checkpointResponse is the POST /admin/checkpoint JSON body, reporting
+// the post-checkpoint replay window (0 bytes on success).
+type checkpointResponse struct {
+	Status   string `json:"status"`
+	WALBytes int64  `json:"wal_bytes"`
+}
+
+// handleAdminCheckpoint forces a checkpoint right now — before taking a
+// filesystem snapshot, or to drain the replay window ahead of a planned
+// restart. It routes through the maintainer when one is running (so the
+// attempt also feeds its failure/suspension state machine) and falls
+// back to a direct checkpoint otherwise.
+func (s *server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var err error
+	if s.mnt != nil {
+		err = s.mnt.Checkpoint(r.Context())
+	} else {
+		err = s.db.CheckpointCtx(r.Context())
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, checkpointResponse{Status: "ok", WALBytes: s.db.WALBytes()})
 }
 
 // readyResponse is the /readyz JSON body.

@@ -121,6 +121,11 @@ type DB struct {
 	gen      atomic.Pointer[core.Generation]
 	genSeq   atomic.Uint64
 	liveGens atomic.Int64
+
+	// lastCheckpoint is the unix-nano time of the last completed commit
+	// (Save, Checkpoint, or an index build's absorb), seeded at
+	// creation/open so checkpoint age is measured from a real baseline.
+	lastCheckpoint atomic.Int64
 }
 
 // IndexOptions configures BuildIndex. The zero value indexes whole
@@ -211,6 +216,7 @@ func CreateMem() (*DB, error) {
 		return nil, err
 	}
 	db := &DB{dict: dict, store: st}
+	db.lastCheckpoint.Store(time.Now().UnixNano())
 	db.publish()
 	return db, nil
 }
@@ -230,6 +236,7 @@ func Create(dir string) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{dir: dir, dict: dict, store: st}
+	db.lastCheckpoint.Store(time.Now().UnixNano())
 	db.publish()
 	return db, nil
 }
@@ -289,6 +296,7 @@ func Open(dir string) (*DB, error) {
 		}
 	}
 	db := &DB{dir: dir, dict: dict, store: st}
+	db.lastCheckpoint.Store(time.Now().UnixNano())
 	if err := db.loadTombs(wal); err != nil {
 		return nil, err
 	}
@@ -375,13 +383,12 @@ func openIngestLog(dir string) (*core.IngestLog, []core.IngestOp, error) {
 // base: it is truncated only after everything it guarded is durable
 // elsewhere, so there is no instant at which an acknowledged operation
 // is unprotected.
-func (db *DB) Save() error {
-	if err := db.commitAll(); err != nil {
-		return err
-	}
-	db.publish()
-	return nil
-}
+//
+// Save is the chunked checkpoint (see CheckpointCtx): the bulk of the
+// heap fsync runs before the write locks are taken, so concurrent
+// ingest stalls only for the bounded final critical section, not the
+// whole absorption.
+func (db *DB) Save() error { return db.Checkpoint() }
 
 // commitAll is Save without the generation publish: it takes the write
 // locks, commits every file, and resets the ingest log. Open's recovery
@@ -421,6 +428,7 @@ func (db *DB) saveLocked() error {
 			return err
 		}
 	}
+	db.lastCheckpoint.Store(time.Now().UnixNano())
 	return nil
 }
 
@@ -480,8 +488,16 @@ func (db *DB) Close() error {
 // created one (an Ingester, IngestBatchCtx, or DeleteDocument), every
 // AddDocument joins the durable path: it is logged and fsynced before
 // it is applied, so its acknowledgment carries the same crash guarantee.
-func (db *DB) AddDocument(r io.Reader) (id uint32, err error) {
-	defer db.contain("AddDocument", true, &err)
+// It is AddDocumentCtx with context.Background().
+func (db *DB) AddDocument(r io.Reader) (uint32, error) {
+	return db.AddDocumentCtx(context.Background(), r)
+}
+
+// AddDocumentCtx is AddDocument with a caller context (observed before
+// the commit starts; a batch that has reached its WAL fsync is applied
+// to completion regardless, because it is already acknowledged-durable).
+func (db *DB) AddDocumentCtx(ctx context.Context, r io.Reader) (id uint32, err error) {
+	defer db.contain("AddDocumentCtx", true, &err)
 	// The raw bytes are buffered for the ingest WAL, so the read itself
 	// must be bounded like the streaming parse: ReadDocument stops at the
 	// MaxBytes limit instead of letting an unbounded reader exhaust
@@ -494,9 +510,12 @@ func (db *DB) AddDocument(r io.Reader) (id uint32, err error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	p := &pendingOp{kind: core.IngestOpInsert, xml: raw, tree: n}
 	db.ingestMu.Lock()
-	err = db.commitLocked([]*pendingOp{p})
+	err = db.commitLocked(ctx, []*pendingOp{p})
 	db.ingestMu.Unlock()
 	if err != nil {
 		return 0, err
@@ -571,18 +590,29 @@ func (db *DB) BuildIndexCtx(ctx context.Context, opts IndexOptions) (err error) 
 	return db.absorbIngestLogLocked("build")
 }
 
+// indexRef snapshots the current index pointer under the read lock.
+// Index builds swap the field under the write lock, so any reader that
+// can run concurrently with a rebuild — accessors, metrics, the
+// background maintenance loops — must take its snapshot here rather
+// than read db.index bare.
+func (db *DB) indexRef() *core.Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index
+}
+
 // HasIndex reports whether an index is available.
-func (db *DB) HasIndex() bool { return db.index != nil }
+func (db *DB) HasIndex() bool { return db.indexRef() != nil }
 
 // IndexHealth returns nil when there is no index or the index is healthy,
 // and otherwise the reason the index was degraded (test with errors.Is
 // against ErrCorrupt). A degraded index still answers queries correctly
 // via the scan fallback; RebuildIndex restores full speed.
 func (db *DB) IndexHealth() error {
-	if db.index == nil {
-		return nil
+	if ix := db.indexRef(); ix != nil {
+		return ix.Health()
 	}
-	return db.index.Health()
+	return nil
 }
 
 // VerifyIndex checks the on-disk integrity of the index: every B-tree
@@ -590,10 +620,11 @@ func (db *DB) IndexHealth() error {
 // at an existing record. It returns nil for a sound index, an error
 // wrapping ErrCorrupt otherwise, and an error if no index exists.
 func (db *DB) VerifyIndex() error {
-	if db.index == nil {
+	ix := db.indexRef()
+	if ix == nil {
 		return fmt.Errorf("fix: no index to verify")
 	}
-	return db.index.Verify()
+	return ix.Verify()
 }
 
 // RebuildIndex reconstructs the index from the primary store using the
@@ -651,36 +682,37 @@ func (db *DB) absorbIngestLogLocked(why string) error {
 // IndexEntries returns the number of index entries, or 0 without an
 // index.
 func (db *DB) IndexEntries() int {
-	if db.index == nil {
-		return 0
+	if ix := db.indexRef(); ix != nil {
+		return ix.Entries()
 	}
-	return db.index.Entries()
+	return 0
 }
 
 // IndexSizeBytes returns the on-disk footprint of the index.
 func (db *DB) IndexSizeBytes() int64 {
-	if db.index == nil {
-		return 0
+	if ix := db.indexRef(); ix != nil {
+		return ix.SizeBytes()
 	}
-	return db.index.SizeBytes()
+	return 0
 }
 
 // IndexBuildTime returns the wall-clock time of the last BuildIndex.
 func (db *DB) IndexBuildTime() time.Duration {
-	if db.index == nil {
-		return 0
+	if ix := db.indexRef(); ix != nil {
+		return ix.BuildTime()
 	}
-	return db.index.BuildTime()
+	return 0
 }
 
 // IndexBuildStats returns the per-phase timing breakdown of the last
 // BuildIndex in this process. It is the zero value without an index or
 // for an index loaded from disk.
 func (db *DB) IndexBuildStats() BuildStats {
-	if db.index == nil {
+	ix := db.indexRef()
+	if ix == nil {
 		return BuildStats{}
 	}
-	s := db.index.Stats()
+	s := ix.Stats()
 	return BuildStats{
 		Workers: s.Workers,
 		Records: s.Records,
@@ -696,10 +728,10 @@ func (db *DB) IndexBuildStats() BuildStats {
 // workers returns the worker-pool bound queries should use: the indexed
 // setting when an index exists, otherwise the default (one per CPU).
 func (db *DB) workers() int {
-	if db.index == nil {
-		return 0
+	if ix := db.indexRef(); ix != nil {
+		return ix.Options().Workers
 	}
-	return db.index.Options().Workers
+	return 0
 }
 
 // Query evaluates the XPath expression. With an index it runs the

@@ -121,6 +121,7 @@ type pendingOp struct {
 type Ingester struct {
 	db  *DB
 	cfg IngestConfig
+	ctx context.Context // committer-goroutine context; immutable after NewIngesterCtx
 
 	mu     sync.RWMutex // guards closed and sends on ops vs. Close
 	closed bool
@@ -130,12 +131,23 @@ type Ingester struct {
 }
 
 // NewIngester starts an ingester over db. Close it when done; an open
-// ingester holds one background goroutine.
+// ingester holds one background goroutine. It is NewIngesterCtx with
+// context.Background().
 func (db *DB) NewIngester(cfg IngestConfig) *Ingester {
+	return db.NewIngesterCtx(context.Background(), cfg)
+}
+
+// NewIngesterCtx is NewIngester with a context for the committer
+// goroutine: batch application carries its values (cancellation does
+// not abort a batch mid-commit — once the WAL fsync has acknowledged
+// it, the apply runs to completion). The ingester still drains and
+// exits through Close, not through ctx.
+func (db *DB) NewIngesterCtx(ctx context.Context, cfg IngestConfig) *Ingester {
 	cfg.setDefaults()
 	ing := &Ingester{
 		db:     db,
 		cfg:    cfg,
+		ctx:    ctx,
 		ops:    make(chan *pendingOp, cfg.QueueDepth),
 		exited: make(chan struct{}),
 	}
@@ -176,7 +188,7 @@ func (ing *Ingester) commitLoop() {
 				work = append(work, p)
 			}
 		}
-		err := ing.db.commitPending(work)
+		err := ing.db.commitPending(ing.ctx, work)
 		for _, p := range batch {
 			// An op rejected during validation (p.err) reports its own
 			// failure; the batch outcome belongs to the ops that were
@@ -363,7 +375,7 @@ func (db *DB) IngestBatchCtx(ctx context.Context, docs []string) ([]uint32, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := db.commitPending(pending); err != nil {
+	if err := db.commitPending(ctx, pending); err != nil {
 		return nil, err
 	}
 	recs := make([]uint32, len(pending))
@@ -388,7 +400,7 @@ func (db *DB) DeleteDocumentCtx(ctx context.Context, rec uint32) error {
 		return err
 	}
 	p := &pendingOp{kind: core.IngestOpDelete, rec: rec, done: make(chan error, 1)}
-	if err := db.commitPending([]*pendingOp{p}); err != nil {
+	if err := db.commitPending(ctx, []*pendingOp{p}); err != nil {
 		return err
 	}
 	return p.err
@@ -397,7 +409,7 @@ func (db *DB) DeleteDocumentCtx(ctx context.Context, rec uint32) error {
 // commitPending serializes one batch against every other mutation and
 // commits it. Ingest entry points call it; the legacy AddDocument path
 // shares commitLocked underneath.
-func (db *DB) commitPending(ops []*pendingOp) error {
+func (db *DB) commitPending(ctx context.Context, ops []*pendingOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
@@ -406,7 +418,7 @@ func (db *DB) commitPending(ops []*pendingOp) error {
 	if err := db.ensureIngestLog(); err != nil {
 		return err
 	}
-	return db.commitLocked(ops)
+	return db.commitLocked(ctx, ops)
 }
 
 // ensureIngestLog lazily creates fix.ingest on a persistent DB, first
@@ -457,7 +469,7 @@ func (db *DB) ensureIngestLog() error {
 // (ErrUnknownDocument) and is excluded from the WAL and the apply.
 // Group commit coalesces unrelated callers into one batch, so one
 // client's bad delete must not fail another client's valid operations.
-func (db *DB) commitLocked(ops []*pendingOp) error {
+func (db *DB) commitLocked(ctx context.Context, ops []*pendingOp) error {
 	preRecords := db.store.NumRecords()
 	preEnd := db.store.Size()
 	nrec := uint32(preRecords)
@@ -494,7 +506,10 @@ func (db *DB) commitLocked(ops []*pendingOp) error {
 			return err // nothing durable, nothing applied, nothing acked
 		}
 	}
-	if err := db.applyBatch(valid); err != nil {
+	// The batch is WAL-durable (acknowledged) past this point, so the
+	// apply must run to completion even if the caller's context dies
+	// mid-batch: cancellation must never roll back an acknowledged batch.
+	if err := db.applyBatch(context.WithoutCancel(ctx), valid); err != nil {
 		db.rollbackBatch(valid, preRecords, preEnd, walSize0, len(walOps), err)
 		return err
 	}
@@ -517,7 +532,15 @@ func (db *DB) commitLocked(ops []*pendingOp) error {
 // An operation that stores fine but cannot be indexed
 // (ErrRebuildRequired) degrades the index and does not fail the batch —
 // durability never depends on the index.
-func (db *DB) applyBatch(ops []*pendingOp) (err error) {
+//
+// Heap appends and deletes run in operation order; the batch's inserts
+// are then indexed in one InsertDocumentsCtx call, which fans the
+// per-document eigenvalue work out over the build worker pool instead
+// of computing it one document at a time under the write lock. Deletes
+// can only target pre-batch records (commitLocked validates this), so
+// index-deleting them before the batch's own inserts are indexed cannot
+// remove a new entry.
+func (db *DB) applyBatch(ctx context.Context, ops []*pendingOp) (err error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	defer func() {
@@ -526,6 +549,7 @@ func (db *DB) applyBatch(ops []*pendingOp) (err error) {
 			err = fmt.Errorf("%w: ingest batch: %v\n%s", ErrPanic, r, debug.Stack())
 		}
 	}()
+	inserted := make([]uint32, 0, len(ops))
 	for _, p := range ops {
 		switch p.kind {
 		case core.IngestOpInsert:
@@ -536,14 +560,7 @@ func (db *DB) applyBatch(ops []*pendingOp) (err error) {
 			if rec != p.rec {
 				return fmt.Errorf("fix: ingest batch applied record %d, expected %d", rec, p.rec)
 			}
-			if db.index != nil && db.index.Health() == nil {
-				if ierr := db.index.InsertDocument(rec); ierr != nil {
-					if !errors.Is(ierr, ErrRebuildRequired) {
-						return ierr
-					}
-					db.index.Degrade(ierr)
-				}
-			}
+			inserted = append(inserted, rec)
 		case core.IngestOpDelete:
 			marked, derr := db.store.MarkDeleted(p.rec)
 			if derr != nil {
@@ -555,6 +572,14 @@ func (db *DB) applyBatch(ops []*pendingOp) (err error) {
 					return derr
 				}
 			}
+		}
+	}
+	if len(inserted) > 0 && db.index != nil && db.index.Health() == nil {
+		if ierr := db.index.InsertDocumentsCtx(ctx, inserted); ierr != nil {
+			if !errors.Is(ierr, ErrRebuildRequired) {
+				return ierr
+			}
+			db.index.Degrade(ierr)
 		}
 	}
 	return nil

@@ -829,7 +829,7 @@ func TestBadDeleteDoesNotFailBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := &pendingOp{kind: core.IngestOpDelete, rec: 99, done: make(chan error, 1)}
-	if err := db.commitPending([]*pendingOp{ins, bad}); err != nil {
+	if err := db.commitPending(context.Background(), []*pendingOp{ins, bad}); err != nil {
 		t.Fatalf("batch with one bad delete failed wholesale: %v", err)
 	}
 	if !errors.Is(bad.err, ErrUnknownDocument) {

@@ -129,8 +129,8 @@ func (db *DB) contain(op string, degrade bool, errp *error) {
 		*errp = fmt.Errorf("%w: %s: %v", ErrPanic, op, *errp)
 	}
 	obs.Default().ObservePanicRecovered()
-	if degrade && db.index != nil {
-		db.index.Degrade(*errp)
+	if ix := db.indexRef(); degrade && ix != nil {
+		ix.Degrade(*errp)
 		// Republish so generations pinned from now on carry the degraded
 		// health and route to the exact scan fallback. Views pinned before
 		// the panic keep their (possibly inconsistent) image, but their

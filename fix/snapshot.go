@@ -57,6 +57,16 @@ type Metrics struct {
 	IngestQueueFull int64 `json:"ingest_queue_full"`
 	IngestReplayed  int64 `json:"ingest_replayed"`
 
+	// Online-maintenance totals across the process: WAL checkpoints
+	// (and failed attempts), scrub passes (and passes that found
+	// damage), and automatic rebuilds of degraded indexes.
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	ScrubPasses        int64 `json:"scrub_passes"`
+	ScrubFindings      int64 `json:"scrub_findings"`
+	AutoRebuilds       int64 `json:"auto_rebuilds"`
+	AutoRebuildErrors  int64 `json:"auto_rebuild_errors"`
+
 	// Latency is the bounded query-latency histogram with estimated
 	// quantiles (upper-bound error is one power-of-two bucket).
 	Latency obs.LatencySnapshot `json:"query_latency"`
@@ -64,19 +74,24 @@ type Metrics struct {
 	// This DB's shape and cumulative I/O. DocumentsDeleted counts
 	// tombstoned records still occupying the heap; IngestLag is the
 	// number of WAL operations applied in memory but not yet folded into
-	// a durable index commit (Save resets it to zero). Generation is the
-	// publish sequence number of the currently published snapshot and
-	// LiveGenerations how many generations are retained (the published
-	// one plus older ones still pinned by open Views).
-	Documents        int          `json:"documents"`
-	DocumentsDeleted int          `json:"documents_deleted"`
-	IngestLag        int          `json:"ingest_lag"`
-	IndexEntries     int          `json:"index_entries"`
-	IndexSizeBytes   int64        `json:"index_size_bytes"`
-	Generation       uint64       `json:"generation"`
-	LiveGenerations  int64        `json:"live_generations"`
-	BTree            BTreeStats   `json:"btree"`
-	Storage          StorageStats `json:"storage"`
+	// a durable index commit, WALBytes the log's on-disk size, and
+	// LastCheckpointAge how long ago that commit happened — together
+	// they size the replay window a crash right now would cost
+	// (Checkpoint resets all three). Generation is the publish sequence
+	// number of the currently published snapshot and LiveGenerations how
+	// many generations are retained (the published one plus older ones
+	// still pinned by open Views).
+	Documents         int           `json:"documents"`
+	DocumentsDeleted  int           `json:"documents_deleted"`
+	IngestLag         int           `json:"ingest_lag"`
+	WALBytes          int64         `json:"wal_bytes"`
+	LastCheckpointAge time.Duration `json:"last_checkpoint_age_ns"`
+	IndexEntries      int           `json:"index_entries"`
+	IndexSizeBytes    int64         `json:"index_size_bytes"`
+	Generation        uint64        `json:"generation"`
+	LiveGenerations   int64         `json:"live_generations"`
+	BTree             BTreeStats    `json:"btree"`
+	Storage           StorageStats  `json:"storage"`
 }
 
 // Snapshot is the former name of Metrics.
@@ -139,12 +154,21 @@ func (db *DB) Metrics() Metrics {
 		IngestQueueFull: reg.IngestQueueFull,
 		IngestReplayed:  reg.IngestReplayed,
 
-		Latency:          reg.Latency,
-		Documents:        db.NumDocuments(),
-		DocumentsDeleted: db.store.NumDeleted(),
-		IngestLag:        db.IngestLag(),
-		Generation:       db.GenerationID(),
-		LiveGenerations:  db.LiveGenerations(),
+		Checkpoints:        reg.Checkpoints,
+		CheckpointFailures: reg.CheckpointFailures,
+		ScrubPasses:        reg.ScrubPasses,
+		ScrubFindings:      reg.ScrubFindings,
+		AutoRebuilds:       reg.AutoRebuilds,
+		AutoRebuildErrors:  reg.AutoRebuildErrors,
+
+		Latency:           reg.Latency,
+		Documents:         db.NumDocuments(),
+		DocumentsDeleted:  db.store.NumDeleted(),
+		IngestLag:         db.IngestLag(),
+		WALBytes:          db.WALBytes(),
+		LastCheckpointAge: time.Since(db.LastCheckpoint()),
+		Generation:        db.GenerationID(),
+		LiveGenerations:   db.LiveGenerations(),
 	}
 	st := db.store.Stats()
 	s.Storage = StorageStats{
@@ -157,10 +181,10 @@ func (db *DB) Metrics() Metrics {
 		SubtreeReads:   st.SubtreeReads,
 		SubtreeBytes:   st.SubtreeBytes,
 	}
-	if db.index != nil {
-		s.IndexEntries = db.index.Entries()
-		s.IndexSizeBytes = db.index.SizeBytes()
-		if bt := db.index.BTree(); bt != nil {
+	if ix := db.indexRef(); ix != nil {
+		s.IndexEntries = ix.Entries()
+		s.IndexSizeBytes = ix.SizeBytes()
+		if bt := ix.BTree(); bt != nil {
 			bs := bt.Stats()
 			s.BTree = BTreeStats{
 				PageReads:  bs.PageReads,
@@ -169,7 +193,7 @@ func (db *DB) Metrics() Metrics {
 				Evictions:  bs.Evictions,
 			}
 		}
-		if cs := db.index.ClusteredStore(); cs != nil {
+		if cs := ix.ClusteredStore(); cs != nil {
 			cst := cs.Stats()
 			s.Storage.RecordsWritten += cst.RecordsWritten
 			s.Storage.BytesWritten += cst.BytesWritten

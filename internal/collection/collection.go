@@ -475,6 +475,31 @@ func (c *Collection) Save() error {
 	return first
 }
 
+// CheckpointCtx absorbs each dirty shard's ingest WAL into its base
+// commit through the chunked checkpoint (fix.DB.CheckpointCtx), and
+// skips shards whose WAL is empty — every collection write flows
+// through a shard's ingester into its WAL, so an empty WAL means
+// nothing changed since the last checkpoint and the fsync cascade
+// would be pure overhead. It returns how many shards checkpointed and
+// how many were skipped clean; like Save, the first error is returned
+// but the remaining shards still checkpoint.
+func (c *Collection) CheckpointCtx(ctx context.Context) (done, skipped int, err error) {
+	for _, s := range c.shards {
+		if s.DB.IngestLag() == 0 {
+			skipped++
+			continue
+		}
+		if cerr := s.DB.CheckpointCtx(ctx); cerr != nil {
+			if err == nil {
+				err = fmt.Errorf("collection: checkpointing shard %d: %w", s.ID, cerr)
+			}
+			continue
+		}
+		done++
+	}
+	return done, skipped, err
+}
+
 // Rebuild rebuilds every shard whose index reports degraded health, in
 // shard order. Queries keep flowing during a rebuild: shards publish
 // generations, so readers pin the old image until the new one lands.

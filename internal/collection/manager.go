@@ -1,15 +1,18 @@
 // The Manager is the collections' background maintenance loop — the
-// serving-layer counterpart of fixserve's single-DB save ticker. Every
-// interval it saves all collections (absorbing each shard's ingest WAL
-// into its base commit, bounding replay time) and rebuilds any shard
-// whose index went degraded. Both run off the request path: saves and
-// rebuilds publish new generations, and readers keep their pinned ones,
-// so maintenance never blocks a query.
+// serving-layer counterpart of fixserve's single-DB Maintainer. Every
+// interval it checkpoints the dirty shards of all collections
+// (absorbing each shard's ingest WAL into its base commit, bounding
+// replay time) and rebuilds any shard whose index went degraded. Shards
+// whose WAL is empty are skipped — a collection receiving no writes
+// costs zero fsyncs per tick. Both checkpoints and rebuilds run off the
+// request path: they publish new generations, and readers keep their
+// pinned ones, so maintenance never blocks a query.
 
 package collection
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,10 +22,23 @@ type Manager struct {
 	interval time.Duration
 	logf     func(format string, args ...any)
 	done     chan struct{}
+
+	ticks       atomic.Int64
+	checkpoints atomic.Int64
+	skipped     atomic.Int64
 }
 
-// StartManager starts the maintenance loop: every interval, save all
-// collections and rebuild degraded shards. It stops when ctx is
+// ManagerStats is a point-in-time snapshot of the maintenance loop's
+// activity: ticks run, shard checkpoints performed, and shard
+// checkpoints skipped because the shard's WAL was empty.
+type ManagerStats struct {
+	Ticks       int64 `json:"ticks"`
+	Checkpoints int64 `json:"checkpoints"`
+	Skipped     int64 `json:"skipped_clean"`
+}
+
+// StartManager starts the maintenance loop: every interval, checkpoint
+// all dirty shards and rebuild degraded ones. It stops when ctx is
 // canceled; Wait blocks until the final tick (if any) finishes. logf
 // receives one line per failed maintenance action (nil discards).
 // interval <= 0 starts a no-op manager, so callers need no conditional.
@@ -37,6 +53,15 @@ func StartManager(ctx context.Context, svc *Service, interval time.Duration, log
 
 // Wait blocks until the loop has exited (after ctx cancellation).
 func (m *Manager) Wait() { <-m.done }
+
+// Stats snapshots the loop's counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Ticks:       m.ticks.Load(),
+		Checkpoints: m.checkpoints.Load(),
+		Skipped:     m.skipped.Load(),
+	}
+}
 
 func (m *Manager) run(ctx context.Context) {
 	defer close(m.done)
@@ -59,9 +84,13 @@ func (m *Manager) run(ctx context.Context) {
 // tick runs one maintenance pass. Errors are logged and swallowed: a
 // full disk this tick must not stop the next tick from trying again.
 func (m *Manager) tick(ctx context.Context) {
+	m.ticks.Add(1)
 	err := m.svc.each(func(c *Collection) error {
-		if err := c.Save(); err != nil {
-			m.logf("collection %s: save: %v", c.Name(), err)
+		done, skipped, err := c.CheckpointCtx(ctx)
+		m.checkpoints.Add(int64(done))
+		m.skipped.Add(int64(skipped))
+		if err != nil {
+			m.logf("collection %s: checkpoint: %v", c.Name(), err)
 		}
 		if err := c.Rebuild(ctx); err != nil {
 			m.logf("collection %s: rebuild: %v", c.Name(), err)

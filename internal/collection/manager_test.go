@@ -1,0 +1,58 @@
+package collection
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestManagerSkipsCleanShards checks the manager's dirty tracking: a
+// shard with an empty WAL is skipped (counted, not checkpointed), so a
+// collection receiving no writes costs zero fsyncs per tick.
+func TestManagerSkipsCleanShards(t *testing.T) {
+	root := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc, err := OpenService(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	col, err := svc.Create(ctx, "skippy", Spec{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.AddBatch(ctx, []string{doc(labelFor(t, 0, 2), 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := StartManager(ctx, svc, 5*time.Millisecond, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Stats().IngestLag != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never absorbed the dirty shard's WAL")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := m.Stats(); st.Checkpoints < 1 {
+		t.Fatalf("stats after absorption: %+v, want >= 1 checkpoint", st)
+	}
+
+	// Everything is clean now: ticks keep running, shards keep being
+	// skipped, and no further checkpoints happen.
+	base := m.Stats()
+	time.Sleep(60 * time.Millisecond)
+	st := m.Stats()
+	if st.Checkpoints != base.Checkpoints {
+		t.Errorf("checkpointed clean shards (%d -> %d)", base.Checkpoints, st.Checkpoints)
+	}
+	if st.Ticks <= base.Ticks {
+		t.Errorf("manager stopped ticking (%d -> %d)", base.Ticks, st.Ticks)
+	}
+	if st.Skipped <= base.Skipped {
+		t.Errorf("clean shards not counted as skipped (%d -> %d)", base.Skipped, st.Skipped)
+	}
+
+	cancel()
+	m.Wait()
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestMaintenanceSweepSmall runs a miniature sweep end to end: both
+// absorption modes complete, every document lands, checkpoints happen,
+// and the latency summary is coherent.
+func TestMaintenanceSweepSmall(t *testing.T) {
+	rows, err := MaintenanceSweep(context.Background(), t.TempDir(), 120, 8, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(MaintenanceModes()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(MaintenanceModes()))
+	}
+	for _, r := range rows {
+		if r.Docs != 120 {
+			t.Errorf("%s: docs = %d, want 120", r.Mode, r.Docs)
+		}
+		if r.Checkpoints < 1 {
+			t.Errorf("%s: no checkpoints recorded", r.Mode)
+		}
+		if r.DocsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: %+v", r.Mode, r)
+		}
+		if r.StallP50 <= 0 || r.StallP99 < r.StallP50 || r.StallMax < r.StallP99 {
+			t.Errorf("%s: incoherent latency summary: %+v", r.Mode, r)
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	lat := []time.Duration{5, 1, 3, 2, 4}
+	p50, p99, max := latencyQuantiles(lat)
+	if p50 != 3 || p99 != 4 || max != 5 {
+		t.Errorf("quantiles = %d %d %d, want 3 4 5", p50, p99, max)
+	}
+	if a, b, c := latencyQuantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Errorf("empty sample set: %d %d %d", a, b, c)
+	}
+}

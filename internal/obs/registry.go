@@ -50,6 +50,16 @@ type Registry struct {
 	ingestQueueFull atomic.Int64
 	ingestReplayed  atomic.Int64
 
+	// Online-maintenance counters: background WAL checkpoints, scrub
+	// passes (and passes that found damage), and automatic rebuilds of
+	// a degraded index.
+	checkpoints        atomic.Int64
+	checkpointFailures atomic.Int64
+	scrubPasses        atomic.Int64
+	scrubFindings      atomic.Int64
+	autoRebuilds       atomic.Int64
+	autoRebuildErrors  atomic.Int64
+
 	// collections maps collection name → *CollectionStats (see
 	// scoped.go); populated only when the sharded serving layer is in
 	// use.
@@ -120,6 +130,35 @@ func (r *Registry) ObserveIngestQueueFull(ops int) { r.ingestQueueFull.Add(int64
 // WAL during crash recovery.
 func (r *Registry) ObserveIngestReplayed(ops int) { r.ingestReplayed.Add(int64(ops)) }
 
+// ObserveCheckpoint records one WAL-checkpoint attempt and whether it
+// committed.
+func (r *Registry) ObserveCheckpoint(ok bool) {
+	if ok {
+		r.checkpoints.Add(1)
+	} else {
+		r.checkpointFailures.Add(1)
+	}
+}
+
+// ObserveScrub records one completed scrub pass; damaged reports that
+// the pass found corruption.
+func (r *Registry) ObserveScrub(damaged bool) {
+	r.scrubPasses.Add(1)
+	if damaged {
+		r.scrubFindings.Add(1)
+	}
+}
+
+// ObserveAutoRebuild records one automatic rebuild attempt of a
+// degraded index and whether it succeeded.
+func (r *Registry) ObserveAutoRebuild(ok bool) {
+	if ok {
+		r.autoRebuilds.Add(1)
+	} else {
+		r.autoRebuildErrors.Add(1)
+	}
+}
+
 // ObserveBuild records one completed index construction.
 func (r *Registry) ObserveBuild(records, units int, wall time.Duration) {
 	r.builds.Add(1)
@@ -161,6 +200,14 @@ type RegistrySnapshot struct {
 	IngestQueueFull int64 `json:"ingest_queue_full"`
 	IngestReplayed  int64 `json:"ingest_replayed"`
 
+	// Online-maintenance counters (background checkpointer + scrubber).
+	Checkpoints        int64 `json:"checkpoints"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	ScrubPasses        int64 `json:"scrub_passes"`
+	ScrubFindings      int64 `json:"scrub_findings"`
+	AutoRebuilds       int64 `json:"auto_rebuilds"`
+	AutoRebuildErrors  int64 `json:"auto_rebuild_errors"`
+
 	// Collections holds the per-collection counters of the sharded
 	// serving layer, keyed by collection name; nil (omitted from JSON)
 	// when no collection was ever observed in this process.
@@ -198,6 +245,13 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		IngestFsyncs:    r.ingestFsyncs.Load(),
 		IngestQueueFull: r.ingestQueueFull.Load(),
 		IngestReplayed:  r.ingestReplayed.Load(),
+
+		Checkpoints:        r.checkpoints.Load(),
+		CheckpointFailures: r.checkpointFailures.Load(),
+		ScrubPasses:        r.scrubPasses.Load(),
+		ScrubFindings:      r.scrubFindings.Load(),
+		AutoRebuilds:       r.autoRebuilds.Load(),
+		AutoRebuildErrors:  r.autoRebuildErrors.Load(),
 
 		Collections: r.snapshotCollections(),
 

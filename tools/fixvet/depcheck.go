@@ -30,6 +30,10 @@ var depcheckAnalyzer = &Analyzer{
 // internal-import rules in the fix package itself.
 var serviceLayer = map[string]bool{
 	"internal/collection": true,
+	// experiments drives whole databases from the outside (the
+	// maintenance sweep measures fix.DB checkpoint stalls), so it sits
+	// above fix the same way collection does.
+	"internal/experiments": true,
 }
 
 func runDepcheck(pass *Pass) {
